@@ -1,0 +1,358 @@
+//! Bluebird (NSDI'22) — ToR route caches backed by a switch-local control
+//! plane.
+//!
+//! "ToR switches resolve addresses in the data plane when they are in the
+//! cache (route cache); otherwise, the control plane (SFE) forwards packets
+//! and updates the cache. We set the data to control plane bandwidth to
+//! 20 Gbps, the forwarding latency of packets by the control plane to
+//! 8.5 µsec, and the cache insertion latency to 2 msec" (§5).
+//!
+//! Hosts send unresolved packets that the first-hop ToR must translate
+//! ([`sv2p_vnet::HostResolution::FirstHopTor`]); there are no translation
+//! gateways. A data-plane miss detours the packet through the bandwidth-
+//! limited control link, which drops when its backlog exceeds the buffer —
+//! the effect behind Bluebird's poor showing under bursts (§5.1).
+
+use std::collections::HashMap;
+
+use sv2p_packet::{Packet, PacketKind, Pip, SwitchTag, Vip};
+use sv2p_simcore::{SimDuration, SimTime};
+use sv2p_topology::{NodeId, SwitchRole};
+use sv2p_vnet::agents::NoopSwitchAgent;
+use sv2p_vnet::{
+    AgentOutput, HostAgent, HostResolution, MappingDb, MisdeliveryPolicy, PacketAction,
+    Strategy, SwitchAgent, SwitchCtx,
+};
+use switchv2p::cache::{Admission, DirectMappedCache};
+
+/// Bluebird model parameters (paper defaults).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BluebirdConfig {
+    /// Data-plane to control-plane link rate.
+    pub control_bandwidth_bps: u64,
+    /// Control-plane forwarding latency per packet.
+    pub control_latency: SimDuration,
+    /// Delay until a control-plane-resolved mapping appears in the route
+    /// cache.
+    pub insertion_latency: SimDuration,
+    /// Control-link backlog limit; packets beyond it are dropped.
+    pub control_buffer_bytes: u64,
+}
+
+impl Default for BluebirdConfig {
+    fn default() -> Self {
+        BluebirdConfig {
+            control_bandwidth_bps: 20_000_000_000,
+            control_latency: SimDuration::from_nanos(8_500),
+            insertion_latency: SimDuration::from_millis(2),
+            control_buffer_bytes: 1024 * 1024,
+        }
+    }
+}
+
+/// The Bluebird baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Bluebird {
+    /// Model parameters.
+    pub config: BluebirdConfig,
+}
+
+/// ToR agent: route cache + modeled SFE.
+#[derive(Debug)]
+struct BluebirdTorAgent {
+    cfg: BluebirdConfig,
+    cache: DirectMappedCache,
+    /// Mappings resolved by the SFE, visible in the cache after the
+    /// insertion latency.
+    pending: HashMap<Vip, (Pip, SimTime)>,
+    /// When the control link frees up.
+    control_busy_until: SimTime,
+    /// Control-plane packet drops.
+    drops: u64,
+}
+
+impl BluebirdTorAgent {
+    /// Moves matured pending insertions into the route cache.
+    fn flush_pending(&mut self, now: SimTime) {
+        let ready: Vec<Vip> = self
+            .pending
+            .iter()
+            .filter(|&(_, &(_, at))| at <= now)
+            .map(|(&v, _)| v)
+            .collect();
+        for vip in ready {
+            let (pip, _) = self.pending.remove(&vip).expect("pending entry");
+            self.cache.insert(vip, pip, Admission::All);
+        }
+    }
+}
+
+impl SwitchAgent for BluebirdTorAgent {
+    fn on_packet(&mut self, ctx: &mut SwitchCtx<'_>, pkt: &mut Packet) -> AgentOutput {
+        if !matches!(pkt.kind, PacketKind::Data) || pkt.outer.resolved {
+            return AgentOutput::forward();
+        }
+        self.flush_pending(ctx.now);
+
+        // Route-cache lookup (data plane).
+        if let Some((pip, _)) = self.cache.lookup(pkt.inner.dst_vip) {
+            pkt.outer.dst_pip = pip;
+            pkt.outer.resolved = true;
+            return AgentOutput::forward_hit();
+        }
+
+        // Miss: the SFE takes over. Model the 20 Gbps control link as a
+        // single-server queue with a finite backlog.
+        let ser = SimDuration::serialization(pkt.wire_size(), self.cfg.control_bandwidth_bps);
+        let backlog = self.control_busy_until.saturating_since(ctx.now);
+        let backlog_bytes = (backlog.as_secs_f64() * self.cfg.control_bandwidth_bps as f64
+            / 8.0) as u64;
+        if backlog_bytes > self.cfg.control_buffer_bytes {
+            self.drops += 1;
+            return AgentOutput {
+                action: PacketAction::Drop,
+                ..AgentOutput::forward()
+            };
+        }
+        let start = self.control_busy_until.max(ctx.now);
+        self.control_busy_until = start + ser;
+        let detour = self.control_busy_until.saturating_since(ctx.now) + self.cfg.control_latency;
+
+        // The SFE holds the full mapping table (installed by the SDN
+        // controller); translate and arrange the cache insertion.
+        match ctx.db.lookup(pkt.inner.dst_vip) {
+            Some(pip) => {
+                pkt.outer.dst_pip = pip;
+                pkt.outer.resolved = true;
+                self.pending
+                    .entry(pkt.inner.dst_vip)
+                    .or_insert((pip, ctx.now + self.cfg.insertion_latency));
+                AgentOutput {
+                    action: PacketAction::Delay(detour),
+                    ..AgentOutput::forward()
+                }
+            }
+            None => AgentOutput {
+                action: PacketAction::Drop,
+                ..AgentOutput::forward()
+            },
+        }
+    }
+
+    fn occupancy(&self) -> usize {
+        self.cache.occupancy()
+    }
+
+    fn entries(&self) -> Vec<(Vip, Pip)> {
+        self.cache.entries()
+    }
+}
+
+/// Host agent: defer all translation to the first-hop ToR.
+#[derive(Debug, Default)]
+struct BluebirdHostAgent;
+
+impl HostAgent for BluebirdHostAgent {
+    fn resolve(
+        &mut self,
+        _now: SimTime,
+        _db: &MappingDb,
+        _dst_vip: Vip,
+        _flow_key: u64,
+    ) -> HostResolution {
+        HostResolution::FirstHopTor
+    }
+}
+
+impl Strategy for Bluebird {
+    fn name(&self) -> &'static str {
+        "Bluebird"
+    }
+
+    fn caches_at(&self, role: SwitchRole) -> bool {
+        matches!(role, SwitchRole::Tor | SwitchRole::GatewayTor)
+    }
+
+    fn make_switch_agent(
+        &self,
+        _node: NodeId,
+        role: SwitchRole,
+        _tag: SwitchTag,
+        lines: usize,
+    ) -> Box<dyn SwitchAgent> {
+        if matches!(role, SwitchRole::Tor | SwitchRole::GatewayTor) {
+            Box::new(BluebirdTorAgent {
+                cfg: self.config,
+                cache: DirectMappedCache::new(lines),
+                pending: HashMap::new(),
+                control_busy_until: SimTime::ZERO,
+                drops: 0,
+            })
+        } else {
+            Box::new(NoopSwitchAgent)
+        }
+    }
+
+    fn make_host_agent(&self, _node: NodeId, _pip: Pip) -> Box<dyn HostAgent> {
+        Box::new(BluebirdHostAgent)
+    }
+
+    fn misdelivery_policy(&self) -> MisdeliveryPolicy {
+        MisdeliveryPolicy::FollowMe
+    }
+
+    fn uses_gateways(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sv2p_packet::packet::Protocol;
+    use sv2p_packet::{FlowId, InnerHeader, OuterHeader, PacketId, TcpFlags, TunnelOptions};
+    use sv2p_simcore::SimRng;
+
+    fn mk_ctx<'a>(db: &'a MappingDb, rng: &'a mut SimRng, now: SimTime) -> SwitchCtx<'a> {
+        SwitchCtx {
+            now,
+            node: NodeId(0),
+            tag: SwitchTag(0),
+            switch_pip: Pip(9000),
+            role: SwitchRole::Tor,
+            my_pod: Some(0),
+            ingress_host: Some(Pip(1)),
+            dst_attached: false,
+            db,
+            rng,
+            base_rtt: SimDuration::from_micros(12),
+            pod_of: &|_| None,
+            pip_of_tag: &|_| Pip(0),
+        }
+    }
+
+    fn unresolved(dst_vip: u32) -> Packet {
+        Packet {
+            id: PacketId(0),
+            flow: FlowId(0),
+            kind: PacketKind::Data,
+            outer: OuterHeader {
+                src_pip: Pip(1),
+                dst_pip: Pip(0),
+                resolved: false,
+            },
+            inner: InnerHeader {
+                src_vip: Vip(500),
+                dst_vip: Vip(dst_vip),
+                src_port: 1,
+                dst_port: 2,
+                protocol: Protocol::Udp,
+                seq: 0,
+                ack: 0,
+                flags: TcpFlags::default(),
+            },
+            opts: TunnelOptions::default(),
+            payload: 1000,
+            switch_hops: 0,
+            sent_ns: 0,
+            first_of_flow: false,
+            visited_gateway: false,
+        }
+    }
+
+    fn agent_and_db() -> (Box<dyn SwitchAgent>, MappingDb) {
+        let mut db = MappingDb::new();
+        db.insert(Vip(5), Pip(55));
+        let agent = Bluebird::default().make_switch_agent(
+            NodeId(0),
+            SwitchRole::Tor,
+            SwitchTag(0),
+            64,
+        );
+        (agent, db)
+    }
+
+    #[test]
+    fn miss_detours_through_control_plane_then_cache_serves() {
+        let (mut agent, db) = agent_and_db();
+        let mut rng = SimRng::new(1);
+        let mut p = unresolved(5);
+        let out = agent.on_packet(&mut mk_ctx(&db, &mut rng, SimTime::ZERO), &mut p);
+        // Control-plane detour: resolved but delayed >= 8.5us.
+        match out.action {
+            PacketAction::Delay(d) => assert!(d >= SimDuration::from_nanos(8_500), "{d}"),
+            other => panic!("{other:?}"),
+        }
+        assert!(p.outer.resolved);
+        assert_eq!(p.outer.dst_pip, Pip(55));
+        assert!(!out.cache_hit);
+
+        // Before 2ms: still a control-plane miss.
+        let mut p2 = unresolved(5);
+        let out = agent.on_packet(
+            &mut mk_ctx(&db, &mut rng, SimTime::from_millis(1)),
+            &mut p2,
+        );
+        assert!(matches!(out.action, PacketAction::Delay(_)));
+        assert!(!out.cache_hit);
+
+        // After 2ms: data-plane hit, zero detour.
+        let mut p3 = unresolved(5);
+        let out = agent.on_packet(
+            &mut mk_ctx(&db, &mut rng, SimTime::from_millis(3)),
+            &mut p3,
+        );
+        assert!(out.cache_hit);
+        assert_eq!(out.action, PacketAction::Forward);
+    }
+
+    #[test]
+    fn control_link_backlog_drops() {
+        let cfg = BluebirdConfig {
+            control_buffer_bytes: 3000,
+            ..BluebirdConfig::default()
+        };
+        let mut agent = Bluebird { config: cfg }.make_switch_agent(
+            NodeId(0),
+            SwitchRole::Tor,
+            SwitchTag(0),
+            64,
+        );
+        let mut db = MappingDb::new();
+        for v in 0..100 {
+            db.insert(Vip(v), Pip(1000 + v));
+        }
+        let mut rng = SimRng::new(1);
+        let mut dropped = 0;
+        // A burst of misses at the same instant overruns the 20G link.
+        for v in 0..100 {
+            let mut p = unresolved(v);
+            let out = agent.on_packet(&mut mk_ctx(&db, &mut rng, SimTime::ZERO), &mut p);
+            if out.action == PacketAction::Drop {
+                dropped += 1;
+            }
+        }
+        assert!(dropped > 0, "burst must overflow the control link");
+        assert!(dropped < 100, "early packets must survive");
+    }
+
+    #[test]
+    fn unknown_vip_is_dropped() {
+        let (mut agent, db) = agent_and_db();
+        let mut rng = SimRng::new(1);
+        let mut p = unresolved(999);
+        let out = agent.on_packet(&mut mk_ctx(&db, &mut rng, SimTime::ZERO), &mut p);
+        assert_eq!(out.action, PacketAction::Drop);
+    }
+
+    #[test]
+    fn hosts_defer_to_tor_and_no_gateways() {
+        let b = Bluebird::default();
+        assert!(!b.uses_gateways());
+        let mut h = BluebirdHostAgent;
+        assert_eq!(
+            h.resolve(SimTime::ZERO, &MappingDb::new(), Vip(1), 0),
+            HostResolution::FirstHopTor
+        );
+    }
+}

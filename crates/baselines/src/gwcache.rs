@@ -1,0 +1,107 @@
+//! GwCache — Sailfish-style caching at the gateway ToR switches only.
+//!
+//! "Local caches are deployed only on the gateway ToRs. Other switches are
+//! not used for caching... unlike the controller-managed cache in Sailfish,
+//! GwCache learns the mappings dynamically in the data plane" (§5).
+
+use sv2p_packet::{Packet, PacketKind, Pip, SwitchTag, Vip};
+use sv2p_topology::{NodeId, SwitchRole};
+use sv2p_vnet::agents::NoopSwitchAgent;
+use sv2p_vnet::{AgentOutput, MisdeliveryPolicy, Strategy, SwitchAgent, SwitchCtx};
+use switchv2p::cache::{Admission, DirectMappedCache};
+
+/// The GwCache baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GwCache;
+
+/// Gateway-ToR agent: destination learning + lookup, admit all.
+#[derive(Debug)]
+struct GwCacheAgent {
+    cache: DirectMappedCache,
+}
+
+impl SwitchAgent for GwCacheAgent {
+    fn on_packet(&mut self, _ctx: &mut SwitchCtx<'_>, pkt: &mut Packet) -> AgentOutput {
+        if !matches!(pkt.kind, PacketKind::Data) {
+            return AgentOutput::forward();
+        }
+        let mut out = AgentOutput::forward();
+        if !pkt.outer.resolved {
+            if let Some((pip, _)) = self.cache.lookup(pkt.inner.dst_vip) {
+                pkt.outer.dst_pip = pip;
+                pkt.outer.resolved = true;
+                out.cache_hit = true;
+            }
+        } else {
+            // Packets leaving the gateways teach the mapping.
+            self.cache
+                .insert(pkt.inner.dst_vip, pkt.outer.dst_pip, Admission::All);
+        }
+        out
+    }
+
+    fn occupancy(&self) -> usize {
+        self.cache.occupancy()
+    }
+
+    fn entries(&self) -> Vec<(Vip, Pip)> {
+        self.cache.entries()
+    }
+}
+
+impl Strategy for GwCache {
+    fn name(&self) -> &'static str {
+        "GwCache"
+    }
+
+    fn caches_at(&self, role: SwitchRole) -> bool {
+        role == SwitchRole::GatewayTor
+    }
+
+    fn make_switch_agent(
+        &self,
+        _node: NodeId,
+        role: SwitchRole,
+        _tag: SwitchTag,
+        lines: usize,
+    ) -> Box<dyn SwitchAgent> {
+        if role == SwitchRole::GatewayTor {
+            Box::new(GwCacheAgent {
+                cache: DirectMappedCache::new(lines),
+            })
+        } else {
+            Box::new(NoopSwitchAgent)
+        }
+    }
+
+    fn misdelivery_policy(&self) -> MisdeliveryPolicy {
+        MisdeliveryPolicy::FollowMe
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_gateway_tors_cache() {
+        let s = GwCache;
+        assert!(s.caches_at(SwitchRole::GatewayTor));
+        for role in [
+            SwitchRole::GatewaySpine,
+            SwitchRole::Tor,
+            SwitchRole::Spine,
+            SwitchRole::Core,
+        ] {
+            assert!(!s.caches_at(role), "{role:?}");
+        }
+    }
+
+    #[test]
+    fn non_gateway_agents_are_noops() {
+        let s = GwCache;
+        let agent = s.make_switch_agent(NodeId(0), SwitchRole::Spine, SwitchTag(0), 100);
+        assert_eq!(agent.occupancy(), 0);
+        assert!(agent.entries().is_empty());
+    }
+}

@@ -1,0 +1,193 @@
+//! Host-driven baselines: Direct (preprogrammed) and OnDemand (first lookup
+//! via the gateway, then immediate host-rule offload).
+
+use sv2p_packet::{Pip, SwitchTag, Vip};
+use sv2p_simcore::SimTime;
+use sv2p_topology::{NodeId, SwitchRole};
+use sv2p_vnet::agents::NoopSwitchAgent;
+use sv2p_vnet::{
+    HostAgent, HostResolution, MappingDb, MisdeliveryPolicy, Strategy, SwitchAgent,
+};
+use std::collections::HashMap;
+
+/// Direct — pure host-driven: every host is preprogrammed with all mappings
+/// (the paper's best-network-performance reference; it "ignores the
+/// overheads of mapping updates", §5).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Direct;
+
+/// Host agent that always resolves from the (pre-installed) full table.
+#[derive(Debug, Default)]
+struct DirectHostAgent;
+
+impl HostAgent for DirectHostAgent {
+    fn resolve(
+        &mut self,
+        _now: SimTime,
+        db: &MappingDb,
+        dst_vip: Vip,
+        _flow_key: u64,
+    ) -> HostResolution {
+        match db.lookup(dst_vip) {
+            Some(pip) => HostResolution::Direct(pip),
+            // An unplaced VIP: fall back to the gateway, which will drop it.
+            None => HostResolution::Gateway,
+        }
+    }
+}
+
+impl Strategy for Direct {
+    fn name(&self) -> &'static str {
+        "Direct"
+    }
+
+    fn caches_at(&self, _role: SwitchRole) -> bool {
+        false
+    }
+
+    fn make_switch_agent(
+        &self,
+        _node: NodeId,
+        _role: SwitchRole,
+        _tag: SwitchTag,
+        _lines: usize,
+    ) -> Box<dyn SwitchAgent> {
+        Box::new(NoopSwitchAgent)
+    }
+
+    fn make_host_agent(&self, _node: NodeId, _pip: Pip) -> Box<dyn HostAgent> {
+        Box::new(DirectHostAgent)
+    }
+
+    fn misdelivery_policy(&self) -> MisdeliveryPolicy {
+        MisdeliveryPolicy::FollowMe
+    }
+
+    fn uses_gateways(&self) -> bool {
+        false
+    }
+}
+
+/// OnDemand — host-driven with a first lookup via the gateway: the first
+/// packet to a destination detours through a gateway while the mapping rule
+/// is immediately offloaded to the sender host (VL2's on-demand lookup, the
+/// Hoverboard model with immediate offloading, Achelous's ALM).
+///
+/// The host rule is *not* refreshed afterwards: after a migration it serves
+/// stale until the (millisecond-scale) control plane catches up, which in
+/// the paper's 1 ms migration window means never (§5.2).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OnDemand;
+
+/// Host agent with an unbounded first-miss-filled cache.
+#[derive(Debug, Default)]
+struct OnDemandHostAgent {
+    cache: HashMap<Vip, Pip>,
+}
+
+impl HostAgent for OnDemandHostAgent {
+    fn resolve(
+        &mut self,
+        _now: SimTime,
+        db: &MappingDb,
+        dst_vip: Vip,
+        _flow_key: u64,
+    ) -> HostResolution {
+        if let Some(&pip) = self.cache.get(&dst_vip) {
+            return HostResolution::Direct(pip);
+        }
+        // Miss: this packet pays the gateway detour; the rule is installed
+        // for everything after it.
+        if let Some(pip) = db.lookup(dst_vip) {
+            self.cache.insert(dst_vip, pip);
+        }
+        HostResolution::Gateway
+    }
+}
+
+impl Strategy for OnDemand {
+    fn name(&self) -> &'static str {
+        "OnDemand"
+    }
+
+    fn caches_at(&self, _role: SwitchRole) -> bool {
+        false
+    }
+
+    fn make_switch_agent(
+        &self,
+        _node: NodeId,
+        _role: SwitchRole,
+        _tag: SwitchTag,
+        _lines: usize,
+    ) -> Box<dyn SwitchAgent> {
+        Box::new(NoopSwitchAgent)
+    }
+
+    fn make_host_agent(&self, _node: NodeId, _pip: Pip) -> Box<dyn HostAgent> {
+        Box::new(OnDemandHostAgent::default())
+    }
+
+    fn misdelivery_policy(&self) -> MisdeliveryPolicy {
+        MisdeliveryPolicy::FollowMe
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> MappingDb {
+        let mut db = MappingDb::new();
+        db.insert(Vip(1), Pip(10));
+        db
+    }
+
+    #[test]
+    fn direct_always_resolves_locally() {
+        let db = db();
+        let mut agent = DirectHostAgent;
+        for _ in 0..3 {
+            assert_eq!(
+                agent.resolve(SimTime::ZERO, &db, Vip(1), 0),
+                HostResolution::Direct(Pip(10))
+            );
+        }
+        assert_eq!(
+            agent.resolve(SimTime::ZERO, &db, Vip(99), 0),
+            HostResolution::Gateway
+        );
+    }
+
+    #[test]
+    fn ondemand_first_miss_then_direct() {
+        let mut db = db();
+        let mut agent = OnDemandHostAgent::default();
+        assert_eq!(
+            agent.resolve(SimTime::ZERO, &db, Vip(1), 0),
+            HostResolution::Gateway,
+            "first packet detours"
+        );
+        assert_eq!(
+            agent.resolve(SimTime::ZERO, &db, Vip(1), 0),
+            HostResolution::Direct(Pip(10)),
+            "subsequent packets go direct"
+        );
+        // The rule is NOT refreshed on migration: stays stale.
+        db.migrate(Vip(1), Pip(20));
+        assert_eq!(
+            agent.resolve(SimTime::ZERO, &db, Vip(1), 0),
+            HostResolution::Direct(Pip(10)),
+            "stale rule after migration"
+        );
+    }
+
+    #[test]
+    fn strategy_wiring() {
+        assert_eq!(Direct.name(), "Direct");
+        assert!(!Direct.uses_gateways());
+        assert_eq!(OnDemand.name(), "OnDemand");
+        assert!(OnDemand.uses_gateways());
+        assert_eq!(OnDemand.misdelivery_policy(), MisdeliveryPolicy::FollowMe);
+    }
+}

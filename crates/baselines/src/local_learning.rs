@@ -1,0 +1,161 @@
+//! LocalLearning — the §3.1 strawman: every switch destination-learns and
+//! admits everything, with purely local greedy decisions. No learning
+//! packets, no spillover, no promotion, no role awareness.
+
+use sv2p_packet::{Packet, PacketKind, Pip, SwitchTag, Vip};
+use sv2p_topology::{NodeId, SwitchRole};
+use sv2p_vnet::{AgentOutput, MisdeliveryPolicy, Strategy, SwitchAgent, SwitchCtx};
+use switchv2p::cache::{Admission, DirectMappedCache};
+
+/// The LocalLearning baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LocalLearning;
+
+/// Per-switch agent: lookup + unconditional destination learning.
+#[derive(Debug)]
+pub struct LocalLearningAgent {
+    cache: DirectMappedCache,
+}
+
+impl SwitchAgent for LocalLearningAgent {
+    fn on_packet(&mut self, _ctx: &mut SwitchCtx<'_>, pkt: &mut Packet) -> AgentOutput {
+        if !matches!(pkt.kind, PacketKind::Data) {
+            return AgentOutput::forward();
+        }
+        let mut out = AgentOutput::forward();
+        if !pkt.outer.resolved {
+            if let Some((pip, _)) = self.cache.lookup(pkt.inner.dst_vip) {
+                pkt.outer.dst_pip = pip;
+                pkt.outer.resolved = true;
+                out.cache_hit = true;
+            }
+        }
+        if pkt.outer.resolved {
+            // Local greedy destination learning, admit all (§3.1).
+            self.cache
+                .insert(pkt.inner.dst_vip, pkt.outer.dst_pip, Admission::All);
+        }
+        out
+    }
+
+    fn occupancy(&self) -> usize {
+        self.cache.occupancy()
+    }
+
+    fn entries(&self) -> Vec<(Vip, Pip)> {
+        self.cache.entries()
+    }
+}
+
+impl Strategy for LocalLearning {
+    fn name(&self) -> &'static str {
+        "LocalLearning"
+    }
+
+    fn caches_at(&self, _role: SwitchRole) -> bool {
+        true
+    }
+
+    fn make_switch_agent(
+        &self,
+        _node: NodeId,
+        _role: SwitchRole,
+        _tag: SwitchTag,
+        lines: usize,
+    ) -> Box<dyn SwitchAgent> {
+        Box::new(LocalLearningAgent {
+            cache: DirectMappedCache::new(lines),
+        })
+    }
+
+    fn misdelivery_policy(&self) -> MisdeliveryPolicy {
+        MisdeliveryPolicy::FollowMe
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sv2p_packet::packet::Protocol;
+    use sv2p_packet::{
+        FlowId, InnerHeader, OuterHeader, PacketId, TcpFlags, TunnelOptions,
+    };
+    use sv2p_simcore::{SimDuration, SimRng, SimTime};
+    use sv2p_vnet::MappingDb;
+
+    fn ctx<'a>(db: &'a MappingDb, rng: &'a mut SimRng) -> SwitchCtx<'a> {
+        SwitchCtx {
+            now: SimTime::ZERO,
+            node: NodeId(0),
+            tag: SwitchTag(0),
+            switch_pip: Pip(9999),
+            role: SwitchRole::Spine,
+            my_pod: Some(0),
+            ingress_host: None,
+            dst_attached: false,
+            db,
+            rng,
+            base_rtt: SimDuration::from_micros(12),
+            pod_of: &|_| None,
+            pip_of_tag: &|_| Pip(0),
+        }
+    }
+
+    fn pkt(dst_vip: u32, dst_pip: u32, resolved: bool) -> Packet {
+        Packet {
+            id: PacketId(0),
+            flow: FlowId(0),
+            kind: PacketKind::Data,
+            outer: OuterHeader {
+                src_pip: Pip(1),
+                dst_pip: Pip(dst_pip),
+                resolved,
+            },
+            inner: InnerHeader {
+                src_vip: Vip(100),
+                dst_vip: Vip(dst_vip),
+                src_port: 1,
+                dst_port: 2,
+                protocol: Protocol::Tcp,
+                seq: 0,
+                ack: 0,
+                flags: TcpFlags::default(),
+            },
+            opts: TunnelOptions::default(),
+            payload: 10,
+            switch_hops: 0,
+            sent_ns: 0,
+            first_of_flow: false,
+            visited_gateway: false,
+        }
+    }
+
+    #[test]
+    fn learns_from_resolved_then_serves() {
+        let db = MappingDb::new();
+        let mut rng = SimRng::new(1);
+        let s = LocalLearning;
+        let mut agent = s.make_switch_agent(NodeId(0), SwitchRole::Spine, SwitchTag(0), 8);
+        // Resolved packet teaches the mapping.
+        let mut p1 = pkt(5, 50, true);
+        let out = agent.on_packet(&mut ctx(&db, &mut rng), &mut p1);
+        assert!(!out.cache_hit);
+        // Unresolved packet for the same VIP now hits.
+        let mut p2 = pkt(5, 999, false);
+        let out = agent.on_packet(&mut ctx(&db, &mut rng), &mut p2);
+        assert!(out.cache_hit);
+        assert_eq!(p2.outer.dst_pip, Pip(50));
+        assert!(p2.outer.resolved);
+    }
+
+    #[test]
+    fn unresolved_miss_learns_nothing() {
+        let db = MappingDb::new();
+        let mut rng = SimRng::new(1);
+        let s = LocalLearning;
+        let mut agent = s.make_switch_agent(NodeId(0), SwitchRole::Tor, SwitchTag(0), 8);
+        let mut p = pkt(5, 999, false);
+        agent.on_packet(&mut ctx(&db, &mut rng), &mut p);
+        assert_eq!(agent.occupancy(), 0);
+    }
+}

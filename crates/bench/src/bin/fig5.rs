@@ -1,0 +1,69 @@
+//! Figure 5: hit rate, average FCT improvement, and first-packet latency
+//! improvement (normalized by NoCache) on FT8-10K, as a function of the
+//! aggregate cache size — one panel triple per dataset.
+//!
+//! ```sh
+//! cargo run --release -p sv2p-bench --bin fig5 -- hadoop        # 5a
+//! cargo run --release -p sv2p-bench --bin fig5 -- microbursts   # 5b
+//! cargo run --release -p sv2p-bench --bin fig5 -- websearch    # 5c
+//! cargo run --release -p sv2p-bench --bin fig5 -- video        # 5d
+//! cargo run --release -p sv2p-bench --bin fig5 -- all [--full]
+//! ```
+
+use sv2p_bench::harness::{print_figure5_panels, sweep, ExperimentSpec, StrategyKind};
+use sv2p_bench::Scale;
+use sv2p_traces::{hadoop, microbursts, video, websearch};
+
+fn run_dataset(name: &str, scale: Scale) {
+    let flows = match name {
+        "hadoop" => hadoop(&scale.hadoop()),
+        "websearch" => websearch(&scale.websearch()),
+        "microbursts" => microbursts(&scale.microbursts()),
+        "video" => video(&scale.video()),
+        other => {
+            eprintln!("unknown dataset {other}");
+            std::process::exit(2);
+        }
+    };
+    let figure = match name {
+        "hadoop" => "Figure 5a (Hadoop)",
+        "microbursts" => "Figure 5b (Microbursts)",
+        "websearch" => "Figure 5c (WebSearch)",
+        _ => "Figure 5d (Video)",
+    };
+    let base = ExperimentSpec {
+        topology: scale.ft8(),
+        vms_per_server: 80,
+        flows,
+        strategy: StrategyKind::NoCache,
+        cache_entries: 0,
+        migrations: vec![],
+        end_of_time_us: None,
+        seed: 1,
+    };
+    let fracs = scale.cache_fracs();
+    let rows = sweep(
+        &base,
+        &StrategyKind::figure5_set(),
+        &fracs,
+        scale.active_addresses(name),
+    );
+    print_figure5_panels(figure, &rows, &fracs);
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let dataset = std::env::args()
+        .nth(1)
+        .filter(|a| a != "--full")
+        .unwrap_or_else(|| "all".to_string());
+    match dataset.as_str() {
+        "all" => {
+            for d in ["hadoop", "microbursts", "websearch", "video"] {
+                run_dataset(d, scale);
+                println!();
+            }
+        }
+        d => run_dataset(d, scale),
+    }
+}

@@ -1,0 +1,34 @@
+//! Figure 6: the Alibaba microservice trace on FT16-400K — hit rate, FCT
+//! improvement, and first-packet improvement vs cache size.
+//!
+//! ```sh
+//! cargo run --release -p sv2p-bench --bin fig6 [-- --full]
+//! ```
+
+use sv2p_bench::harness::{print_figure5_panels, sweep, ExperimentSpec, StrategyKind};
+use sv2p_bench::Scale;
+use sv2p_traces::alibaba;
+
+fn main() {
+    let scale = Scale::from_args();
+    let (topology, ali_cfg, vms_per_server) = scale.alibaba();
+    let flows = alibaba(&ali_cfg);
+    let base = ExperimentSpec {
+        topology,
+        vms_per_server,
+        flows,
+        strategy: StrategyKind::NoCache,
+        cache_entries: 0,
+        migrations: vec![],
+        end_of_time_us: None,
+        seed: 1,
+    };
+    let fracs = scale.cache_fracs();
+    let rows = sweep(
+        &base,
+        &StrategyKind::figure5_set(),
+        &fracs,
+        scale.active_addresses("alibaba"),
+    );
+    print_figure5_panels("Figure 6 (Alibaba, FT16-400K)", &rows, &fracs);
+}

@@ -1,0 +1,38 @@
+//! Table 6: the average per-stage resource utilization of the SwitchV2P P4
+//! program at a 50% cache size, from the analytical Tofino model
+//! (see `sv2p-p4model` and DESIGN.md §4 for the substitution).
+//!
+//! ```sh
+//! cargo run --release -p sv2p-bench --bin table6
+//! ```
+
+use sv2p_p4model::SwitchV2PProgram;
+
+fn main() {
+    // 50% of FT8-10K's 10 240 addresses over 80 switches = 64 lines/switch.
+    let lines = 10_240 / 2 / 80;
+    let program = SwitchV2PProgram::new(lines as u64);
+    println!("Table 6: average per-stage resource utilization (cache 50%)\n");
+    println!("{:<18} {:>11}", "Resource", "Utilization");
+    for (name, pct) in program.table() {
+        println!("{name:<18} {pct:>10.1}%");
+    }
+    println!(
+        "\nPHV usage (whole pipeline): {:.1}%",
+        program.utilization().phv
+    );
+    println!("fits Tofino: {}", program.fits());
+
+    println!("\nScaling check — only SRAM and hash bits grow with cache size:");
+    println!(
+        "{:>12} {:>8} {:>8} {:>8} {:>8}",
+        "lines/switch", "SRAM", "hash", "meter", "VLIW"
+    );
+    for lines in [64u64, 1024, 16 * 1024, 192 * 1024] {
+        let u = SwitchV2PProgram::new(lines).utilization();
+        println!(
+            "{:>12} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}%",
+            lines, u.sram, u.hash_bits, u.meter_alu, u.vliw
+        );
+    }
+}

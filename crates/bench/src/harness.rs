@@ -1,0 +1,428 @@
+//! Shared experiment machinery.
+
+use sv2p_metrics::RunSummary;
+use sv2p_netsim::{FlowKind, FlowSpec, SimConfig, Simulation};
+use sv2p_simcore::{SimDuration, SimTime};
+use sv2p_topology::FatTreeConfig;
+use sv2p_traces::{FlowProfile, TraceFlow};
+use sv2p_transport::UdpSchedule;
+use sv2p_vnet::{Migration, Strategy};
+use switchv2p::{SwitchV2P, SwitchV2PConfig};
+
+use sv2p_baselines::{Bluebird, Controller, Direct, GwCache, LocalLearning, NoCache, OnDemand};
+
+/// Which translation scheme to run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StrategyKind {
+    /// Pure gateway (baseline of every improvement factor).
+    NoCache,
+    /// §3.1 strawman.
+    LocalLearning,
+    /// Sailfish-style gateway-ToR caches.
+    GwCache,
+    /// Bluebird route caches.
+    Bluebird,
+    /// VL2/Hoverboard immediate host offload.
+    OnDemand,
+    /// Preprogrammed host-driven.
+    Direct,
+    /// Centralized ILP allocation (driven externally).
+    Controller,
+    /// The paper's system.
+    SwitchV2P,
+    /// SwitchV2P with a custom protocol configuration (ablations).
+    SwitchV2PWith(SwitchV2PConfig),
+}
+
+impl StrategyKind {
+    /// Instantiates the strategy.
+    pub fn build(self) -> Box<dyn Strategy> {
+        match self {
+            StrategyKind::NoCache => Box::new(NoCache),
+            StrategyKind::LocalLearning => Box::new(LocalLearning),
+            StrategyKind::GwCache => Box::new(GwCache),
+            StrategyKind::Bluebird => Box::new(Bluebird::default()),
+            StrategyKind::OnDemand => Box::new(OnDemand),
+            StrategyKind::Direct => Box::new(Direct),
+            StrategyKind::Controller => Box::new(Controller),
+            StrategyKind::SwitchV2P => Box::new(SwitchV2P::default()),
+            StrategyKind::SwitchV2PWith(cfg) => Box::new(SwitchV2P::new(cfg)),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StrategyKind::NoCache => "NoCache",
+            StrategyKind::LocalLearning => "LocalLearning",
+            StrategyKind::GwCache => "GwCache",
+            StrategyKind::Bluebird => "Bluebird",
+            StrategyKind::OnDemand => "OnDemand",
+            StrategyKind::Direct => "Direct",
+            StrategyKind::Controller => "Controller",
+            StrategyKind::SwitchV2P | StrategyKind::SwitchV2PWith(_) => "SwitchV2P",
+        }
+    }
+
+    /// True if the scheme's behavior depends on the cache-size axis
+    /// (cache-free baselines are run once per sweep).
+    pub fn cache_sensitive(self) -> bool {
+        !matches!(
+            self,
+            StrategyKind::NoCache | StrategyKind::OnDemand | StrategyKind::Direct
+        )
+    }
+
+    /// The §5.1 comparison set (Figures 5–6).
+    pub fn figure5_set() -> Vec<StrategyKind> {
+        vec![
+            StrategyKind::NoCache,
+            StrategyKind::LocalLearning,
+            StrategyKind::GwCache,
+            StrategyKind::Bluebird,
+            StrategyKind::OnDemand,
+            StrategyKind::Direct,
+            StrategyKind::SwitchV2P,
+        ]
+    }
+}
+
+/// One experiment to run.
+#[derive(Debug, Clone)]
+pub struct ExperimentSpec {
+    /// Topology.
+    pub topology: FatTreeConfig,
+    /// VMs per server.
+    pub vms_per_server: u32,
+    /// The workload.
+    pub flows: Vec<TraceFlow>,
+    /// Scheme under test.
+    pub strategy: StrategyKind,
+    /// Aggregate cache entries across all caching switches.
+    pub cache_entries: usize,
+    /// Migrations to apply (VM index, time µs, "move to last server").
+    pub migrations: Vec<(usize, u64)>,
+    /// Hard simulation-time stop in µs (guards overload configurations
+    /// where TCP would retry for a very long simulated time).
+    pub end_of_time_us: Option<u64>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ExperimentSpec {
+    /// Builds the simulator and loads the workload.
+    pub fn build(&self) -> Simulation {
+        let strategy = self.strategy.build();
+        let cfg = SimConfig {
+            seed: self.seed,
+            end_of_time: self.end_of_time_us.map(SimTime::from_micros),
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(
+            cfg,
+            &self.topology,
+            strategy.as_ref(),
+            self.cache_entries,
+            self.vms_per_server,
+        );
+        let n_vms = sim.placement.len();
+        sim.add_flows(to_flow_specs(&self.flows, n_vms));
+        for &(vm, at_us) in &self.migrations {
+            let vip = sim.placement.vips[vm];
+            let target = sim
+                .topology()
+                .servers()
+                .last()
+                .map(|n| (n.id, n.pip))
+                .expect("servers exist");
+            sim.add_migration(Migration::new(
+                SimTime::from_micros(at_us),
+                vip,
+                target.0,
+                target.1,
+            ));
+        }
+        sim
+    }
+}
+
+/// Converts trace flows to simulator flow specs, wrapping VM indices into
+/// the placement size (traces generated for a larger pool replay fine on a
+/// smaller instance).
+pub fn to_flow_specs(flows: &[TraceFlow], n_vms: usize) -> Vec<FlowSpec> {
+    flows
+        .iter()
+        .filter_map(|f| {
+            let src = f.src_vm % n_vms;
+            let dst = f.dst_vm % n_vms;
+            if src == dst {
+                return None;
+            }
+            let start = SimTime::from_nanos(f.start_ns);
+            let kind = match f.profile {
+                FlowProfile::Tcp { bytes } => FlowKind::Tcp { bytes },
+                FlowProfile::UdpCbr {
+                    rate_bps,
+                    duration_ns,
+                    payload,
+                } => FlowKind::Udp {
+                    schedule: UdpSchedule::cbr(
+                        start,
+                        SimDuration::from_nanos(duration_ns),
+                        rate_bps,
+                        payload,
+                    ),
+                },
+                FlowProfile::UdpBurst { count, payload } => FlowKind::Udp {
+                    schedule: UdpSchedule::burst(start, count, payload, 100_000_000_000),
+                },
+            };
+            Some(FlowSpec {
+                src_vm: src,
+                dst_vm: dst,
+                start,
+                kind,
+            })
+        })
+        .collect()
+}
+
+/// Runs one experiment to completion.
+pub fn run_spec(spec: &ExperimentSpec) -> RunSummary {
+    let mut sim = spec.build();
+    sim.run();
+    sim.summary()
+}
+
+/// One output row of a figure: scheme × cache size with the three panels
+/// (hit rate, FCT improvement, first-packet improvement vs NoCache).
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Scheme name.
+    pub scheme: &'static str,
+    /// Cache size as a fraction of the active address space.
+    pub cache_frac: f64,
+    /// The run's summary.
+    pub summary: RunSummary,
+}
+
+/// Runs the Figure-5-style sweep: `strategies × cache_fracs`, reusing a
+/// single run for cache-insensitive baselines. `active_addresses` converts
+/// fractions to entry counts. Runs fan out over threads (bounded by
+/// available parallelism).
+pub fn sweep(
+    base: &ExperimentSpec,
+    strategies: &[StrategyKind],
+    cache_fracs: &[f64],
+    active_addresses: usize,
+) -> Vec<Row> {
+    // Materialize the distinct (strategy, frac, entries) jobs.
+    let mut jobs: Vec<(StrategyKind, f64, usize)> = Vec::new();
+    for &s in strategies {
+        if s.cache_sensitive() {
+            for &f in cache_fracs {
+                let entries = ((f * active_addresses as f64).round() as usize).max(1);
+                jobs.push((s, f, entries));
+            }
+        } else {
+            jobs.push((s, 0.0, 0));
+        }
+    }
+
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(jobs.len().max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Vec<parking_lot::Mutex<Option<Row>>> =
+        (0..jobs.len()).map(|_| parking_lot::Mutex::new(None)).collect();
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let (strategy, frac, entries) = jobs[i];
+                let spec = ExperimentSpec {
+                    strategy,
+                    cache_entries: entries,
+                    ..base.clone()
+                };
+                let summary = run_spec(&spec);
+                *results[i].lock() = Some(Row {
+                    scheme: strategy.name(),
+                    cache_frac: frac,
+                    summary,
+                });
+            });
+        }
+    })
+    .expect("sweep threads");
+
+    let rows: Vec<Row> = results
+        .into_iter()
+        .map(|r| r.into_inner().expect("job ran"))
+        .collect();
+
+    // Expand cache-insensitive runs to every requested fraction so tables
+    // are rectangular.
+    let mut expanded = Vec::new();
+    for row in rows {
+        let kind = strategies
+            .iter()
+            .copied()
+            .find(|s| s.name() == row.scheme)
+            .expect("known scheme");
+        if kind.cache_sensitive() {
+            expanded.push(row);
+        } else {
+            for &f in cache_fracs {
+                expanded.push(Row {
+                    cache_frac: f,
+                    ..row.clone()
+                });
+            }
+        }
+    }
+    expanded
+}
+
+/// Prints the three Figure-5 panels (hit rate, FCT improvement ×,
+/// first-packet improvement ×) normalized by NoCache.
+pub fn print_figure5_panels(title: &str, rows: &[Row], cache_fracs: &[f64]) {
+    let nocache = rows
+        .iter()
+        .find(|r| r.scheme == "NoCache")
+        .expect("NoCache row present");
+    let base_fct = nocache.summary.avg_fct_us;
+    let base_first = nocache.summary.avg_first_packet_latency_us;
+
+    let mut schemes: Vec<&'static str> = Vec::new();
+    for r in rows {
+        if !schemes.contains(&r.scheme) {
+            schemes.push(r.scheme);
+        }
+    }
+
+    let cell = |scheme: &str, frac: f64| -> Option<&Row> {
+        rows.iter()
+            .find(|r| r.scheme == scheme && (r.cache_frac - frac).abs() < 1e-12)
+    };
+
+    for (panel, f) in [
+        (
+            "hit rate (fraction of packets not reaching gateways)",
+            Box::new(|r: &Row| format!("{:.3}", r.summary.hit_rate))
+                as Box<dyn Fn(&Row) -> String>,
+        ),
+        (
+            "avg FCT improvement over NoCache (x)",
+            Box::new(move |r: &Row| format!("{:.2}", base_fct / r.summary.avg_fct_us.max(1e-9))),
+        ),
+        (
+            "first-packet latency improvement over NoCache (x)",
+            Box::new(move |r: &Row| {
+                format!(
+                    "{:.2}",
+                    base_first / r.summary.avg_first_packet_latency_us.max(1e-9)
+                )
+            }),
+        ),
+    ] {
+        println!("\n{title} — {panel}");
+        print!("{:<14}", "cache size");
+        for &frac in cache_fracs {
+            print!("{:>10}", format!("{}%", (frac * 100.0).round()));
+        }
+        println!();
+        for scheme in &schemes {
+            print!("{scheme:<14}");
+            for &frac in cache_fracs {
+                match cell(scheme, frac) {
+                    Some(r) => print!("{:>10}", f(r)),
+                    None => print!("{:>10}", "-"),
+                }
+            }
+            println!();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sv2p_traces::{hadoop, HadoopConfig};
+
+    fn tiny_spec(strategy: StrategyKind, cache: usize) -> ExperimentSpec {
+        ExperimentSpec {
+            topology: FatTreeConfig::scaled_ft8(2),
+            vms_per_server: 2,
+            flows: hadoop(&HadoopConfig {
+                vms: 256,
+                flows: 200,
+                hosts: 128,
+                ..Default::default()
+            }),
+            strategy,
+            cache_entries: cache,
+            migrations: vec![],
+            end_of_time_us: None,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn run_spec_completes_flows() {
+        let s = run_spec(&tiny_spec(StrategyKind::SwitchV2P, 128));
+        assert_eq!(s.flows, s.flows_completed);
+        assert!(s.hit_rate > 0.0);
+    }
+
+    #[test]
+    fn sweep_is_rectangular_and_reuses_baselines() {
+        let base = tiny_spec(StrategyKind::NoCache, 0);
+        let fracs = [0.1, 0.5];
+        let rows = sweep(
+            &base,
+            &[
+                StrategyKind::NoCache,
+                StrategyKind::SwitchV2P,
+                StrategyKind::Direct,
+            ],
+            &fracs,
+            256,
+        );
+        assert_eq!(rows.len(), 3 * fracs.len());
+        // NoCache rows are the same run duplicated across fractions.
+        let nc: Vec<&Row> = rows.iter().filter(|r| r.scheme == "NoCache").collect();
+        assert_eq!(nc.len(), 2);
+        assert_eq!(nc[0].summary.avg_fct_us, nc[1].summary.avg_fct_us);
+        // SwitchV2P rows differ by cache size.
+        let sv: Vec<&Row> = rows.iter().filter(|r| r.scheme == "SwitchV2P").collect();
+        assert_eq!(sv.len(), 2);
+    }
+
+    #[test]
+    fn to_flow_specs_wraps_and_drops_self_flows() {
+        let flows = vec![
+            TraceFlow {
+                src_vm: 300,
+                dst_vm: 5,
+                start_ns: 10,
+                profile: FlowProfile::Tcp { bytes: 100 },
+            },
+            TraceFlow {
+                src_vm: 7,
+                dst_vm: 263, // 263 % 256 == 7 → self flow, dropped
+                start_ns: 20,
+                profile: FlowProfile::Tcp { bytes: 100 },
+            },
+        ];
+        let specs = to_flow_specs(&flows, 256);
+        assert_eq!(specs.len(), 1);
+        assert_eq!(specs[0].src_vm, 44);
+        assert_eq!(specs[0].dst_vm, 5);
+    }
+}

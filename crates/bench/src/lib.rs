@@ -1,0 +1,21 @@
+//! Experiment harness: regenerates every table and figure of the SwitchV2P
+//! evaluation (§5).
+//!
+//! Each figure/table has a binary under `src/bin/` (see DESIGN.md's
+//! experiment index); the shared machinery lives here:
+//!
+//! * [`harness`] — experiment specs, trace → simulator conversion, strategy
+//!   registry, parallel sweeps, improvement-factor normalization;
+//! * [`scale`] — "quick" (single-core-friendly) and "full" (paper-scale)
+//!   parameter sets; every binary takes `--full` and per-knob overrides.
+//!
+//! Criterion micro-benchmarks of the primitives are under `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod scale;
+
+pub use harness::{run_spec, sweep, ExperimentSpec, Row, StrategyKind};
+pub use scale::Scale;

@@ -1,0 +1,816 @@
+//! The per-switch SwitchV2P protocol state machine (paper §3.2–§3.3).
+//!
+//! One agent instance runs in every switch. On each packet it applies, in
+//! order:
+//!
+//! 1. **Misdelivery tagging** (ToRs): an unresolved packet forwarded up by an
+//!    attached host that is not its original sender was delivered to a stale
+//!    location. The ToR tags it (vip, stale pip), invalidates locally, and —
+//!    if the packet carries the hit-switch identifier of the cache that
+//!    served the stale entry — emits a targeted invalidation packet, subject
+//!    to the timestamp vector's one-RTT suppression.
+//! 2. **Tag-driven invalidation** (all switches): a riding misdelivery tag
+//!    invalidates a matching stale entry; a *newer* local mapping survives
+//!    and may still serve the packet.
+//! 3. **Lookup** (all switches with cache): unresolved packets are
+//!    translated on a hit; the switch writes its identifier into the packet
+//!    and, for spines, may attach a *promotion* if the entry was already hot
+//!    and the packet leaves the pod.
+//! 4. **Promotion pickup** (cores): cores admit promoted entries if the
+//!    resident line is cold.
+//! 5. **Spillover pickup** (all): an entry evicted upstream is re-inserted
+//!    here if admission allows.
+//! 6. **Learning** (role-dependent, Table 1): gateway ToRs learn
+//!    destinations and coin-flip learning packets toward the sender's ToR;
+//!    ToRs learn sources and absorb learning packets; spines (and gateway
+//!    spines) learn destinations under the access-bit-clear policy; cores
+//!    learn only from promotions. Insertions that evict a live entry attach
+//!    it as spillover.
+
+use std::collections::HashMap;
+
+use sv2p_packet::packet::Protocol;
+use sv2p_packet::{
+    InnerHeader, MappingOption, MisdeliveryTag, OuterHeader, Packet, PacketId, PacketKind, Pip,
+    SwitchTag, TcpFlags, TunnelOptions, Vip,
+};
+use sv2p_simcore::SimTime;
+use sv2p_topology::SwitchRole;
+use sv2p_vnet::{AgentOutput, SwitchAgent, SwitchCtx};
+
+use crate::cache::{Admission, DirectMappedCache, InsertOutcome};
+use crate::config::{InvalidationMode, SwitchV2PConfig};
+
+/// SwitchV2P behavior for one switch.
+#[derive(Debug)]
+pub struct SwitchV2PAgent {
+    role: SwitchRole,
+    cfg: SwitchV2PConfig,
+    /// The in-switch mapping cache.
+    pub cache: DirectMappedCache,
+    /// ToRs' timestamp vector: last invalidation-packet send per target.
+    ts_vector: HashMap<SwitchTag, SimTime>,
+    /// Learning packets generated (gateway ToRs).
+    pub learning_packets_sent: u64,
+    /// Invalidation packets generated (ToRs).
+    pub invalidations_sent: u64,
+    /// Invalidation packets suppressed by the timestamp vector.
+    pub invalidations_suppressed: u64,
+}
+
+impl SwitchV2PAgent {
+    /// An agent for a switch of `role` with `lines` cache lines.
+    pub fn new(role: SwitchRole, lines: usize, cfg: SwitchV2PConfig) -> Self {
+        SwitchV2PAgent {
+            role,
+            cfg,
+            cache: DirectMappedCache::new(lines),
+            ts_vector: HashMap::new(),
+            learning_packets_sent: 0,
+            invalidations_sent: 0,
+            invalidations_suppressed: 0,
+        }
+    }
+
+    fn admission(&self) -> Admission {
+        match self.role {
+            SwitchRole::Tor | SwitchRole::GatewayTor => Admission::All,
+            SwitchRole::Spine | SwitchRole::GatewaySpine | SwitchRole::Core => {
+                Admission::AbitClear
+            }
+        }
+    }
+
+    fn is_tor(&self) -> bool {
+        matches!(self.role, SwitchRole::Tor | SwitchRole::GatewayTor)
+    }
+
+    /// Inserts and, on a live eviction, attaches the evictee as spillover if
+    /// the packet's slot is free (§3.2.2 "Cache spillover").
+    fn insert_with_spill(
+        &mut self,
+        vip: Vip,
+        pip: Pip,
+        admission: Admission,
+        pkt: &mut Packet,
+    ) -> InsertOutcome {
+        let outcome = self.cache.insert(vip, pip, admission);
+        if let InsertOutcome::Evicted {
+            vip: evip,
+            pip: epip,
+            abit,
+        } = outcome
+        {
+            let worth_keeping = !self.cfg.spill_only_active || abit;
+            if self.cfg.spillover && worth_keeping && pkt.opts.spillover.is_none() {
+                pkt.opts.spillover = Some(MappingOption {
+                    vip: evip,
+                    pip: epip,
+                });
+            }
+        }
+        outcome
+    }
+
+    fn make_learning_packet(&self, ctx: &SwitchCtx<'_>, m: MappingOption, to: Pip) -> Packet {
+        protocol_packet(PacketKind::Learning(m), ctx.switch_pip, to, m.vip)
+    }
+
+    fn make_invalidation_packet(
+        &self,
+        ctx: &SwitchCtx<'_>,
+        tag: MisdeliveryTag,
+        to: Pip,
+    ) -> Packet {
+        protocol_packet(PacketKind::Invalidation(tag), ctx.switch_pip, to, tag.vip)
+    }
+
+    fn handle_data(&mut self, ctx: &mut SwitchCtx<'_>, pkt: &mut Packet) -> AgentOutput {
+        let mut out = AgentOutput::forward();
+        let dst_vip = pkt.inner.dst_vip;
+
+        // 1. Misdelivery tagging at ToRs (§3.3).
+        if self.is_tor() && !pkt.outer.resolved {
+            if let Some(host_pip) = ctx.ingress_host {
+                if host_pip != pkt.outer.src_pip && pkt.opts.misdelivery.is_none() {
+                    let tag = MisdeliveryTag {
+                        vip: dst_vip,
+                        stale_pip: host_pip,
+                    };
+                    pkt.opts.misdelivery = Some(tag);
+                    self.cache.invalidate(dst_vip, Some(host_pip));
+                    if self.cfg.invalidation != InvalidationMode::None {
+                        if let Some(culprit) = pkt.opts.hit_switch.take() {
+                            let allowed = match self.cfg.invalidation {
+                                InvalidationMode::NoTimestampVector => true,
+                                InvalidationMode::TimestampVector => {
+                                    let last = self.ts_vector.get(&culprit).copied();
+                                    match last {
+                                        Some(t)
+                                            if ctx.now.saturating_since(t) < ctx.base_rtt =>
+                                        {
+                                            false
+                                        }
+                                        _ => {
+                                            self.ts_vector.insert(culprit, ctx.now);
+                                            true
+                                        }
+                                    }
+                                }
+                                InvalidationMode::None => unreachable!(),
+                            };
+                            if allowed {
+                                let to = (ctx.pip_of_tag)(culprit);
+                                out.emit.push(self.make_invalidation_packet(ctx, tag, to));
+                                self.invalidations_sent += 1;
+                            } else {
+                                self.invalidations_suppressed += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // 2. Tag-driven invalidation en route.
+        if let Some(tag) = pkt.opts.misdelivery {
+            self.cache.invalidate(tag.vip, Some(tag.stale_pip));
+        }
+
+        // 3. Lookup.
+        if !pkt.outer.resolved {
+            if let Some((pip, was_hot)) = self.cache.lookup(dst_vip) {
+                // Never re-serve the value the tag just told us is stale
+                // (invalidation above removed it, but a *different* stale
+                // value could still be the tag's pip after two migrations).
+                let tag_stale = pkt
+                    .opts
+                    .misdelivery
+                    .is_some_and(|t| t.vip == dst_vip && t.stale_pip == pip);
+                if !tag_stale {
+                    // Promotion (§3.2.2): only plain spines, only for
+                    // already-hot entries, only when the packet leaves the
+                    // pod.
+                    if self.role == SwitchRole::Spine
+                        && self.cfg.promotion
+                        && was_hot
+                        && pkt.opts.promotion.is_none()
+                    {
+                        let dst_pod = (ctx.pod_of)(pip);
+                        if dst_pod != ctx.my_pod {
+                            pkt.opts.promotion = Some(MappingOption { vip: dst_vip, pip });
+                        }
+                    }
+                    pkt.outer.dst_pip = pip;
+                    pkt.outer.resolved = true;
+                    pkt.opts.hit_switch = Some(ctx.tag);
+                    out.cache_hit = true;
+                }
+            }
+        }
+
+        // 4. Promotion pickup at cores.
+        if self.role == SwitchRole::Core {
+            if let Some(m) = pkt.opts.promotion {
+                match self.cache.insert(m.vip, m.pip, Admission::AbitClear) {
+                    InsertOutcome::Inserted | InsertOutcome::Evicted { .. } => {
+                        pkt.opts.promotion = None;
+                        out.promotion_inserted = true;
+                    }
+                    InsertOutcome::Updated => {
+                        pkt.opts.promotion = None;
+                    }
+                    InsertOutcome::Rejected => {}
+                }
+            }
+        }
+
+        // 5. Spillover pickup (entries evicted by an upstream switch).
+        if self.cfg.spillover {
+            if let Some(m) = pkt.opts.spillover {
+                match self.cache.insert(m.vip, m.pip, self.admission()) {
+                    InsertOutcome::Inserted | InsertOutcome::Evicted { .. } => {
+                        // Note: accepting a spill may itself evict; that
+                        // evictee is not re-spilled (the slot is in use) —
+                        // chains stop here, bounding header growth.
+                        pkt.opts.spillover = None;
+                        out.spill_inserted = true;
+                    }
+                    InsertOutcome::Updated => {
+                        pkt.opts.spillover = None;
+                    }
+                    InsertOutcome::Rejected => {}
+                }
+            }
+        }
+
+        // 6. Role-based learning (Table 1).
+        match self.role {
+            SwitchRole::GatewayTor => {
+                if pkt.outer.resolved {
+                    self.insert_with_spill(dst_vip, pkt.outer.dst_pip, Admission::All, pkt);
+                    if self.cfg.learning_packets && ctx.rng.chance(self.cfg.p_learn) {
+                        let m = MappingOption {
+                            vip: dst_vip,
+                            pip: pkt.outer.dst_pip,
+                        };
+                        let to = pkt.outer.src_pip;
+                        out.emit.push(self.make_learning_packet(ctx, m, to));
+                        self.learning_packets_sent += 1;
+                    }
+                }
+            }
+            SwitchRole::Tor => {
+                // Source learning: the sender's own mapping, useful when the
+                // rack's receivers reply.
+                self.insert_with_spill(
+                    pkt.inner.src_vip,
+                    pkt.outer.src_pip,
+                    Admission::All,
+                    pkt,
+                );
+            }
+            SwitchRole::Spine | SwitchRole::GatewaySpine => {
+                if pkt.outer.resolved {
+                    self.insert_with_spill(
+                        dst_vip,
+                        pkt.outer.dst_pip,
+                        Admission::AbitClear,
+                        pkt,
+                    );
+                }
+            }
+            SwitchRole::Core => {} // cores learn only from promotions (step 4)
+        }
+
+        out
+    }
+}
+
+impl SwitchAgent for SwitchV2PAgent {
+    fn on_packet(&mut self, ctx: &mut SwitchCtx<'_>, pkt: &mut Packet) -> AgentOutput {
+        match pkt.kind {
+            PacketKind::Data => self.handle_data(ctx, pkt),
+            PacketKind::Learning(m) => {
+                if self.is_tor() && ctx.dst_attached {
+                    self.cache.insert(m.vip, m.pip, Admission::All);
+                    AgentOutput::consume()
+                } else {
+                    AgentOutput::forward()
+                }
+            }
+            PacketKind::Invalidation(tag) => {
+                // Invalidate here and at every switch en route (§3.3: "all
+                // the caches along the path to the destination are
+                // invalidated as well").
+                self.cache.invalidate(tag.vip, Some(tag.stale_pip));
+                if pkt.outer.dst_pip == ctx.switch_pip {
+                    AgentOutput::consume()
+                } else {
+                    AgentOutput::forward()
+                }
+            }
+        }
+    }
+
+    fn occupancy(&self) -> usize {
+        self.cache.occupancy()
+    }
+
+    fn entries(&self) -> Vec<(Vip, Pip)> {
+        self.cache.entries()
+    }
+
+    fn reset(&mut self) {
+        let lines = self.cache.capacity();
+        self.cache = DirectMappedCache::new(lines);
+        self.ts_vector.clear();
+    }
+}
+
+/// Builds a protocol (learning/invalidation) packet skeleton.
+fn protocol_packet(kind: PacketKind, from: Pip, to: Pip, about: Vip) -> Packet {
+    Packet {
+        id: PacketId(0), // assigned by the simulator
+        flow: Default::default(),
+        kind,
+        outer: OuterHeader {
+            src_pip: from,
+            dst_pip: to,
+            resolved: true,
+        },
+        inner: InnerHeader {
+            src_vip: about,
+            dst_vip: about,
+            src_port: 0,
+            dst_port: 0,
+            protocol: Protocol::Udp,
+            seq: 0,
+            ack: 0,
+            flags: TcpFlags::default(),
+        },
+        opts: TunnelOptions::default(),
+        payload: 0,
+        switch_hops: 0,
+        sent_ns: 0,
+        first_of_flow: false,
+        visited_gateway: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sv2p_simcore::{SimDuration, SimRng};
+    use sv2p_vnet::PacketAction;
+    use sv2p_topology::NodeId;
+    use sv2p_vnet::MappingDb;
+
+    /// Test fixture: a context whose pod lookup says "VIPs below 100 are in
+    /// pod 0, others pod 1" and whose switch tags map to PIP 5000+tag.
+    struct Fixture {
+        db: MappingDb,
+        rng: SimRng,
+        now: SimTime,
+    }
+
+    fn pod_of(pip: Pip) -> Option<u16> {
+        Some(if pip.0 < 100 { 0 } else { 1 })
+    }
+
+    fn pip_of_tag(tag: SwitchTag) -> Pip {
+        Pip(5000 + tag.0 as u32)
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            Fixture {
+                db: MappingDb::new(),
+                rng: SimRng::new(7),
+                now: SimTime::from_micros(100),
+            }
+        }
+
+        fn ctx<'a>(
+            &'a mut self,
+            role: SwitchRole,
+            ingress_host: Option<Pip>,
+            dst_attached: bool,
+        ) -> SwitchCtx<'a> {
+            SwitchCtx {
+                now: self.now,
+                node: NodeId(1),
+                tag: SwitchTag(9),
+                switch_pip: Pip(5009),
+                role,
+                my_pod: Some(0),
+                ingress_host,
+                dst_attached,
+                db: &self.db,
+                rng: &mut self.rng,
+                base_rtt: SimDuration::from_micros(12),
+                pod_of: &pod_of,
+                pip_of_tag: &pip_of_tag,
+            }
+        }
+    }
+
+    fn data_packet(src_vip: u32, dst_vip: u32, src_pip: u32, dst_pip: u32, resolved: bool) -> Packet {
+        Packet {
+            id: PacketId(1),
+            flow: Default::default(),
+            kind: PacketKind::Data,
+            outer: OuterHeader {
+                src_pip: Pip(src_pip),
+                dst_pip: Pip(dst_pip),
+                resolved,
+            },
+            inner: InnerHeader {
+                src_vip: Vip(src_vip),
+                dst_vip: Vip(dst_vip),
+                src_port: 10,
+                dst_port: 80,
+                protocol: Protocol::Tcp,
+                seq: 0,
+                ack: 0,
+                flags: TcpFlags::default(),
+            },
+            opts: TunnelOptions::default(),
+            payload: 100,
+            switch_hops: 0,
+            sent_ns: 0,
+            first_of_flow: false,
+            visited_gateway: false,
+        }
+    }
+
+    #[test]
+    fn tor_source_learns() {
+        let mut fx = Fixture::new();
+        let mut agent = SwitchV2PAgent::new(SwitchRole::Tor, 16, SwitchV2PConfig::default());
+        let mut pkt = data_packet(1, 2, 11, 999, false);
+        let mut ctx = fx.ctx(SwitchRole::Tor, Some(Pip(11)), false);
+        let out = agent.on_packet(&mut ctx, &mut pkt);
+        assert_eq!(out.action, PacketAction::Forward);
+        assert!(!out.cache_hit);
+        assert_eq!(agent.cache.peek(Vip(1)), Some(Pip(11)), "source learned");
+        assert_eq!(agent.cache.peek(Vip(2)), None, "ToRs do not dest-learn");
+    }
+
+    #[test]
+    fn gateway_tor_destination_learns_resolved_only() {
+        let mut fx = Fixture::new();
+        let mut agent =
+            SwitchV2PAgent::new(SwitchRole::GatewayTor, 16, SwitchV2PConfig::default());
+        // Unresolved (toward gateway): no learning.
+        let mut up = data_packet(1, 2, 11, 999, false);
+        agent.on_packet(&mut fx.ctx(SwitchRole::GatewayTor, None, false), &mut up);
+        assert_eq!(agent.cache.peek(Vip(2)), None);
+        // Resolved (leaving gateway): destination learned.
+        let mut down = data_packet(1, 2, 11, 22, true);
+        agent.on_packet(&mut fx.ctx(SwitchRole::GatewayTor, None, false), &mut down);
+        assert_eq!(agent.cache.peek(Vip(2)), Some(Pip(22)));
+        assert_eq!(agent.cache.peek(Vip(1)), None, "no source learning here");
+    }
+
+    #[test]
+    fn cache_hit_translates_and_tags_switch() {
+        let mut fx = Fixture::new();
+        let mut agent = SwitchV2PAgent::new(SwitchRole::Tor, 16, SwitchV2PConfig::default());
+        agent.cache.insert(Vip(2), Pip(22), Admission::All);
+        let mut pkt = data_packet(1, 2, 11, 999, false);
+        let out = agent.on_packet(&mut fx.ctx(SwitchRole::Tor, None, false), &mut pkt);
+        assert!(out.cache_hit);
+        assert!(pkt.outer.resolved);
+        assert_eq!(pkt.outer.dst_pip, Pip(22));
+        assert_eq!(pkt.opts.hit_switch, Some(SwitchTag(9)));
+    }
+
+    #[test]
+    fn spine_promotes_hot_entries_leaving_the_pod() {
+        let mut fx = Fixture::new();
+        let mut agent = SwitchV2PAgent::new(SwitchRole::Spine, 16, SwitchV2PConfig::default());
+        // Dst pip 200 => pod 1 (fixture), our pod is 0: leaves the pod.
+        agent.cache.insert(Vip(2), Pip(200), Admission::All);
+        let mut first = data_packet(1, 2, 11, 999, false);
+        let out1 = agent.on_packet(&mut fx.ctx(SwitchRole::Spine, None, false), &mut first);
+        assert!(out1.cache_hit);
+        assert_eq!(first.opts.promotion, None, "first hit: abit was cold");
+        let mut second = data_packet(1, 2, 11, 999, false);
+        let out2 = agent.on_packet(&mut fx.ctx(SwitchRole::Spine, None, false), &mut second);
+        assert!(out2.cache_hit);
+        assert_eq!(
+            second.opts.promotion,
+            Some(MappingOption {
+                vip: Vip(2),
+                pip: Pip(200)
+            }),
+            "second hit: entry was hot, promotion attached"
+        );
+    }
+
+    #[test]
+    fn spine_does_not_promote_intra_pod_or_when_gateway_spine() {
+        let mut fx = Fixture::new();
+        // Intra-pod destination (pip 50 => pod 0 == our pod).
+        let mut agent = SwitchV2PAgent::new(SwitchRole::Spine, 16, SwitchV2PConfig::default());
+        agent.cache.insert(Vip(2), Pip(50), Admission::All);
+        let mut p = data_packet(1, 2, 11, 999, false);
+        agent.on_packet(&mut fx.ctx(SwitchRole::Spine, None, false), &mut p);
+        let mut p2 = data_packet(1, 2, 11, 999, false);
+        agent.on_packet(&mut fx.ctx(SwitchRole::Spine, None, false), &mut p2);
+        assert_eq!(p2.opts.promotion, None, "intra-pod hit must not promote");
+
+        // Gateway spines never promote.
+        let mut gw =
+            SwitchV2PAgent::new(SwitchRole::GatewaySpine, 16, SwitchV2PConfig::default());
+        gw.cache.insert(Vip(2), Pip(200), Admission::All);
+        let mut q1 = data_packet(1, 2, 11, 999, false);
+        gw.on_packet(&mut fx.ctx(SwitchRole::GatewaySpine, None, false), &mut q1);
+        let mut q2 = data_packet(1, 2, 11, 999, false);
+        gw.on_packet(&mut fx.ctx(SwitchRole::GatewaySpine, None, false), &mut q2);
+        assert_eq!(q2.opts.promotion, None);
+    }
+
+    #[test]
+    fn core_learns_only_from_promotions() {
+        let mut fx = Fixture::new();
+        let mut agent = SwitchV2PAgent::new(SwitchRole::Core, 16, SwitchV2PConfig::default());
+        // Plain resolved traffic: no learning.
+        let mut plain = data_packet(1, 2, 11, 22, true);
+        agent.on_packet(&mut fx.ctx(SwitchRole::Core, None, false), &mut plain);
+        assert_eq!(agent.occupancy(), 0);
+        // Promoted mapping: learned, option stripped.
+        let mut promoted = data_packet(1, 2, 11, 999, false);
+        promoted.opts.promotion = Some(MappingOption {
+            vip: Vip(7),
+            pip: Pip(70),
+        });
+        let out = agent.on_packet(&mut fx.ctx(SwitchRole::Core, None, false), &mut promoted);
+        assert!(out.promotion_inserted);
+        assert_eq!(promoted.opts.promotion, None);
+        assert_eq!(agent.cache.peek(Vip(7)), Some(Pip(70)));
+    }
+
+    #[test]
+    fn spillover_rides_until_inserted() {
+        let mut fx = Fixture::new();
+        let mut agent = SwitchV2PAgent::new(SwitchRole::Spine, 16, SwitchV2PConfig::default());
+        let mut pkt = data_packet(1, 2, 11, 22, true);
+        pkt.opts.spillover = Some(MappingOption {
+            vip: Vip(7),
+            pip: Pip(70),
+        });
+        let out = agent.on_packet(&mut fx.ctx(SwitchRole::Spine, None, false), &mut pkt);
+        assert!(out.spill_inserted);
+        assert_eq!(pkt.opts.spillover, None);
+        assert_eq!(agent.cache.peek(Vip(7)), Some(Pip(70)));
+    }
+
+    #[test]
+    fn eviction_attaches_spillover() {
+        let mut fx = Fixture::new();
+        let mut agent = SwitchV2PAgent::new(SwitchRole::Tor, 1, SwitchV2PConfig::default());
+        // Fill the single line via source learning.
+        let mut p1 = data_packet(1, 2, 11, 999, false);
+        agent.on_packet(&mut fx.ctx(SwitchRole::Tor, Some(Pip(11)), false), &mut p1);
+        assert_eq!(agent.cache.peek(Vip(1)), Some(Pip(11)));
+        // A different source evicts it; the evictee spills onto the packet.
+        let mut p2 = data_packet(3, 2, 33, 999, false);
+        agent.on_packet(&mut fx.ctx(SwitchRole::Tor, Some(Pip(33)), false), &mut p2);
+        assert_eq!(
+            p2.opts.spillover,
+            Some(MappingOption {
+                vip: Vip(1),
+                pip: Pip(11)
+            })
+        );
+        assert_eq!(agent.cache.peek(Vip(3)), Some(Pip(33)));
+    }
+
+    #[test]
+    fn gateway_tor_emits_learning_packets_at_p_learn() {
+        let mut fx = Fixture::new();
+        let cfg = SwitchV2PConfig {
+            p_learn: 0.5,
+            ..SwitchV2PConfig::default()
+        };
+        let mut agent = SwitchV2PAgent::new(SwitchRole::GatewayTor, 64, cfg);
+        let mut emitted = 0;
+        let n = 2000;
+        for i in 0..n {
+            let mut pkt = data_packet(1, 2 + (i % 8), 11, 22, true);
+            let out = agent.on_packet(&mut fx.ctx(SwitchRole::GatewayTor, None, false), &mut pkt);
+            emitted += out.emit.len();
+        }
+        let rate = emitted as f64 / n as f64;
+        assert!((rate - 0.5).abs() < 0.05, "learning rate {rate}");
+        // The learning packet targets the sender and carries the mapping.
+        let mut pkt = data_packet(1, 2, 11, 22, true);
+        let out = loop {
+            let o = agent.on_packet(&mut fx.ctx(SwitchRole::GatewayTor, None, false), &mut pkt);
+            if !o.emit.is_empty() {
+                break o;
+            }
+        };
+        let lp = &out.emit[0];
+        assert_eq!(lp.outer.dst_pip, Pip(11));
+        assert!(matches!(
+            lp.kind,
+            PacketKind::Learning(MappingOption {
+                vip: Vip(2),
+                pip: Pip(22)
+            })
+        ));
+    }
+
+    #[test]
+    fn tor_consumes_learning_packets_for_attached_hosts() {
+        let mut fx = Fixture::new();
+        let mut agent = SwitchV2PAgent::new(SwitchRole::Tor, 16, SwitchV2PConfig::default());
+        let m = MappingOption {
+            vip: Vip(4),
+            pip: Pip(40),
+        };
+        let mut lp = protocol_packet(PacketKind::Learning(m), Pip(5000), Pip(11), Vip(4));
+        // Not attached: forwarded untouched.
+        let out = agent.on_packet(&mut fx.ctx(SwitchRole::Tor, None, false), &mut lp);
+        assert_eq!(out.action, PacketAction::Forward);
+        assert_eq!(agent.occupancy(), 0);
+        // Attached: learned and consumed.
+        let out = agent.on_packet(&mut fx.ctx(SwitchRole::Tor, None, true), &mut lp);
+        assert_eq!(out.action, PacketAction::Consume);
+        assert_eq!(agent.cache.peek(Vip(4)), Some(Pip(40)));
+        // Spines never consume learning packets.
+        let mut spine = SwitchV2PAgent::new(SwitchRole::Spine, 16, SwitchV2PConfig::default());
+        let out = spine.on_packet(&mut fx.ctx(SwitchRole::Spine, None, true), &mut lp);
+        assert_eq!(out.action, PacketAction::Forward);
+    }
+
+    #[test]
+    fn misdelivery_tagging_and_invalidation_emission() {
+        let mut fx = Fixture::new();
+        let mut agent = SwitchV2PAgent::new(SwitchRole::Tor, 16, SwitchV2PConfig::default());
+        // The ToR holds the stale mapping too.
+        agent.cache.insert(Vip(2), Pip(55), Admission::All);
+        // Packet forwarded up by attached host 55, original sender 11:
+        // a misdelivered forward. It carries the culprit's hit-switch tag.
+        let mut pkt = data_packet(1, 2, 11, 999, false);
+        pkt.opts.hit_switch = Some(SwitchTag(3));
+        let out = agent.on_packet(&mut fx.ctx(SwitchRole::Tor, Some(Pip(55)), false), &mut pkt);
+        // Tagged, local stale entry invalidated, invalidation packet sent to
+        // switch 3's PIP.
+        assert_eq!(
+            pkt.opts.misdelivery,
+            Some(MisdeliveryTag {
+                vip: Vip(2),
+                stale_pip: Pip(55)
+            })
+        );
+        assert_eq!(agent.cache.peek(Vip(2)), None);
+        assert_eq!(out.emit.len(), 1);
+        assert_eq!(out.emit[0].outer.dst_pip, pip_of_tag(SwitchTag(3)));
+        assert!(matches!(out.emit[0].kind, PacketKind::Invalidation(_)));
+        assert_eq!(pkt.opts.hit_switch, None, "culprit tag consumed");
+    }
+
+    #[test]
+    fn timestamp_vector_suppresses_repeat_invalidations() {
+        let mut fx = Fixture::new();
+        let mut agent = SwitchV2PAgent::new(SwitchRole::Tor, 16, SwitchV2PConfig::default());
+        let mk = |fx: &mut Fixture, agent: &mut SwitchV2PAgent| {
+            let mut pkt = data_packet(1, 2, 11, 999, false);
+            pkt.opts.hit_switch = Some(SwitchTag(3));
+            let out =
+                agent.on_packet(&mut fx.ctx(SwitchRole::Tor, Some(Pip(55)), false), &mut pkt);
+            out.emit.len()
+        };
+        assert_eq!(mk(&mut fx, &mut agent), 1, "first fires");
+        assert_eq!(mk(&mut fx, &mut agent), 0, "suppressed within base RTT");
+        assert_eq!(agent.invalidations_suppressed, 1);
+        // After one base RTT it may fire again (retransmission).
+        fx.now += SimDuration::from_micros(13);
+        assert_eq!(mk(&mut fx, &mut agent), 1, "re-armed after base RTT");
+        assert_eq!(agent.invalidations_sent, 2);
+    }
+
+    #[test]
+    fn no_timestamp_vector_fires_every_time() {
+        let mut fx = Fixture::new();
+        let mut agent = SwitchV2PAgent::new(
+            SwitchRole::Tor,
+            16,
+            SwitchV2PConfig::without_timestamp_vector(),
+        );
+        for _ in 0..5 {
+            let mut pkt = data_packet(1, 2, 11, 999, false);
+            pkt.opts.hit_switch = Some(SwitchTag(3));
+            let out =
+                agent.on_packet(&mut fx.ctx(SwitchRole::Tor, Some(Pip(55)), false), &mut pkt);
+            assert_eq!(out.emit.len(), 1);
+        }
+        assert_eq!(agent.invalidations_sent, 5);
+    }
+
+    #[test]
+    fn invalidation_mode_none_sends_nothing_but_still_tags() {
+        let mut fx = Fixture::new();
+        let mut agent =
+            SwitchV2PAgent::new(SwitchRole::Tor, 16, SwitchV2PConfig::without_invalidations());
+        let mut pkt = data_packet(1, 2, 11, 999, false);
+        pkt.opts.hit_switch = Some(SwitchTag(3));
+        let out = agent.on_packet(&mut fx.ctx(SwitchRole::Tor, Some(Pip(55)), false), &mut pkt);
+        assert!(out.emit.is_empty());
+        assert!(pkt.opts.misdelivery.is_some());
+    }
+
+    #[test]
+    fn invalidation_packets_clean_en_route_and_at_target() {
+        let mut fx = Fixture::new();
+        let tag = MisdeliveryTag {
+            vip: Vip(2),
+            stale_pip: Pip(55),
+        };
+        // Addressed to switch 3 — NOT the fixture's own switch (tag 9) —
+        // so en-route switches forward it.
+        let mut inval = protocol_packet(
+            PacketKind::Invalidation(tag),
+            Pip(5001),
+            pip_of_tag(SwitchTag(3)),
+            Vip(2),
+        );
+        // En-route switch with the stale entry: invalidates and forwards.
+        let mut mid = SwitchV2PAgent::new(SwitchRole::Spine, 16, SwitchV2PConfig::default());
+        mid.cache.insert(Vip(2), Pip(55), Admission::All);
+        let out = mid.on_packet(&mut fx.ctx(SwitchRole::Spine, None, false), &mut inval);
+        assert_eq!(out.action, PacketAction::Forward);
+        assert_eq!(mid.cache.peek(Vip(2)), None);
+        // A newer mapping survives.
+        let mut newer = SwitchV2PAgent::new(SwitchRole::Spine, 16, SwitchV2PConfig::default());
+        newer.cache.insert(Vip(2), Pip(77), Admission::All);
+        newer.on_packet(&mut fx.ctx(SwitchRole::Spine, None, false), &mut inval);
+        assert_eq!(newer.cache.peek(Vip(2)), Some(Pip(77)));
+        // The addressed switch consumes (readdress to the fixture's tag 9).
+        inval.outer.dst_pip = pip_of_tag(SwitchTag(9));
+        let mut target = SwitchV2PAgent::new(SwitchRole::Tor, 16, SwitchV2PConfig::default());
+        target.cache.insert(Vip(2), Pip(55), Admission::All);
+        let out = target.on_packet(&mut fx.ctx(SwitchRole::Tor, None, false), &mut inval);
+        assert_eq!(out.action, PacketAction::Consume);
+        assert_eq!(target.cache.peek(Vip(2)), None);
+    }
+
+    #[test]
+    fn riding_tag_invalidates_matching_entries_but_newer_survive_and_serve() {
+        let mut fx = Fixture::new();
+        let mut agent = SwitchV2PAgent::new(SwitchRole::Spine, 16, SwitchV2PConfig::default());
+        agent.cache.insert(Vip(2), Pip(77), Admission::All); // newer mapping
+        let mut pkt = data_packet(1, 2, 11, 999, false);
+        pkt.opts.misdelivery = Some(MisdeliveryTag {
+            vip: Vip(2),
+            stale_pip: Pip(55),
+        });
+        let out = agent.on_packet(&mut fx.ctx(SwitchRole::Spine, None, false), &mut pkt);
+        // The newer entry serves the packet (§3.3: "allows the packet to use
+        // the cached value since it has already learned the new PIP").
+        assert!(out.cache_hit);
+        assert_eq!(pkt.outer.dst_pip, Pip(77));
+        assert_eq!(agent.cache.peek(Vip(2)), Some(Pip(77)));
+    }
+
+    #[test]
+    fn ablations_disable_their_mechanisms() {
+        let mut fx = Fixture::new();
+        // No spillover: evictions disappear silently.
+        let mut agent =
+            SwitchV2PAgent::new(SwitchRole::Tor, 1, SwitchV2PConfig::without_spillover());
+        let mut p1 = data_packet(1, 2, 11, 999, false);
+        agent.on_packet(&mut fx.ctx(SwitchRole::Tor, Some(Pip(11)), false), &mut p1);
+        let mut p2 = data_packet(3, 2, 33, 999, false);
+        agent.on_packet(&mut fx.ctx(SwitchRole::Tor, Some(Pip(33)), false), &mut p2);
+        assert_eq!(p2.opts.spillover, None);
+
+        // No promotion: hot spine hits attach nothing.
+        let mut spine =
+            SwitchV2PAgent::new(SwitchRole::Spine, 16, SwitchV2PConfig::without_promotion());
+        spine.cache.insert(Vip(2), Pip(200), Admission::All);
+        let mut q1 = data_packet(1, 2, 11, 999, false);
+        spine.on_packet(&mut fx.ctx(SwitchRole::Spine, None, false), &mut q1);
+        let mut q2 = data_packet(1, 2, 11, 999, false);
+        spine.on_packet(&mut fx.ctx(SwitchRole::Spine, None, false), &mut q2);
+        assert_eq!(q2.opts.promotion, None);
+
+        // No learning packets: gateway ToR stays quiet even at p=1.
+        let mut gt = SwitchV2PAgent::new(
+            SwitchRole::GatewayTor,
+            16,
+            SwitchV2PConfig {
+                p_learn: 1.0,
+                learning_packets: false,
+                ..SwitchV2PConfig::default()
+            },
+        );
+        let mut r = data_packet(1, 2, 11, 22, true);
+        let out = gt.on_packet(&mut fx.ctx(SwitchRole::GatewayTor, None, false), &mut r);
+        assert!(out.emit.is_empty());
+    }
+}

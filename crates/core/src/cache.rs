@@ -1,0 +1,321 @@
+//! The in-switch direct-mapped cache (§3.2, "Cache structure").
+//!
+//! "Each cache entry includes a key (VIP), a value (PIP), and an access (A)
+//! bit turned on upon a hit. The access bit is turned off when a lookup ends
+//! up accessing that cache line but it is a miss." The P4 prototype realizes
+//! this as three register arrays (keys, values, access bits); this model is
+//! bit-for-bit the same state machine.
+
+use sv2p_packet::{Pip, Vip};
+
+/// One cache line.
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    key: Option<Vip>,
+    val: Pip,
+    abit: bool,
+}
+
+/// Admission policy for conflicting inserts (paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Replace unconditionally (ToRs, gateway ToRs).
+    All,
+    /// Replace only if the resident entry's access bit is clear (spines,
+    /// cores): a live entry is known-useful, the newcomer is speculative.
+    AbitClear,
+}
+
+/// Result of an insertion attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// Stored in an empty line.
+    Inserted,
+    /// The key was already present; value refreshed (access bit untouched).
+    Updated,
+    /// A resident entry was replaced; the evictee is returned for spillover.
+    Evicted {
+        /// The replaced entry.
+        vip: Vip,
+        /// Its value.
+        pip: Pip,
+        /// Whether the evictee was recently useful (its access bit).
+        abit: bool,
+    },
+    /// The admission policy kept the resident entry.
+    Rejected,
+}
+
+/// A direct-mapped VIP → PIP cache with per-line access bits.
+#[derive(Debug, Clone)]
+pub struct DirectMappedCache {
+    lines: Vec<Line>,
+    /// Lookup attempts (hit-ratio diagnostics).
+    pub lookups: u64,
+    /// Successful lookups.
+    pub hits: u64,
+}
+
+impl DirectMappedCache {
+    /// A cache with `lines` entries. Zero lines is a valid, always-missing
+    /// cache (non-caching switches).
+    pub fn new(lines: usize) -> Self {
+        DirectMappedCache {
+            lines: vec![Line::default(); lines],
+            lookups: 0,
+            hits: 0,
+        }
+    }
+
+    /// Capacity in lines.
+    pub fn capacity(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Number of valid entries.
+    pub fn occupancy(&self) -> usize {
+        self.lines.iter().filter(|l| l.key.is_some()).count()
+    }
+
+    #[inline]
+    fn index(&self, vip: Vip) -> usize {
+        // The same avalanche the ASIC's hash unit would provide.
+        let mut h = vip.0 as u64;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 29;
+        (h % self.lines.len() as u64) as usize
+    }
+
+    /// Looks up `vip`. On a hit returns `(pip, abit_before_hit)` and sets the
+    /// access bit; on a conflict miss clears the resident line's access bit
+    /// (paper §3.2: an entry whose line keeps being probed for other keys is
+    /// not earning its slot).
+    pub fn lookup(&mut self, vip: Vip) -> Option<(Pip, bool)> {
+        if self.lines.is_empty() {
+            return None;
+        }
+        self.lookups += 1;
+        let idx = self.index(vip);
+        let line = &mut self.lines[idx];
+        match line.key {
+            Some(k) if k == vip => {
+                let was_set = line.abit;
+                line.abit = true;
+                self.hits += 1;
+                Some((line.val, was_set))
+            }
+            Some(_) => {
+                line.abit = false;
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Reads without touching access bits (diagnostics).
+    pub fn peek(&self, vip: Vip) -> Option<Pip> {
+        if self.lines.is_empty() {
+            return None;
+        }
+        let line = &self.lines[self.index(vip)];
+        match line.key {
+            Some(k) if k == vip => Some(line.val),
+            _ => None,
+        }
+    }
+
+    /// Attempts to install `vip → pip` under `admission`. New entries start
+    /// with a clear access bit ("turned on upon a hit").
+    pub fn insert(&mut self, vip: Vip, pip: Pip, admission: Admission) -> InsertOutcome {
+        if self.lines.is_empty() {
+            return InsertOutcome::Rejected;
+        }
+        let idx = self.index(vip);
+        let line = &mut self.lines[idx];
+        match line.key {
+            None => {
+                *line = Line {
+                    key: Some(vip),
+                    val: pip,
+                    abit: false,
+                };
+                InsertOutcome::Inserted
+            }
+            Some(k) if k == vip => {
+                line.val = pip;
+                InsertOutcome::Updated
+            }
+            Some(k) => {
+                if admission == Admission::AbitClear && line.abit {
+                    return InsertOutcome::Rejected;
+                }
+                let evicted = InsertOutcome::Evicted {
+                    vip: k,
+                    pip: line.val,
+                    abit: line.abit,
+                };
+                *line = Line {
+                    key: Some(vip),
+                    val: pip,
+                    abit: false,
+                };
+                evicted
+            }
+        }
+    }
+
+    /// Invalidates `vip`. With `only_if_pip`, the entry is removed only when
+    /// it still maps to that (stale) value — a newer mapping survives, per
+    /// §3.3. Returns true if an entry was removed.
+    pub fn invalidate(&mut self, vip: Vip, only_if_pip: Option<Pip>) -> bool {
+        if self.lines.is_empty() {
+            return false;
+        }
+        let idx = self.index(vip);
+        let line = &mut self.lines[idx];
+        match line.key {
+            Some(k) if k == vip => {
+                if let Some(stale) = only_if_pip {
+                    if line.val != stale {
+                        return false;
+                    }
+                }
+                *line = Line::default();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// All valid entries.
+    pub fn entries(&self) -> Vec<(Vip, Pip)> {
+        self.lines
+            .iter()
+            .filter_map(|l| l.key.map(|k| (k, l.val)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_cache_misses_and_rejects() {
+        let mut c = DirectMappedCache::new(0);
+        assert_eq!(c.lookup(Vip(1)), None);
+        assert_eq!(c.insert(Vip(1), Pip(2), Admission::All), InsertOutcome::Rejected);
+        assert!(!c.invalidate(Vip(1), None));
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn insert_then_hit_sets_abit() {
+        let mut c = DirectMappedCache::new(8);
+        assert_eq!(c.insert(Vip(1), Pip(10), Admission::All), InsertOutcome::Inserted);
+        // First hit reports the abit as it was before (clear).
+        assert_eq!(c.lookup(Vip(1)), Some((Pip(10), false)));
+        // Second hit sees it set.
+        assert_eq!(c.lookup(Vip(1)), Some((Pip(10), true)));
+        assert_eq!(c.occupancy(), 1);
+        assert_eq!(c.hits, 2);
+        assert_eq!(c.lookups, 2);
+    }
+
+    fn colliding_pair(c: &DirectMappedCache) -> (Vip, Vip) {
+        // Find two VIPs mapping to the same line.
+        let base = Vip(1);
+        let idx = c.index(base);
+        for x in 2..100_000 {
+            if c.index(Vip(x)) == idx {
+                return (base, Vip(x));
+            }
+        }
+        panic!("no collision found");
+    }
+
+    #[test]
+    fn conflict_miss_clears_abit_and_all_admission_evicts() {
+        let mut c = DirectMappedCache::new(4);
+        let (a, b) = colliding_pair(&c);
+        c.insert(a, Pip(10), Admission::All);
+        c.lookup(a); // abit set
+        // A lookup of the colliding key is a miss and clears the abit.
+        assert_eq!(c.lookup(b), None);
+        assert_eq!(c.lookup(a), Some((Pip(10), false)), "abit was cleared");
+        // Admission::All replaces regardless.
+        c.lookup(a); // set abit again
+        match c.insert(b, Pip(20), Admission::All) {
+            InsertOutcome::Evicted { vip, pip, abit } => {
+                assert_eq!((vip, pip, abit), (a, Pip(10), true));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(c.peek(b), Some(Pip(20)));
+        assert_eq!(c.peek(a), None);
+    }
+
+    #[test]
+    fn abit_clear_admission_protects_live_entries() {
+        let mut c = DirectMappedCache::new(4);
+        let (a, b) = colliding_pair(&c);
+        c.insert(a, Pip(10), Admission::All);
+        c.lookup(a); // live
+        assert_eq!(c.insert(b, Pip(20), Admission::AbitClear), InsertOutcome::Rejected);
+        assert_eq!(c.peek(a), Some(Pip(10)));
+        // After a conflicting miss clears the bit, admission succeeds.
+        c.lookup(b);
+        assert!(matches!(
+            c.insert(b, Pip(20), Admission::AbitClear),
+            InsertOutcome::Evicted { .. }
+        ));
+    }
+
+    #[test]
+    fn update_refreshes_value_keeps_occupancy() {
+        let mut c = DirectMappedCache::new(4);
+        c.insert(Vip(1), Pip(10), Admission::All);
+        assert_eq!(c.insert(Vip(1), Pip(11), Admission::AbitClear), InsertOutcome::Updated);
+        assert_eq!(c.peek(Vip(1)), Some(Pip(11)));
+        assert_eq!(c.occupancy(), 1);
+    }
+
+    #[test]
+    fn conditional_invalidation_spares_newer_mappings() {
+        let mut c = DirectMappedCache::new(4);
+        c.insert(Vip(1), Pip(10), Admission::All);
+        // Stale value mismatch: entry survives.
+        assert!(!c.invalidate(Vip(1), Some(Pip(99))));
+        assert_eq!(c.peek(Vip(1)), Some(Pip(10)));
+        // Matching stale value: removed.
+        assert!(c.invalidate(Vip(1), Some(Pip(10))));
+        assert_eq!(c.peek(Vip(1)), None);
+        // Unconditional removal.
+        c.insert(Vip(2), Pip(20), Admission::All);
+        assert!(c.invalidate(Vip(2), None));
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn entries_lists_valid_lines() {
+        let mut c = DirectMappedCache::new(16);
+        c.insert(Vip(1), Pip(10), Admission::All);
+        c.insert(Vip(2), Pip(20), Admission::All);
+        let mut e = c.entries();
+        e.sort();
+        assert!(e.contains(&(Vip(1), Pip(10))));
+        assert!(e.len() <= 2); // 1 and 2 may collide in 16 lines
+    }
+
+    #[test]
+    fn single_line_cache_works() {
+        let mut c = DirectMappedCache::new(1);
+        c.insert(Vip(1), Pip(10), Admission::All);
+        assert!(matches!(
+            c.insert(Vip(2), Pip(20), Admission::All),
+            InsertOutcome::Evicted { .. }
+        ));
+        assert_eq!(c.lookup(Vip(2)), Some((Pip(20), false)));
+    }
+}

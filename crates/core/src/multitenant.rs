@@ -1,0 +1,213 @@
+//! Multi-tenant cache partitioning — the §4 "Multitenancy support" sketch.
+//!
+//! "SwitchV2P may serve for maintaining a per-VPC private cache in a private
+//! memory partition in a switch. As in-switch memory is a scarce resource,
+//! an operator may decide to enable SwitchV2P for a particular VPC based on
+//! a policy, e.g., when the gateway load exceeds a certain threshold."
+//!
+//! The paper leaves a systematic design to future work; this module
+//! implements the mechanism it describes: a [`PartitionedCache`] that hosts
+//! isolated per-VPC [`DirectMappedCache`] partitions carved out of one
+//! memory budget, plus the [`AdmissionPolicy`] that decides which VPCs get a
+//! partition (static allowlist or gateway-load threshold). Partitions are
+//! fully isolated: one tenant's traffic can neither read nor evict
+//! another's entries — the property the paper requires ("the in-switch
+//! cache must be isolated to avoid performance interference between the
+//! tenants").
+
+use std::collections::HashMap;
+
+use sv2p_packet::{Pip, Vip};
+
+use crate::cache::{Admission, DirectMappedCache, InsertOutcome};
+
+/// A tenant (VPC) identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VpcId(pub u32);
+
+/// Which VPCs are granted a cache partition.
+#[derive(Debug, Clone)]
+pub enum AdmissionPolicy {
+    /// Every VPC gets a partition until memory runs out (first come, first
+    /// served).
+    FirstComeFirstServed,
+    /// Only the listed VPCs are cached.
+    Allowlist(Vec<VpcId>),
+    /// A VPC is enabled once its observed gateway load (packets needing
+    /// translation) crosses the threshold — the paper's example policy.
+    GatewayLoadThreshold {
+        /// Packets a VPC must push through gateways before it earns a
+        /// partition.
+        min_gateway_packets: u64,
+    },
+}
+
+/// One switch's memory budget split into isolated per-VPC partitions.
+#[derive(Debug)]
+pub struct PartitionedCache {
+    /// Lines per partition.
+    partition_lines: usize,
+    /// Maximum number of partitions the memory budget allows.
+    max_partitions: usize,
+    policy: AdmissionPolicy,
+    partitions: HashMap<VpcId, DirectMappedCache>,
+    /// Per-VPC gateway-load observations (for the threshold policy).
+    gateway_load: HashMap<VpcId, u64>,
+}
+
+impl PartitionedCache {
+    /// Splits `total_lines` into up to `max_partitions` equal partitions.
+    pub fn new(total_lines: usize, max_partitions: usize, policy: AdmissionPolicy) -> Self {
+        assert!(max_partitions > 0);
+        PartitionedCache {
+            partition_lines: total_lines / max_partitions,
+            max_partitions,
+            policy,
+            partitions: HashMap::new(),
+            gateway_load: HashMap::new(),
+        }
+    }
+
+    /// Number of active partitions.
+    pub fn partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Records that a packet of `vpc` had to be translated by a gateway
+    /// (input to the threshold policy).
+    pub fn record_gateway_packet(&mut self, vpc: VpcId) {
+        *self.gateway_load.entry(vpc).or_insert(0) += 1;
+    }
+
+    fn admits(&self, vpc: VpcId) -> bool {
+        match &self.policy {
+            AdmissionPolicy::FirstComeFirstServed => true,
+            AdmissionPolicy::Allowlist(list) => list.contains(&vpc),
+            AdmissionPolicy::GatewayLoadThreshold {
+                min_gateway_packets,
+            } => self.gateway_load.get(&vpc).copied().unwrap_or(0) >= *min_gateway_packets,
+        }
+    }
+
+    fn partition_mut(&mut self, vpc: VpcId) -> Option<&mut DirectMappedCache> {
+        if !self.partitions.contains_key(&vpc) {
+            if self.partitions.len() >= self.max_partitions
+                || self.partition_lines == 0
+                || !self.admits(vpc)
+            {
+                return None;
+            }
+            self.partitions
+                .insert(vpc, DirectMappedCache::new(self.partition_lines));
+        }
+        self.partitions.get_mut(&vpc)
+    }
+
+    /// Looks up `vip` within `vpc`'s partition only.
+    pub fn lookup(&mut self, vpc: VpcId, vip: Vip) -> Option<(Pip, bool)> {
+        self.partitions.get_mut(&vpc)?.lookup(vip)
+    }
+
+    /// Inserts into `vpc`'s partition (creating it if policy and memory
+    /// allow). Returns `None` if the VPC is not cacheable here.
+    pub fn insert(
+        &mut self,
+        vpc: VpcId,
+        vip: Vip,
+        pip: Pip,
+        admission: Admission,
+    ) -> Option<InsertOutcome> {
+        self.partition_mut(vpc).map(|c| c.insert(vip, pip, admission))
+    }
+
+    /// Invalidates within one VPC only.
+    pub fn invalidate(&mut self, vpc: VpcId, vip: Vip, only_if_pip: Option<Pip>) -> bool {
+        self.partitions
+            .get_mut(&vpc)
+            .is_some_and(|c| c.invalidate(vip, only_if_pip))
+    }
+
+    /// Total valid entries across partitions.
+    pub fn occupancy(&self) -> usize {
+        self.partitions.values().map(|c| c.occupancy()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitions_are_isolated() {
+        let mut pc = PartitionedCache::new(64, 4, AdmissionPolicy::FirstComeFirstServed);
+        // Same VIP in two VPCs maps to different PIPs — different address
+        // spaces must not collide.
+        pc.insert(VpcId(1), Vip(7), Pip(100), Admission::All).unwrap();
+        pc.insert(VpcId(2), Vip(7), Pip(200), Admission::All).unwrap();
+        assert_eq!(pc.lookup(VpcId(1), Vip(7)).map(|(p, _)| p), Some(Pip(100)));
+        assert_eq!(pc.lookup(VpcId(2), Vip(7)).map(|(p, _)| p), Some(Pip(200)));
+        // Invalidation stays inside the tenant.
+        assert!(pc.invalidate(VpcId(1), Vip(7), None));
+        assert_eq!(pc.lookup(VpcId(1), Vip(7)), None);
+        assert!(pc.lookup(VpcId(2), Vip(7)).is_some());
+    }
+
+    #[test]
+    fn tenants_cannot_evict_each_other() {
+        let mut pc = PartitionedCache::new(8, 2, AdmissionPolicy::FirstComeFirstServed);
+        pc.insert(VpcId(1), Vip(1), Pip(10), Admission::All).unwrap();
+        // VPC 2 floods its own partition.
+        for k in 0..100 {
+            pc.insert(VpcId(2), Vip(k), Pip(k), Admission::All);
+        }
+        assert_eq!(pc.lookup(VpcId(1), Vip(1)).map(|(p, _)| p), Some(Pip(10)));
+    }
+
+    #[test]
+    fn memory_budget_bounds_partitions() {
+        let mut pc = PartitionedCache::new(16, 2, AdmissionPolicy::FirstComeFirstServed);
+        assert!(pc.insert(VpcId(1), Vip(1), Pip(1), Admission::All).is_some());
+        assert!(pc.insert(VpcId(2), Vip(1), Pip(1), Admission::All).is_some());
+        // No room for a third tenant; its traffic is simply not cached.
+        assert!(pc.insert(VpcId(3), Vip(1), Pip(1), Admission::All).is_none());
+        assert_eq!(pc.partitions(), 2);
+        assert_eq!(pc.lookup(VpcId(3), Vip(1)), None);
+    }
+
+    #[test]
+    fn allowlist_policy_restricts() {
+        let mut pc = PartitionedCache::new(
+            64,
+            8,
+            AdmissionPolicy::Allowlist(vec![VpcId(5)]),
+        );
+        assert!(pc.insert(VpcId(5), Vip(1), Pip(1), Admission::All).is_some());
+        assert!(pc.insert(VpcId(6), Vip(1), Pip(1), Admission::All).is_none());
+    }
+
+    #[test]
+    fn gateway_load_threshold_enables_hot_tenants() {
+        let mut pc = PartitionedCache::new(
+            64,
+            8,
+            AdmissionPolicy::GatewayLoadThreshold {
+                min_gateway_packets: 3,
+            },
+        );
+        // Cold tenant: not cached.
+        assert!(pc.insert(VpcId(1), Vip(1), Pip(1), Admission::All).is_none());
+        // After enough gateway traffic, it earns a partition.
+        for _ in 0..3 {
+            pc.record_gateway_packet(VpcId(1));
+        }
+        assert!(pc.insert(VpcId(1), Vip(1), Pip(1), Admission::All).is_some());
+        assert_eq!(pc.lookup(VpcId(1), Vip(1)).map(|(p, _)| p), Some(Pip(1)));
+    }
+
+    #[test]
+    fn zero_lines_per_partition_degrades_gracefully() {
+        let mut pc = PartitionedCache::new(1, 4, AdmissionPolicy::FirstComeFirstServed);
+        assert!(pc.insert(VpcId(1), Vip(1), Pip(1), Admission::All).is_none());
+        assert_eq!(pc.occupancy(), 0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Property tests: the direct-mapped cache against a reference model.
+//!
+//! The reference model is a plain map from line index to (key, value,
+//! access bit), recomputing the hash the same way; any divergence between
+//! model and implementation across random operation sequences is a bug.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use sv2p_packet::{Pip, Vip};
+use switchv2p::cache::{Admission, DirectMappedCache, InsertOutcome};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Lookup(u32),
+    InsertAll(u32, u32),
+    InsertAbit(u32, u32),
+    Invalidate(u32),
+    InvalidateIf(u32, u32),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    // Keys drawn from a small space to force collisions.
+    let key = 0u32..64;
+    prop_oneof![
+        key.clone().prop_map(Op::Lookup),
+        (key.clone(), any::<u32>()).prop_map(|(k, v)| Op::InsertAll(k, v)),
+        (key.clone(), any::<u32>()).prop_map(|(k, v)| Op::InsertAbit(k, v)),
+        key.clone().prop_map(Op::Invalidate),
+        (key, any::<u32>()).prop_map(|(k, v)| Op::InvalidateIf(k, v)),
+    ]
+}
+
+/// The reference: same hash, explicit line map.
+#[derive(Default)]
+struct Model {
+    lines: HashMap<usize, (u32, u32, bool)>,
+    capacity: usize,
+}
+
+impl Model {
+    fn index(&self, vip: u32) -> usize {
+        let mut h = vip as u64;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 29;
+        (h % self.capacity as u64) as usize
+    }
+
+    fn lookup(&mut self, k: u32) -> Option<(u32, bool)> {
+        let idx = self.index(k);
+        match self.lines.get_mut(&idx) {
+            Some((key, val, abit)) if *key == k => {
+                let was = *abit;
+                *abit = true;
+                Some((*val, was))
+            }
+            Some((_, _, abit)) => {
+                *abit = false;
+                None
+            }
+            None => None,
+        }
+    }
+
+    fn insert(&mut self, k: u32, v: u32, admission: Admission) {
+        let idx = self.index(k);
+        match self.lines.get_mut(&idx) {
+            None => {
+                self.lines.insert(idx, (k, v, false));
+            }
+            Some((key, val, _)) if *key == k => *val = v,
+            Some((_, _, abit)) => {
+                if admission == Admission::All || !*abit {
+                    self.lines.insert(idx, (k, v, false));
+                }
+            }
+        }
+    }
+
+    fn invalidate(&mut self, k: u32, only_if: Option<u32>) {
+        let idx = self.index(k);
+        if let Some((key, val, _)) = self.lines.get(&idx) {
+            if *key == k && only_if.is_none_or(|v| v == *val) {
+                self.lines.remove(&idx);
+            }
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn cache_matches_reference_model(
+        capacity in 1usize..32,
+        ops in proptest::collection::vec(arb_op(), 0..200),
+    ) {
+        let mut cache = DirectMappedCache::new(capacity);
+        let mut model = Model {
+            capacity,
+            ..Default::default()
+        };
+        for op in ops {
+            match op {
+                Op::Lookup(k) => {
+                    let got = cache.lookup(Vip(k)).map(|(p, a)| (p.0, a));
+                    let want = model.lookup(k);
+                    prop_assert_eq!(got, want, "lookup({})", k);
+                }
+                Op::InsertAll(k, v) => {
+                    cache.insert(Vip(k), Pip(v), Admission::All);
+                    model.insert(k, v, Admission::All);
+                }
+                Op::InsertAbit(k, v) => {
+                    cache.insert(Vip(k), Pip(v), Admission::AbitClear);
+                    model.insert(k, v, Admission::AbitClear);
+                }
+                Op::Invalidate(k) => {
+                    cache.invalidate(Vip(k), None);
+                    model.invalidate(k, None);
+                }
+                Op::InvalidateIf(k, v) => {
+                    cache.invalidate(Vip(k), Some(Pip(v)));
+                    model.invalidate(k, Some(v));
+                }
+            }
+            prop_assert_eq!(cache.occupancy(), model.lines.len());
+            prop_assert!(cache.occupancy() <= capacity);
+        }
+    }
+
+    #[test]
+    fn eviction_reports_are_accurate(
+        capacity in 1usize..8,
+        inserts in proptest::collection::vec((0u32..32, any::<u32>()), 1..100),
+    ) {
+        // Whatever the sequence, an Evicted outcome must name exactly the
+        // entry that was resident, and the new entry must be present after.
+        let mut cache = DirectMappedCache::new(capacity);
+        let mut present: HashMap<u32, u32> = HashMap::new();
+        for (k, v) in inserts {
+            match cache.insert(Vip(k), Pip(v), Admission::All) {
+                InsertOutcome::Evicted { vip, pip, .. } => {
+                    prop_assert_eq!(present.remove(&vip.0), Some(pip.0));
+                }
+                InsertOutcome::Inserted => {}
+                InsertOutcome::Updated => {
+                    prop_assert!(present.contains_key(&k));
+                }
+                InsertOutcome::Rejected => unreachable!("All admission never rejects"),
+            }
+            present.insert(k, v);
+            prop_assert_eq!(cache.peek(Vip(k)), Some(Pip(v)));
+        }
+    }
+}

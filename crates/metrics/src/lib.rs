@@ -1,0 +1,442 @@
+//! Metrics collection for simulation runs.
+//!
+//! Records every quantity the paper's evaluation reports (Table 2's rows):
+//! flow completion times, first-packet latency, cache hit rate and its
+//! per-layer distribution (Table 5), per-switch and per-pod byte counts
+//! (Figures 7–8), packet stretch, gateway load, misdelivery and
+//! invalidation accounting for the migration study (Table 4), and
+//! reordering (§4).
+//!
+//! [`Metrics`] is the recording surface the simulator writes into;
+//! [`RunSummary`] is the derived, serializable result the harness consumes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+
+use serde::Serialize;
+use sv2p_packet::{FlowId, SwitchTag};
+use sv2p_simcore::stats::{Percentiles, Running};
+use sv2p_simcore::SimTime;
+
+/// Topology layer of a switch, for Table 5 breakdowns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Layer {
+    /// Top-of-rack switches (including gateway ToRs).
+    Tor,
+    /// Pod switches (including gateway spines).
+    Spine,
+    /// Core switches.
+    Core,
+}
+
+/// Static description of one switch, registered up front.
+#[derive(Debug, Clone, Copy)]
+pub struct SwitchInfo {
+    /// Its layer.
+    pub layer: Layer,
+    /// Its pod (`None` for cores).
+    pub pod: Option<u16>,
+}
+
+/// Per-flow in-progress record.
+#[derive(Debug, Clone, Copy)]
+struct FlowRecord {
+    started: SimTime,
+    completed: Option<SimTime>,
+    first_pkt_latency: Option<f64>,
+}
+
+/// The recording surface.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    switches: Vec<SwitchInfo>,
+    /// Bytes processed per switch (a packet counts at every switch it
+    /// traverses, matching Figure 7's counting rule).
+    pub bytes_by_switch: Vec<u64>,
+    flows: HashMap<FlowId, FlowRecord>,
+
+    /// Tenant data packets handed to the network by senders.
+    pub data_packets_sent: u64,
+    /// Tenant data packets delivered to their (correct) destination VM.
+    pub data_packets_delivered: u64,
+    /// Tenant data packets dropped anywhere.
+    pub packets_dropped: u64,
+    /// Tenant data packets that were processed by a translation gateway.
+    pub gateway_packets: u64,
+    /// Tenant data packets that a switch cache resolved.
+    pub cache_hits: u64,
+    /// Cache hits by switch layer.
+    pub hits_by_layer: HashMap<Layer, u64>,
+    /// Cache hits of flow-first packets, by layer.
+    pub first_hits_by_layer: HashMap<Layer, u64>,
+    /// First packets sent (denominator for first-packet hit shares).
+    pub first_packets_sent: u64,
+
+    /// Switch hops per delivered packet (packet stretch, §5.3).
+    pub stretch: Running,
+    /// End-to-end latency per delivered data packet, microseconds.
+    pub packet_latency_us: Running,
+    /// Flow-first-packet end-to-end latency, microseconds.
+    pub first_packet_latency_us: Percentiles,
+    /// Completed-flow FCTs, microseconds.
+    pub fct_us: Percentiles,
+
+    /// Packets that arrived at a host that no longer hosts the VM.
+    pub misdelivered_packets: u64,
+    /// Arrival time of the last misdelivered packet (Table 4).
+    pub last_misdelivery: Option<SimTime>,
+    /// Invalidation packets generated.
+    pub invalidation_packets: u64,
+    /// Learning packets generated.
+    pub learning_packets: u64,
+    /// Spillover options successfully reinserted at another switch.
+    pub spillover_inserts: u64,
+    /// Promotions accepted at core switches.
+    pub promotion_inserts: u64,
+    /// Reordered segment observations summed over receivers.
+    pub reordered_segments: u64,
+    /// TCP retransmissions summed over senders.
+    pub retransmissions: u64,
+}
+
+impl Metrics {
+    /// Creates the recorder; switches must be registered before use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers switch `tag` (tags must be dense, registered in order).
+    pub fn register_switch(&mut self, tag: SwitchTag, info: SwitchInfo) {
+        assert_eq!(tag.0 as usize, self.switches.len(), "tags must be dense");
+        self.switches.push(info);
+        self.bytes_by_switch.push(0);
+    }
+
+    /// Number of registered switches.
+    pub fn switch_count(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// A packet of `bytes` traversed switch `tag`.
+    pub fn record_switch_bytes(&mut self, tag: SwitchTag, bytes: u32) {
+        self.bytes_by_switch[tag.0 as usize] += bytes as u64;
+    }
+
+    /// A switch cache resolved a packet.
+    pub fn record_cache_hit(&mut self, tag: SwitchTag, first_of_flow: bool) {
+        self.cache_hits += 1;
+        let layer = self.switches[tag.0 as usize].layer;
+        *self.hits_by_layer.entry(layer).or_insert(0) += 1;
+        if first_of_flow {
+            *self.first_hits_by_layer.entry(layer).or_insert(0) += 1;
+        }
+    }
+
+    /// A flow's first packet entered the network.
+    pub fn flow_started(&mut self, flow: FlowId, now: SimTime) {
+        self.flows.insert(
+            flow,
+            FlowRecord {
+                started: now,
+                completed: None,
+                first_pkt_latency: None,
+            },
+        );
+        self.first_packets_sent += 1;
+    }
+
+    /// A flow's first packet reached its destination.
+    pub fn first_packet_delivered(&mut self, flow: FlowId, now: SimTime) {
+        if let Some(rec) = self.flows.get_mut(&flow) {
+            if rec.first_pkt_latency.is_none() {
+                let lat = now.saturating_since(rec.started).as_micros_f64();
+                rec.first_pkt_latency = Some(lat);
+                self.first_packet_latency_us.push(lat);
+            }
+        }
+    }
+
+    /// A flow finished (all bytes acked / last datagram delivered).
+    pub fn flow_completed(&mut self, flow: FlowId, now: SimTime) {
+        if let Some(rec) = self.flows.get_mut(&flow) {
+            if rec.completed.is_none() {
+                rec.completed = Some(now);
+                self.fct_us
+                    .push(now.saturating_since(rec.started).as_micros_f64());
+            }
+        }
+    }
+
+    /// A data packet was delivered; records latency and stretch.
+    pub fn record_delivery(&mut self, sent_at: SimTime, now: SimTime, switch_hops: u16) {
+        self.data_packets_delivered += 1;
+        self.packet_latency_us
+            .push(now.saturating_since(sent_at).as_micros_f64());
+        self.stretch.push(switch_hops as f64);
+    }
+
+    /// A packet arrived at a host that no longer hosts the destination VM.
+    pub fn record_misdelivery(&mut self, now: SimTime) {
+        self.misdelivered_packets += 1;
+        self.last_misdelivery = Some(match self.last_misdelivery {
+            Some(t) => t.max(now),
+            None => now,
+        });
+    }
+
+    /// Fraction of data packets that avoided the gateways ("the fraction of
+    /// all sent packets that do not reach the gateways", §5.1).
+    pub fn hit_rate(&self) -> f64 {
+        if self.data_packets_sent == 0 {
+            return 0.0;
+        }
+        1.0 - self.gateway_packets as f64 / self.data_packets_sent as f64
+    }
+
+    /// Total bytes processed by all switches in `pod`.
+    pub fn pod_bytes(&self, pod: u16) -> u64 {
+        self.switches
+            .iter()
+            .zip(&self.bytes_by_switch)
+            .filter(|(s, _)| s.pod == Some(pod))
+            .map(|(_, &b)| b)
+            .sum()
+    }
+
+    /// Total bytes processed by all switches (network load proxy, §5.3).
+    pub fn total_switch_bytes(&self) -> u64 {
+        self.bytes_by_switch.iter().sum()
+    }
+
+    /// Completed flow count.
+    pub fn flows_completed(&self) -> usize {
+        self.flows.values().filter(|f| f.completed.is_some()).count()
+    }
+
+    /// Derives the serializable summary.
+    pub fn summary(&mut self, name: &str) -> RunSummary {
+        let layer_share = |map: &HashMap<Layer, u64>| {
+            let total: u64 = map.values().sum();
+            let pct = |l: Layer| {
+                if total == 0 {
+                    0.0
+                } else {
+                    *map.get(&l).unwrap_or(&0) as f64 / total as f64
+                }
+            };
+            (pct(Layer::Core), pct(Layer::Spine), pct(Layer::Tor))
+        };
+        let (hit_core, hit_spine, hit_tor) = layer_share(&self.hits_by_layer);
+        let (fhit_core, fhit_spine, fhit_tor) = layer_share(&self.first_hits_by_layer);
+        RunSummary {
+            name: name.to_string(),
+            flows: self.flows.len() as u64,
+            flows_completed: self.flows_completed() as u64,
+            data_packets_sent: self.data_packets_sent,
+            data_packets_delivered: self.data_packets_delivered,
+            packets_dropped: self.packets_dropped,
+            gateway_packets: self.gateway_packets,
+            hit_rate: self.hit_rate(),
+            avg_fct_us: self.fct_us.mean(),
+            p99_fct_us: self.fct_us.quantile(0.99),
+            avg_first_packet_latency_us: self.first_packet_latency_us.mean(),
+            p99_first_packet_latency_us: self.first_packet_latency_us.quantile(0.99),
+            avg_packet_latency_us: self.packet_latency_us.mean(),
+            avg_stretch: self.stretch.mean(),
+            total_switch_bytes: self.total_switch_bytes(),
+            misdelivered_packets: self.misdelivered_packets,
+            last_misdelivery_us: self.last_misdelivery.map(|t| t.as_micros_f64()),
+            invalidation_packets: self.invalidation_packets,
+            learning_packets: self.learning_packets,
+            reordered_segments: self.reordered_segments,
+            retransmissions: self.retransmissions,
+            hit_share_core: hit_core,
+            hit_share_spine: hit_spine,
+            hit_share_tor: hit_tor,
+            first_hit_share_core: fhit_core,
+            first_hit_share_spine: fhit_spine,
+            first_hit_share_tor: fhit_tor,
+        }
+    }
+}
+
+/// Derived results of one simulation run.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunSummary {
+    /// Scheme/run label.
+    pub name: String,
+    /// Flows started.
+    pub flows: u64,
+    /// Flows that completed.
+    pub flows_completed: u64,
+    /// Data packets handed to the network.
+    pub data_packets_sent: u64,
+    /// Data packets delivered.
+    pub data_packets_delivered: u64,
+    /// Data packets dropped.
+    pub packets_dropped: u64,
+    /// Data packets processed by gateways.
+    pub gateway_packets: u64,
+    /// 1 − gateway share.
+    pub hit_rate: f64,
+    /// Mean flow completion time.
+    pub avg_fct_us: f64,
+    /// 99th-percentile FCT.
+    pub p99_fct_us: f64,
+    /// Mean first-packet latency.
+    pub avg_first_packet_latency_us: f64,
+    /// 99th-percentile first-packet latency.
+    pub p99_first_packet_latency_us: f64,
+    /// Mean per-packet latency.
+    pub avg_packet_latency_us: f64,
+    /// Mean switches traversed per delivered packet.
+    pub avg_stretch: f64,
+    /// Total bytes processed across all switches.
+    pub total_switch_bytes: u64,
+    /// Misdelivered packet count (Table 4).
+    pub misdelivered_packets: u64,
+    /// Arrival time of the last misdelivered packet, µs (Table 4).
+    pub last_misdelivery_us: Option<f64>,
+    /// Invalidation packets generated (Table 4).
+    pub invalidation_packets: u64,
+    /// Learning packets generated.
+    pub learning_packets: u64,
+    /// Reordered segments observed by receivers.
+    pub reordered_segments: u64,
+    /// TCP retransmissions.
+    pub retransmissions: u64,
+    /// Share of cache hits at each layer (Table 5, "Total").
+    pub hit_share_core: f64,
+    /// See `hit_share_core`.
+    pub hit_share_spine: f64,
+    /// See `hit_share_core`.
+    pub hit_share_tor: f64,
+    /// Share of first-packet hits at each layer (Table 5, "First packet").
+    pub first_hit_share_core: f64,
+    /// See `first_hit_share_core`.
+    pub first_hit_share_spine: f64,
+    /// See `first_hit_share_core`.
+    pub first_hit_share_tor: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sv2p_simcore::SimDuration;
+
+    fn recorder_with_switches() -> Metrics {
+        let mut m = Metrics::new();
+        m.register_switch(
+            SwitchTag(0),
+            SwitchInfo {
+                layer: Layer::Tor,
+                pod: Some(0),
+            },
+        );
+        m.register_switch(
+            SwitchTag(1),
+            SwitchInfo {
+                layer: Layer::Spine,
+                pod: Some(0),
+            },
+        );
+        m.register_switch(
+            SwitchTag(2),
+            SwitchInfo {
+                layer: Layer::Core,
+                pod: None,
+            },
+        );
+        m
+    }
+
+    #[test]
+    fn hit_rate_is_one_minus_gateway_share() {
+        let mut m = Metrics::new();
+        m.data_packets_sent = 100;
+        m.gateway_packets = 25;
+        assert!((m.hit_rate() - 0.75).abs() < 1e-12);
+        let empty = Metrics::new();
+        assert_eq!(empty.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn pod_bytes_filters_by_pod() {
+        let mut m = recorder_with_switches();
+        m.record_switch_bytes(SwitchTag(0), 100);
+        m.record_switch_bytes(SwitchTag(1), 200);
+        m.record_switch_bytes(SwitchTag(2), 400);
+        assert_eq!(m.pod_bytes(0), 300);
+        assert_eq!(m.pod_bytes(1), 0);
+        assert_eq!(m.total_switch_bytes(), 700);
+    }
+
+    #[test]
+    fn fct_and_first_packet_flow_accounting() {
+        let mut m = Metrics::new();
+        let f = FlowId(1);
+        m.flow_started(f, SimTime::from_micros(10));
+        m.first_packet_delivered(f, SimTime::from_micros(25));
+        // A second "first delivery" (retransmitted first segment) is ignored.
+        m.first_packet_delivered(f, SimTime::from_micros(60));
+        m.flow_completed(f, SimTime::from_micros(110));
+        m.flow_completed(f, SimTime::from_micros(500)); // duplicate ignored
+        let s = m.summary("x");
+        assert_eq!(s.flows, 1);
+        assert_eq!(s.flows_completed, 1);
+        assert!((s.avg_first_packet_latency_us - 15.0).abs() < 1e-9);
+        assert!((s.avg_fct_us - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn layer_shares_sum_to_one() {
+        let mut m = recorder_with_switches();
+        for _ in 0..7 {
+            m.record_cache_hit(SwitchTag(0), false);
+        }
+        for _ in 0..2 {
+            m.record_cache_hit(SwitchTag(1), true);
+        }
+        m.record_cache_hit(SwitchTag(2), true);
+        let s = m.summary("x");
+        assert!((s.hit_share_tor + s.hit_share_spine + s.hit_share_core - 1.0).abs() < 1e-12);
+        assert!((s.hit_share_tor - 0.7).abs() < 1e-12);
+        assert!((s.first_hit_share_spine - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.hit_share_core, 0.1);
+    }
+
+    #[test]
+    fn misdelivery_tracks_latest_arrival() {
+        let mut m = Metrics::new();
+        m.record_misdelivery(SimTime::from_micros(100));
+        m.record_misdelivery(SimTime::from_micros(50));
+        assert_eq!(m.misdelivered_packets, 2);
+        assert_eq!(m.last_misdelivery, Some(SimTime::from_micros(100)));
+    }
+
+    #[test]
+    fn delivery_records_latency_and_stretch() {
+        let mut m = Metrics::new();
+        let t0 = SimTime::from_micros(5);
+        m.record_delivery(t0, t0 + SimDuration::from_micros(20), 5);
+        m.record_delivery(t0, t0 + SimDuration::from_micros(10), 9);
+        assert_eq!(m.data_packets_delivered, 2);
+        assert!((m.packet_latency_us.mean() - 15.0).abs() < 1e-9);
+        assert!((m.stretch.mean() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense")]
+    fn sparse_switch_tags_panic() {
+        let mut m = Metrics::new();
+        m.register_switch(
+            SwitchTag(3),
+            SwitchInfo {
+                layer: Layer::Tor,
+                pod: None,
+            },
+        );
+    }
+}

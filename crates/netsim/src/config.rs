@@ -1,0 +1,58 @@
+//! Simulation-wide knobs.
+
+use sv2p_simcore::{SimDuration, SimTime};
+use sv2p_transport::TcpConfig;
+use sv2p_vnet::GatewayConfig;
+
+/// Parameters shared by every experiment, defaulted to the paper's §5 setup.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Experiment seed; forked into independent per-component streams.
+    pub seed: u64,
+    /// TCP profile. Defaults to the reordering-tolerant profile the paper
+    /// assumes of modern stacks (§4).
+    pub tcp: TcpConfig,
+    /// Gateway translation latency (40 µs).
+    pub gateway: GatewayConfig,
+    /// Drop-tail buffer per egress port ("we set the switch buffer size to
+    /// 32 MB").
+    pub port_buffer_bytes: u64,
+    /// Old-host processing per misdelivered packet (10 µs, §5.2).
+    pub misdelivery_penalty: SimDuration,
+    /// Base network RTT (12 µs) — the invalidation timestamp-vector window.
+    pub base_rtt: SimDuration,
+    /// Record the per-(src,dst) packet matrix (Controller baseline input).
+    pub record_traffic_matrix: bool,
+    /// Hard stop; events after this instant are not executed.
+    pub end_of_time: Option<SimTime>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 1,
+            tcp: TcpConfig::reorder_tolerant(),
+            gateway: GatewayConfig::default(),
+            port_buffer_bytes: 32 * 1024 * 1024,
+            misdelivery_penalty: SimDuration::from_micros(10),
+            base_rtt: SimDuration::from_micros(12),
+            record_traffic_matrix: false,
+            end_of_time: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        let c = SimConfig::default();
+        assert_eq!(c.gateway.processing(), SimDuration::from_micros(40));
+        assert_eq!(c.port_buffer_bytes, 32 * 1024 * 1024);
+        assert_eq!(c.base_rtt, SimDuration::from_micros(12));
+        assert_eq!(c.misdelivery_penalty, SimDuration::from_micros(10));
+        assert_eq!(c.tcp.dupack_threshold, 300);
+    }
+}

@@ -1,0 +1,219 @@
+//! Store-and-forward links with drop-tail egress queues.
+//!
+//! Each directed link owns the egress queue of its sending port. A packet
+//! occupies the transmitter for its serialization time and arrives at the
+//! receiver one propagation delay after transmission completes — the classic
+//! output-queued switch model NS3's point-to-point devices use.
+
+use std::collections::VecDeque;
+
+use sv2p_packet::Packet;
+use sv2p_simcore::{SimDuration, SimTime};
+
+/// Runtime state of one directed link.
+#[derive(Debug)]
+pub struct LinkState {
+    /// Line rate, bits per second.
+    pub bandwidth_bps: u64,
+    /// Propagation delay.
+    pub delay: SimDuration,
+    /// Buffer limit in bytes (drop-tail beyond it).
+    pub buffer_bytes: u64,
+    /// Queued packets awaiting transmission (excludes the one on the wire).
+    queue: VecDeque<Packet>,
+    /// Bytes currently queued.
+    queued_bytes: u64,
+    /// True while a packet is being serialized.
+    busy: bool,
+    /// Drops due to a full buffer.
+    pub drops: u64,
+}
+
+/// What [`LinkState::enqueue`] decided.
+#[derive(Debug, PartialEq, Eq)]
+pub enum EnqueueOutcome {
+    /// The link was idle: start transmitting now. Contains the serialization
+    /// time; arrival fires after `ser + delay`, the transmitter frees after
+    /// `ser`.
+    StartTx(SimDuration),
+    /// The packet joined the queue; transmission will start when the wire
+    /// frees up.
+    Queued,
+    /// Buffer full; the packet was dropped.
+    Dropped,
+}
+
+impl LinkState {
+    /// A link with the given rate, delay and buffer.
+    pub fn new(bandwidth_bps: u64, delay: SimDuration, buffer_bytes: u64) -> Self {
+        LinkState {
+            bandwidth_bps,
+            delay,
+            buffer_bytes,
+            queue: VecDeque::new(),
+            queued_bytes: 0,
+            busy: false,
+            drops: 0,
+        }
+    }
+
+    /// Serialization time of `pkt` on this link.
+    pub fn ser_time(&self, pkt: &Packet) -> SimDuration {
+        SimDuration::serialization(pkt.wire_size(), self.bandwidth_bps)
+    }
+
+    /// Offers a packet to the egress port.
+    pub fn enqueue(&mut self, pkt: Packet) -> EnqueueOutcome {
+        if !self.busy {
+            self.busy = true;
+            let ser = self.ser_time(&pkt);
+            self.queue.push_front(pkt); // the in-flight packet sits at the head
+            EnqueueOutcome::StartTx(ser)
+        } else if self.queued_bytes + pkt.wire_size() as u64 <= self.buffer_bytes {
+            self.queued_bytes += pkt.wire_size() as u64;
+            self.queue.push_back(pkt);
+            EnqueueOutcome::Queued
+        } else {
+            self.drops += 1;
+            EnqueueOutcome::Dropped
+        }
+    }
+
+    /// Transmission of the head packet finished: returns the transmitted
+    /// packet (to schedule its arrival) and, if more are queued, the
+    /// serialization time of the next one (to schedule the next tx-done).
+    pub fn tx_done(&mut self) -> (Packet, Option<SimDuration>) {
+        debug_assert!(self.busy, "tx_done on idle link");
+        let sent = self.queue.pop_front().expect("tx_done with empty queue");
+        match self.queue.front() {
+            Some(next) => {
+                self.queued_bytes -= next.wire_size() as u64;
+                let ser = self.ser_time(next);
+                (sent, Some(ser))
+            }
+            None => {
+                self.busy = false;
+                (sent, None)
+            }
+        }
+    }
+
+    /// Arrival time of a packet whose transmission starts at `now`.
+    pub fn arrival_after(&self, ser: SimDuration) -> SimDuration {
+        ser + self.delay
+    }
+
+    /// Queue depth in packets (excludes the in-flight one).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len().saturating_sub(self.busy as usize)
+    }
+
+    /// Arrival instant helper for tests.
+    pub fn arrival_at(&self, now: SimTime, ser: SimDuration) -> SimTime {
+        now + self.arrival_after(ser)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sv2p_packet::packet::MSS;
+    use sv2p_packet::{
+        FlowId, InnerHeader, OuterHeader, Packet, PacketId, PacketKind, Pip, TcpFlags,
+        TunnelOptions, Vip,
+    };
+
+    fn pkt(payload: u32) -> Packet {
+        Packet {
+            id: PacketId(0),
+            flow: FlowId(0),
+            kind: PacketKind::Data,
+            outer: OuterHeader {
+                src_pip: Pip(1),
+                dst_pip: Pip(2),
+                resolved: true,
+            },
+            inner: InnerHeader {
+                src_vip: Vip(1),
+                dst_vip: Vip(2),
+                src_port: 1,
+                dst_port: 2,
+                protocol: sv2p_packet::packet::Protocol::Udp,
+                seq: 0,
+                ack: 0,
+                flags: TcpFlags::default(),
+            },
+            opts: TunnelOptions::default(),
+            payload,
+            switch_hops: 0,
+            sent_ns: 0,
+            first_of_flow: false,
+            visited_gateway: false,
+        }
+    }
+
+    fn link() -> LinkState {
+        // 100G, 1us, room for exactly two MSS packets in the queue.
+        LinkState::new(
+            100_000_000_000,
+            SimDuration::from_micros(1),
+            2 * (MSS as u64 + 60),
+        )
+    }
+
+    #[test]
+    fn idle_link_starts_immediately() {
+        let mut l = link();
+        match l.enqueue(pkt(MSS)) {
+            EnqueueOutcome::StartTx(ser) => {
+                // 1060 B at 100G = 84.8 -> 85 ns.
+                assert_eq!(ser.as_nanos(), 85);
+                assert_eq!(l.arrival_after(ser).as_nanos(), 1085);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn busy_link_queues_then_drops() {
+        let mut l = link();
+        assert!(matches!(l.enqueue(pkt(MSS)), EnqueueOutcome::StartTx(_)));
+        assert_eq!(l.enqueue(pkt(MSS)), EnqueueOutcome::Queued);
+        assert_eq!(l.enqueue(pkt(MSS)), EnqueueOutcome::Queued);
+        assert_eq!(l.enqueue(pkt(MSS)), EnqueueOutcome::Dropped);
+        assert_eq!(l.drops, 1);
+        assert_eq!(l.queue_len(), 2);
+    }
+
+    #[test]
+    fn tx_done_drains_fifo() {
+        let mut l = link();
+        let mut a = pkt(MSS);
+        a.id = PacketId(1);
+        let mut b = pkt(100);
+        b.id = PacketId(2);
+        l.enqueue(a);
+        l.enqueue(b);
+        let (sent, next) = l.tx_done();
+        assert_eq!(sent.id, PacketId(1));
+        let ser_b = next.expect("second packet pending");
+        // 160 B at 100G = 12.8 -> 13 ns.
+        assert_eq!(ser_b.as_nanos(), 13);
+        let (sent2, next2) = l.tx_done();
+        assert_eq!(sent2.id, PacketId(2));
+        assert!(next2.is_none());
+        // Link is idle again.
+        assert!(matches!(l.enqueue(pkt(1)), EnqueueOutcome::StartTx(_)));
+    }
+
+    #[test]
+    fn freed_buffer_accepts_again() {
+        let mut l = link();
+        l.enqueue(pkt(MSS));
+        l.enqueue(pkt(MSS));
+        l.enqueue(pkt(MSS));
+        assert_eq!(l.enqueue(pkt(MSS)), EnqueueOutcome::Dropped);
+        l.tx_done(); // frees one queue slot
+        assert_eq!(l.enqueue(pkt(MSS)), EnqueueOutcome::Queued);
+    }
+}

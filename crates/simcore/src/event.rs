@@ -1,0 +1,220 @@
+//! The event calendar: a binary-heap priority queue with deterministic
+//! tie-breaking.
+//!
+//! Two events scheduled for the same instant pop in the order they were
+//! pushed (FIFO), which makes whole simulations reproducible regardless of
+//! heap internals. The payload type is generic so unit tests can drive the
+//! queue with plain integers while the network simulator uses its own event
+//! enum.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An event stamped with its due time and a monotone sequence number.
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<E> {
+    /// When the event fires.
+    pub time: SimTime,
+    /// Push order, used to break ties among simultaneous events.
+    pub seq: u64,
+    /// The caller's payload.
+    pub payload: E,
+}
+
+impl<E> PartialEq for ScheduledEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for ScheduledEvent<E> {}
+
+impl<E> PartialOrd for ScheduledEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for ScheduledEvent<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event calendar.
+///
+/// Invariants:
+/// * events pop in nondecreasing time order;
+/// * among equal times, in push (FIFO) order;
+/// * scheduling in the past is a logic error and panics in debug builds
+///   (in release it clamps to "now", which keeps long batch sweeps alive).
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<ScheduledEvent<E>>,
+    next_seq: u64,
+    now: SimTime,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty calendar positioned at t = 0.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// Creates an empty calendar with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// The current virtual time: the timestamp of the last popped event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.popped
+    }
+
+    /// Schedules `payload` at absolute time `at`.
+    ///
+    /// Returns the sequence number, which uniquely identifies the scheduling
+    /// (timers use it for lazy cancellation).
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) -> u64 {
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at:?} < now {:?}",
+            self.now
+        );
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent {
+            time: at,
+            seq,
+            payload,
+        });
+        seq
+    }
+
+    /// Schedules `payload` after a delay from the current time.
+    pub fn schedule_in(&mut self, delay: crate::time::SimDuration, payload: E) -> u64 {
+        self.schedule_at(self.now + delay, payload)
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        let ev = self.heap.pop()?;
+        debug_assert!(ev.time >= self.now, "heap produced an out-of-order event");
+        self.now = ev.time;
+        self.popped += 1;
+        Some(ev)
+    }
+
+    /// The timestamp of the next pending event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_nanos(30), "c");
+        q.schedule_at(SimTime::from_nanos(10), "a");
+        q.schedule_at(SimTime::from_nanos(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+        assert_eq!(q.now(), SimTime::from_nanos(30));
+        assert_eq!(q.events_executed(), 3);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(5);
+        for i in 0..100 {
+            q.schedule_at(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_nanos(100), 0);
+        q.pop();
+        q.schedule_in(SimDuration::from_nanos(50), 1);
+        let e = q.pop().unwrap();
+        assert_eq!(e.time, SimTime::from_nanos(150));
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_nanos(10), 1);
+        q.schedule_at(SimTime::from_nanos(40), 4);
+        assert_eq!(q.pop().unwrap().payload, 1);
+        q.schedule_at(SimTime::from_nanos(20), 2);
+        q.schedule_at(SimTime::from_nanos(30), 3);
+        let rest: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(rest, vec![2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    #[cfg(debug_assertions)]
+    fn scheduling_in_the_past_panics_in_debug() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_nanos(100), ());
+        q.pop();
+        q.schedule_at(SimTime::from_nanos(50), ());
+    }
+
+    #[test]
+    fn peek_does_not_advance_clock() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_nanos(10), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(10)));
+        assert_eq!(q.now(), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,42 @@
+//! Discrete-event simulation core for the SwitchV2P reproduction.
+//!
+//! This crate replaces the NS3 scheduler used by the paper's artifact with a
+//! small, deterministic, single-threaded event engine:
+//!
+//! * [`SimTime`] / [`SimDuration`] — virtual time with nanosecond resolution.
+//! * [`EventQueue`] — a calendar built on a binary heap with stable FIFO
+//!   ordering among simultaneous events, so runs are bit-for-bit repeatable.
+//! * [`TimerWheel`] — cancellable timers layered on top of the calendar
+//!   (used by TCP retransmission and the control plane).
+//! * [`SimRng`] — a seedable, splittable pseudo-random stream so that every
+//!   component draws from an independent, reproducible sequence.
+//!
+//! The engine is intentionally synchronous: a packet-level data-center
+//! simulator is CPU-bound, and single-threaded determinism is worth more than
+//! concurrency inside one run (parameter sweeps parallelize across runs
+//! instead — see the `sv2p-bench` crate).
+//!
+//! ```
+//! use sv2p_simcore::{EventQueue, SimDuration, SimTime};
+//!
+//! let mut q: EventQueue<&str> = EventQueue::new();
+//! q.schedule_at(SimTime::from_micros(40), "gateway done");
+//! q.schedule_in(SimDuration::from_micros(1), "link arrival");
+//! let first = q.pop().unwrap();
+//! assert_eq!(first.payload, "link arrival");
+//! assert_eq!(q.now(), SimTime::from_micros(1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod timer;
+
+pub use event::{EventQueue, ScheduledEvent};
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};
+pub use timer::{TimerHandle, TimerWheel};

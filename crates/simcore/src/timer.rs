@@ -1,0 +1,173 @@
+//! Cancellable timers layered on the event calendar.
+//!
+//! The calendar itself only supports push/pop; cancellation (needed by TCP
+//! retransmission timers that are rearmed on every ACK) is implemented lazily:
+//! each armed timer carries a generation number, and firing a timer whose
+//! generation is stale is a no-op. This is the classic approach used by
+//! production event loops — O(1) cancel, no heap surgery.
+
+use std::collections::HashMap;
+
+use crate::time::SimTime;
+
+/// Identifies one logical timer that may be armed, rearmed and cancelled.
+///
+/// The owner allocates handles from [`TimerWheel::register`]; the `(handle,
+/// generation)` pair travels inside the simulator's event payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerHandle(pub u32);
+
+/// Per-timer bookkeeping.
+#[derive(Debug, Clone, Copy)]
+struct TimerState {
+    /// Incremented on every arm/cancel; a firing with an older generation is
+    /// ignored.
+    generation: u64,
+    /// When the currently armed generation fires, if armed.
+    deadline: Option<SimTime>,
+}
+
+/// Lazy-cancellation timer table.
+///
+/// The wheel does not own the calendar: `arm` returns the `(handle,
+/// generation)` token that the caller must schedule, and `should_fire`
+/// filters stale tokens when they pop. Keeping the two decoupled lets the
+/// simulator store timer tokens inside its own event enum.
+#[derive(Debug, Default)]
+pub struct TimerWheel {
+    timers: HashMap<TimerHandle, TimerState>,
+    next_id: u32,
+}
+
+/// The token to embed in a scheduled event for a timer firing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerToken {
+    /// Which logical timer.
+    pub handle: TimerHandle,
+    /// Which arming of it.
+    pub generation: u64,
+}
+
+impl TimerWheel {
+    /// Creates an empty wheel.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a new logical timer in the disarmed state.
+    pub fn register(&mut self) -> TimerHandle {
+        let h = TimerHandle(self.next_id);
+        self.next_id += 1;
+        self.timers.insert(
+            h,
+            TimerState {
+                generation: 0,
+                deadline: None,
+            },
+        );
+        h
+    }
+
+    /// Arms (or rearms) `handle` to fire at `deadline`.
+    ///
+    /// Returns the token the caller must schedule on its calendar. Any
+    /// previously armed firing of this handle becomes stale.
+    pub fn arm(&mut self, handle: TimerHandle, deadline: SimTime) -> TimerToken {
+        let st = self.timers.get_mut(&handle).expect("unknown timer handle");
+        st.generation += 1;
+        st.deadline = Some(deadline);
+        TimerToken {
+            handle,
+            generation: st.generation,
+        }
+    }
+
+    /// Cancels any pending firing of `handle`.
+    pub fn cancel(&mut self, handle: TimerHandle) {
+        if let Some(st) = self.timers.get_mut(&handle) {
+            st.generation += 1;
+            st.deadline = None;
+        }
+    }
+
+    /// True if the token is still the live arming of its timer. Consumes the
+    /// arming: a token fires at most once.
+    pub fn should_fire(&mut self, token: TimerToken) -> bool {
+        match self.timers.get_mut(&token.handle) {
+            Some(st) if st.generation == token.generation => {
+                // Consume the arming so the same token cannot fire twice.
+                st.generation += 1;
+                st.deadline = None;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The pending deadline of `handle`, if armed.
+    pub fn deadline(&self, handle: TimerHandle) -> Option<SimTime> {
+        self.timers.get(&handle).and_then(|s| s.deadline)
+    }
+
+    /// True if `handle` has a pending firing.
+    pub fn is_armed(&self, handle: TimerHandle) -> bool {
+        self.deadline(handle).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_timer_is_disarmed() {
+        let mut w = TimerWheel::new();
+        let h = w.register();
+        assert!(!w.is_armed(h));
+        assert_eq!(w.deadline(h), None);
+    }
+
+    #[test]
+    fn armed_token_fires_once() {
+        let mut w = TimerWheel::new();
+        let h = w.register();
+        let tok = w.arm(h, SimTime::from_micros(10));
+        assert!(w.is_armed(h));
+        assert!(w.should_fire(tok));
+        // The same token must not fire twice.
+        assert!(!w.should_fire(tok));
+        assert!(!w.is_armed(h));
+    }
+
+    #[test]
+    fn rearm_invalidates_previous_token() {
+        let mut w = TimerWheel::new();
+        let h = w.register();
+        let old = w.arm(h, SimTime::from_micros(10));
+        let new = w.arm(h, SimTime::from_micros(20));
+        assert!(!w.should_fire(old), "stale token fired");
+        assert!(w.should_fire(new));
+    }
+
+    #[test]
+    fn cancel_invalidates_token() {
+        let mut w = TimerWheel::new();
+        let h = w.register();
+        let tok = w.arm(h, SimTime::from_micros(10));
+        w.cancel(h);
+        assert!(!w.is_armed(h));
+        assert!(!w.should_fire(tok));
+    }
+
+    #[test]
+    fn timers_are_independent() {
+        let mut w = TimerWheel::new();
+        let a = w.register();
+        let b = w.register();
+        let ta = w.arm(a, SimTime::from_micros(1));
+        let tb = w.arm(b, SimTime::from_micros(2));
+        w.cancel(a);
+        assert!(!w.should_fire(ta));
+        assert!(w.should_fire(tb));
+    }
+}

@@ -1,0 +1,83 @@
+//! Property tests: the event calendar's ordering contract and the timer
+//! wheel's exactly-once firing, under arbitrary interleavings.
+
+use proptest::prelude::*;
+use sv2p_simcore::{EventQueue, SimTime, TimerWheel};
+
+proptest! {
+    #[test]
+    fn events_pop_in_time_then_fifo_order(
+        times in proptest::collection::vec(0u64..1_000, 1..300),
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule_at(SimTime::from_nanos(t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some(ev) = q.pop() {
+            if let Some((lt, li)) = last {
+                prop_assert!(ev.time >= lt);
+                if ev.time == lt {
+                    prop_assert!(ev.payload > li, "FIFO violated among ties");
+                }
+            }
+            last = Some((ev.time, ev.payload));
+        }
+        prop_assert_eq!(q.events_executed(), times.len() as u64);
+    }
+
+    #[test]
+    fn interleaved_scheduling_respects_causality(
+        script in proptest::collection::vec((0u64..50, any::<bool>()), 1..200),
+    ) {
+        // Alternate pushes (relative delays) and pops; the clock must be
+        // nondecreasing and every pop at or after its schedule time.
+        let mut q = EventQueue::new();
+        let mut clock = SimTime::ZERO;
+        for (delay, pop) in script {
+            if pop {
+                if let Some(ev) = q.pop() {
+                    prop_assert!(ev.time >= clock);
+                    clock = ev.time;
+                }
+            } else {
+                q.schedule_in(sv2p_simcore::SimDuration::from_nanos(delay), ());
+            }
+            prop_assert_eq!(q.now(), clock);
+        }
+    }
+
+    #[test]
+    fn timers_fire_exactly_once_per_live_arming(
+        ops in proptest::collection::vec((0u8..3, 0usize..4), 1..200),
+    ) {
+        // ops: (action, timer index) where action 0=arm, 1=cancel, 2=fire
+        // the latest token of that timer.
+        let mut wheel = TimerWheel::new();
+        let handles: Vec<_> = (0..4).map(|_| wheel.register()).collect();
+        let mut latest = [None; 4];
+        let mut armed = [false; 4];
+        for (i, (action, t)) in ops.into_iter().enumerate() {
+            match action {
+                0 => {
+                    let tok = wheel.arm(handles[t], SimTime::from_nanos(i as u64));
+                    latest[t] = Some(tok);
+                    armed[t] = true;
+                }
+                1 => {
+                    wheel.cancel(handles[t]);
+                    armed[t] = false;
+                }
+                _ => {
+                    if let Some(tok) = latest[t].take() {
+                        let fired = wheel.should_fire(tok);
+                        prop_assert_eq!(fired, armed[t], "timer {} state", t);
+                        armed[t] = false;
+                        // Firing again with the same token must be a no-op.
+                        prop_assert!(!wheel.should_fire(tok));
+                    }
+                }
+            }
+        }
+    }
+}

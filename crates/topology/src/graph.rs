@@ -1,0 +1,284 @@
+//! Nodes, directed links, and the topology container.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use sv2p_packet::Pip;
+
+/// Index of a node (server, gateway, or switch) in the topology.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct NodeId(pub u32);
+
+/// Index of a *directed* link. Every physical cable appears twice, once per
+/// direction, because each direction has its own egress queue in the
+/// simulator.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct LinkId(pub u32);
+
+/// What a node is and where it sits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// A VM-hosting server.
+    Server {
+        /// Pod index.
+        pod: u16,
+        /// Rack index within the pod.
+        rack: u16,
+        /// Slot within the rack.
+        slot: u16,
+    },
+    /// A translation gateway box, attached to its pod's gateway ToR.
+    Gateway {
+        /// Pod index.
+        pod: u16,
+        /// Slot under the gateway ToR.
+        slot: u16,
+    },
+    /// A top-of-rack switch.
+    Tor {
+        /// Pod index.
+        pod: u16,
+        /// Rack index within the pod.
+        rack: u16,
+    },
+    /// A pod (aggregation) switch.
+    Spine {
+        /// Pod index.
+        pod: u16,
+        /// Spine index within the pod.
+        idx: u16,
+    },
+    /// A core switch.
+    Core {
+        /// Core index.
+        idx: u16,
+    },
+}
+
+impl NodeKind {
+    /// True for switches of any layer.
+    pub fn is_switch(self) -> bool {
+        matches!(
+            self,
+            NodeKind::Tor { .. } | NodeKind::Spine { .. } | NodeKind::Core { .. }
+        )
+    }
+
+    /// True for end hosts (servers and gateways).
+    pub fn is_host(self) -> bool {
+        matches!(self, NodeKind::Server { .. } | NodeKind::Gateway { .. })
+    }
+
+    /// The pod this node belongs to, if it is pod-local.
+    pub fn pod(self) -> Option<u16> {
+        match self {
+            NodeKind::Server { pod, .. }
+            | NodeKind::Gateway { pod, .. }
+            | NodeKind::Tor { pod, .. }
+            | NodeKind::Spine { pod, .. } => Some(pod),
+            NodeKind::Core { .. } => None,
+        }
+    }
+}
+
+/// One node of the topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Node {
+    /// Its index.
+    pub id: NodeId,
+    /// Kind and location.
+    pub kind: NodeKind,
+    /// Physical address; hosts and gateways always have one, switches get one
+    /// too so invalidation packets can be addressed to them (§3.3).
+    pub pip: Pip,
+}
+
+/// One direction of a physical cable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DirectedLink {
+    /// Its index.
+    pub id: LinkId,
+    /// Transmitting node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// Line rate in bits per second.
+    pub bandwidth_bps: u64,
+    /// Propagation delay in nanoseconds.
+    pub delay_ns: u64,
+}
+
+/// A static network topology: nodes, directed links, port lists, and address
+/// maps. Built once by [`crate::fattree::FatTreeConfig::build`]; never
+/// mutated during simulation.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    /// All nodes, indexed by [`NodeId`].
+    pub nodes: Vec<Node>,
+    /// All directed links, indexed by [`LinkId`].
+    pub links: Vec<DirectedLink>,
+    /// Egress ports of each node.
+    pub out_links: Vec<Vec<LinkId>>,
+    adjacency: HashMap<(NodeId, NodeId), LinkId>,
+    pip_to_node: HashMap<Pip, NodeId>,
+}
+
+impl Topology {
+    /// Adds a node; `pip` must be unique.
+    pub fn add_node(&mut self, kind: NodeKind, pip: Pip) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node { id, kind, pip });
+        self.out_links.push(Vec::new());
+        let prev = self.pip_to_node.insert(pip, id);
+        assert!(prev.is_none(), "duplicate PIP {pip}");
+        id
+    }
+
+    /// Adds both directions of a cable between `a` and `b`.
+    pub fn add_cable(&mut self, a: NodeId, b: NodeId, bandwidth_bps: u64, delay_ns: u64) {
+        for (from, to) in [(a, b), (b, a)] {
+            let id = LinkId(self.links.len() as u32);
+            self.links.push(DirectedLink {
+                id,
+                from,
+                to,
+                bandwidth_bps,
+                delay_ns,
+            });
+            self.out_links[from.0 as usize].push(id);
+            let prev = self.adjacency.insert((from, to), id);
+            assert!(prev.is_none(), "duplicate cable {from:?}->{to:?}");
+        }
+    }
+
+    /// The node a PIP addresses, if any.
+    pub fn node_by_pip(&self, pip: Pip) -> Option<NodeId> {
+        self.pip_to_node.get(&pip).copied()
+    }
+
+    /// The directed link from `a` to `b`, if adjacent.
+    pub fn link_between(&self, a: NodeId, b: NodeId) -> Option<LinkId> {
+        self.adjacency.get(&(a, b)).copied()
+    }
+
+    /// Node accessor.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Link accessor.
+    pub fn link(&self, id: LinkId) -> &DirectedLink {
+        &self.links[id.0 as usize]
+    }
+
+    /// Iterates over all switch nodes.
+    pub fn switches(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.iter().filter(|n| n.kind.is_switch())
+    }
+
+    /// Iterates over all VM-hosting servers.
+    pub fn servers(&self) -> impl Iterator<Item = &Node> {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Server { .. }))
+    }
+
+    /// Iterates over all gateway boxes.
+    pub fn gateways(&self) -> impl Iterator<Item = &Node> {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::Gateway { .. }))
+    }
+
+    /// Number of switches.
+    pub fn switch_count(&self) -> usize {
+        self.switches().count()
+    }
+
+    /// The neighbors of `id` (one hop over any egress port).
+    pub fn neighbors(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.out_links[id.0 as usize]
+            .iter()
+            .map(|l| self.link(*l).to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> (Topology, NodeId, NodeId, NodeId) {
+        let mut t = Topology::default();
+        let h1 = t.add_node(
+            NodeKind::Server {
+                pod: 0,
+                rack: 0,
+                slot: 0,
+            },
+            Pip(1),
+        );
+        let tor = t.add_node(NodeKind::Tor { pod: 0, rack: 0 }, Pip(100));
+        let h2 = t.add_node(
+            NodeKind::Server {
+                pod: 0,
+                rack: 0,
+                slot: 1,
+            },
+            Pip(2),
+        );
+        t.add_cable(h1, tor, 100, 1000);
+        t.add_cable(h2, tor, 100, 1000);
+        (t, h1, tor, h2)
+    }
+
+    #[test]
+    fn cables_create_both_directions() {
+        let (t, h1, tor, h2) = tiny();
+        assert!(t.link_between(h1, tor).is_some());
+        assert!(t.link_between(tor, h1).is_some());
+        assert_ne!(t.link_between(h1, tor), t.link_between(tor, h1));
+        assert!(t.link_between(h1, h2).is_none());
+        assert_eq!(t.out_links[tor.0 as usize].len(), 2);
+    }
+
+    #[test]
+    fn pip_lookup() {
+        let (t, h1, _, _) = tiny();
+        assert_eq!(t.node_by_pip(Pip(1)), Some(h1));
+        assert_eq!(t.node_by_pip(Pip(999)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate PIP")]
+    fn duplicate_pip_panics() {
+        let mut t = Topology::default();
+        t.add_node(NodeKind::Core { idx: 0 }, Pip(1));
+        t.add_node(NodeKind::Core { idx: 1 }, Pip(1));
+    }
+
+    #[test]
+    fn kind_classification() {
+        assert!(NodeKind::Tor { pod: 0, rack: 0 }.is_switch());
+        assert!(NodeKind::Core { idx: 0 }.is_switch());
+        assert!(NodeKind::Server {
+            pod: 0,
+            rack: 0,
+            slot: 0
+        }
+        .is_host());
+        assert!(NodeKind::Gateway { pod: 0, slot: 0 }.is_host());
+        assert_eq!(NodeKind::Core { idx: 3 }.pod(), None);
+        assert_eq!(NodeKind::Spine { pod: 5, idx: 0 }.pod(), Some(5));
+    }
+
+    #[test]
+    fn neighbors_iterates_adjacent_nodes() {
+        let (t, h1, tor, h2) = tiny();
+        let n: Vec<_> = t.neighbors(tor).collect();
+        assert_eq!(n, vec![h1, h2]);
+    }
+}

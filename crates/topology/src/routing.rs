@@ -1,0 +1,384 @@
+//! Structural ECMP up-down routing.
+//!
+//! Routing is computed from node locations rather than precomputed all-pairs
+//! tables — FT16-400K has ~14 000 nodes and a dense next-hop matrix would
+//! dwarf the caches being studied. The rules are the standard FatTree
+//! up-down ones; among equal-cost choices the flow key picks one
+//! deterministically ("Flows are balanced among multiple paths using ECMP
+//! routing", §5).
+//!
+//! Switches are also routable destinations (invalidation packets are
+//! addressed to a switch, §3.3), which adds a few down-then-up cases that
+//! plain host-to-host routing never exercises.
+
+use std::collections::HashMap;
+
+use crate::fattree::FatTreeConfig;
+use crate::graph::{LinkId, NodeId, NodeKind, Topology};
+
+/// ECMP router over a built FatTree.
+#[derive(Debug, Clone)]
+pub struct Routing {
+    /// ToR of each (pod, rack).
+    tor: HashMap<(u16, u16), NodeId>,
+    /// Spines of each pod, by index.
+    spines: Vec<Vec<NodeId>>,
+    /// Core switches by index.
+    cores: Vec<NodeId>,
+    /// Cores per spine group.
+    m: u16,
+    racks_per_pod: u16,
+}
+
+impl Routing {
+    /// Builds the router for `topo` produced by `config.build()`.
+    pub fn new(config: &FatTreeConfig, topo: &Topology) -> Self {
+        let mut tor = HashMap::new();
+        let mut spines = vec![Vec::new(); config.pods as usize];
+        let mut cores = vec![NodeId(0); config.cores as usize];
+        for n in &topo.nodes {
+            match n.kind {
+                NodeKind::Tor { pod, rack } => {
+                    tor.insert((pod, rack), n.id);
+                }
+                NodeKind::Spine { pod, idx } => {
+                    let v = &mut spines[pod as usize];
+                    if v.len() <= idx as usize {
+                        v.resize(idx as usize + 1, n.id);
+                    }
+                    v[idx as usize] = n.id;
+                }
+                NodeKind::Core { idx } => cores[idx as usize] = n.id,
+                _ => {}
+            }
+        }
+        Routing {
+            tor,
+            spines,
+            cores,
+            m: config.core_group(),
+            racks_per_pod: config.racks_per_pod,
+        }
+    }
+
+    /// The ToR a host (server or gateway) is attached to.
+    pub fn tor_of(&self, topo: &Topology, host: NodeId) -> NodeId {
+        match topo.node(host).kind {
+            NodeKind::Server { pod, rack, .. } => self.tor[&(pod, rack)],
+            NodeKind::Gateway { pod, .. } => {
+                self.tor[&(pod, self.racks_per_pod - 1)]
+            }
+            k => panic!("tor_of on non-host {k:?}"),
+        }
+    }
+
+    /// The equal-cost egress links from `at` toward `dst` (empty iff
+    /// `at == dst`).
+    pub fn candidates(&self, topo: &Topology, at: NodeId, dst: NodeId) -> Vec<LinkId> {
+        if at == dst {
+            return Vec::new();
+        }
+        let at_kind = topo.node(at).kind;
+        let dst_kind = topo.node(dst).kind;
+        match at_kind {
+            NodeKind::Server { .. } | NodeKind::Gateway { .. } => {
+                let tor = self.tor_of(topo, at);
+                vec![topo.link_between(at, tor).expect("host uplink")]
+            }
+            NodeKind::Tor { pod, rack } => {
+                // Directly attached host?
+                match dst_kind {
+                    NodeKind::Server {
+                        pod: dp, rack: dr, ..
+                    } if dp == pod && dr == rack => {
+                        return vec![topo.link_between(at, dst).expect("rack downlink")];
+                    }
+                    NodeKind::Gateway { pod: dp, .. }
+                        if dp == pod && rack == self.racks_per_pod - 1 =>
+                    {
+                        return vec![topo.link_between(at, dst).expect("gateway downlink")];
+                    }
+                    NodeKind::Spine { pod: dp, .. } if dp == pod => {
+                        return vec![topo.link_between(at, dst).expect("pod spine uplink")];
+                    }
+                    NodeKind::Core { idx } => {
+                        // Only the spine of group idx/m reaches that core.
+                        let sp = self.spines[pod as usize][(idx / self.m) as usize];
+                        return vec![topo.link_between(at, sp).expect("spine uplink")];
+                    }
+                    _ => {}
+                }
+                // Anywhere else: up to any spine of the pod.
+                self.spines[pod as usize]
+                    .iter()
+                    .map(|&sp| topo.link_between(at, sp).expect("spine uplink"))
+                    .collect()
+            }
+            NodeKind::Spine { pod, idx } => {
+                match dst_kind {
+                    // Down into my pod.
+                    NodeKind::Server {
+                        pod: dp, rack: dr, ..
+                    } if dp == pod => {
+                        let tor = self.tor[&(dp, dr)];
+                        vec![topo.link_between(at, tor).expect("tor downlink")]
+                    }
+                    NodeKind::Gateway { pod: dp, .. } if dp == pod => {
+                        let tor = self.tor[&(dp, self.racks_per_pod - 1)];
+                        vec![topo.link_between(at, tor).expect("tor downlink")]
+                    }
+                    NodeKind::Tor { pod: dp, rack: dr } if dp == pod => {
+                        vec![topo.link_between(at, self.tor[&(dp, dr)]).expect("tor link")]
+                    }
+                    // A sibling spine: bounce through any ToR below.
+                    NodeKind::Spine { pod: dp, .. } if dp == pod => (0..self.racks_per_pod)
+                        .map(|r| {
+                            topo.link_between(at, self.tor[&(pod, r)]).expect("tor link")
+                        })
+                        .collect(),
+                    // A core I connect to directly; otherwise bounce down.
+                    NodeKind::Core { idx: c } => {
+                        if c / self.m == idx {
+                            vec![topo
+                                .link_between(at, self.cores[c as usize])
+                                .expect("core uplink")]
+                        } else {
+                            (0..self.racks_per_pod)
+                                .map(|r| {
+                                    topo.link_between(at, self.tor[&(pod, r)])
+                                        .expect("tor link")
+                                })
+                                .collect()
+                        }
+                    }
+                    // Another pod: up to my core group.
+                    _ => (0..self.m)
+                        .map(|j| {
+                            let c = self.cores[(idx * self.m + j) as usize];
+                            topo.link_between(at, c).expect("core uplink")
+                        })
+                        .collect(),
+                }
+            }
+            NodeKind::Core { idx } => {
+                // Down to the dst pod through my group's spine there.
+                let group = idx / self.m;
+                match dst_kind.pod() {
+                    Some(p) => {
+                        let sp = self.spines[p as usize][group as usize];
+                        vec![topo.link_between(at, sp).expect("spine downlink")]
+                    }
+                    None => {
+                        // Core-to-core: descend into some pod and re-ascend.
+                        // Rare (only mis-addressed control traffic); pick every
+                        // pod's group spine as candidates.
+                        self.spines
+                            .iter()
+                            .map(|pod_spines| {
+                                topo.link_between(at, pod_spines[group as usize])
+                                    .expect("spine downlink")
+                            })
+                            .collect()
+                    }
+                }
+            }
+        }
+    }
+
+    /// The single ECMP next hop for a packet with flow key `key`.
+    pub fn next_link(
+        &self,
+        topo: &Topology,
+        at: NodeId,
+        dst: NodeId,
+        key: u64,
+    ) -> Option<LinkId> {
+        let c = self.candidates(topo, at, dst);
+        if c.is_empty() {
+            None
+        } else {
+            // Mix the switch id into the hash, as real ASICs seed their ECMP
+            // hash per switch — otherwise the same low bits would pick
+            // correlated members at every layer and only a fraction of the
+            // core layer would ever be used.
+            let mut h = key ^ (at.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            h ^= h >> 33;
+            h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+            h ^= h >> 33;
+            Some(c[(h % c.len() as u64) as usize])
+        }
+    }
+
+    /// The full node path from `from` to `to` under flow key `key`,
+    /// inclusive of both endpoints. Panics on a routing loop (> 64 hops).
+    pub fn path(&self, topo: &Topology, from: NodeId, to: NodeId, key: u64) -> Vec<NodeId> {
+        let mut path = vec![from];
+        let mut at = from;
+        while at != to {
+            let link = self
+                .next_link(topo, at, to, key)
+                .expect("no route");
+            at = topo.link(link).to;
+            path.push(at);
+            assert!(path.len() <= 64, "routing loop: {path:?}");
+        }
+        path
+    }
+
+    /// Number of switches on the path (packet stretch metric, §5.3).
+    pub fn switch_hops(&self, topo: &Topology, from: NodeId, to: NodeId, key: u64) -> usize {
+        self.path(topo, from, to, key)
+            .iter()
+            .filter(|&&n| topo.node(n).kind.is_switch())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fattree::FatTreeConfig;
+
+    fn setup() -> (FatTreeConfig, Topology, Routing) {
+        let cfg = FatTreeConfig::ft8_10k();
+        let topo = cfg.build();
+        let routing = Routing::new(&cfg, &topo);
+        (cfg, topo, routing)
+    }
+
+    fn server(topo: &Topology, pod: u16, rack: u16, slot: u16) -> NodeId {
+        topo.nodes
+            .iter()
+            .find(|n| {
+                n.kind
+                    == NodeKind::Server {
+                        pod,
+                        rack,
+                        slot,
+                    }
+            })
+            .unwrap()
+            .id
+    }
+
+    #[test]
+    fn intra_rack_path_is_one_switch() {
+        let (_, topo, r) = setup();
+        let a = server(&topo, 0, 0, 0);
+        let b = server(&topo, 0, 0, 1);
+        assert_eq!(r.switch_hops(&topo, a, b, 0), 1);
+        let p = r.path(&topo, a, b, 0);
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn intra_pod_path_is_three_switches() {
+        let (_, topo, r) = setup();
+        let a = server(&topo, 0, 0, 0);
+        let b = server(&topo, 0, 1, 0);
+        assert_eq!(r.switch_hops(&topo, a, b, 7), 3);
+    }
+
+    #[test]
+    fn inter_pod_path_is_five_switches() {
+        let (_, topo, r) = setup();
+        let a = server(&topo, 0, 0, 0);
+        let b = server(&topo, 3, 2, 1);
+        assert_eq!(r.switch_hops(&topo, a, b, 42), 5);
+    }
+
+    #[test]
+    fn ecmp_spreads_and_is_deterministic() {
+        let (_, topo, r) = setup();
+        let a = server(&topo, 0, 0, 0);
+        let b = server(&topo, 5, 1, 0);
+        let p1 = r.path(&topo, a, b, 1);
+        let p1b = r.path(&topo, a, b, 1);
+        assert_eq!(p1, p1b, "same key must give the same path");
+        // Different keys must reach different core switches eventually.
+        let mut distinct_cores = std::collections::HashSet::new();
+        for key in 0..64u64 {
+            let p = r.path(&topo, a, b, key);
+            for n in p {
+                if let NodeKind::Core { idx } = topo.node(n).kind {
+                    distinct_cores.insert(idx);
+                }
+            }
+        }
+        assert!(
+            distinct_cores.len() >= 8,
+            "ECMP used only {distinct_cores:?}"
+        );
+    }
+
+    #[test]
+    fn all_pairs_route_without_loops() {
+        // Sampled all-kinds reachability: every node can reach every other.
+        let (_, topo, r) = setup();
+        let sample: Vec<NodeId> = topo
+            .nodes
+            .iter()
+            .step_by(17)
+            .map(|n| n.id)
+            .collect();
+        for &a in &sample {
+            for &b in &sample {
+                if a != b {
+                    let p = r.path(&topo, a, b, 13);
+                    assert_eq!(*p.first().unwrap(), a);
+                    assert_eq!(*p.last().unwrap(), b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn switch_addressed_routing_works() {
+        // Invalidation packets travel host -> switch and switch -> switch.
+        let (_, topo, r) = setup();
+        let host = server(&topo, 1, 0, 0);
+        for sw in topo.switches().map(|n| n.id).take(20) {
+            let p = r.path(&topo, host, sw, 3);
+            assert_eq!(*p.last().unwrap(), sw);
+        }
+        // ToR to a sibling spine's core and spine-to-spine bounces.
+        let tor = topo
+            .nodes
+            .iter()
+            .find(|n| n.kind == NodeKind::Tor { pod: 0, rack: 0 })
+            .unwrap()
+            .id;
+        let spine_far = topo
+            .nodes
+            .iter()
+            .find(|n| n.kind == NodeKind::Spine { pod: 4, idx: 2 })
+            .unwrap()
+            .id;
+        let p = r.path(&topo, tor, spine_far, 9);
+        assert_eq!(*p.last().unwrap(), spine_far);
+    }
+
+    #[test]
+    fn gateway_paths_terminate_at_gateway() {
+        let (_, topo, r) = setup();
+        let a = server(&topo, 1, 0, 0);
+        for gw in topo.gateways().map(|n| n.id) {
+            let p = r.path(&topo, a, gw, 11);
+            assert_eq!(*p.last().unwrap(), gw);
+        }
+    }
+
+    #[test]
+    fn paths_in_scaled_topologies() {
+        for pods in [1u16, 2, 32] {
+            let cfg = FatTreeConfig::scaled_ft8(pods);
+            let topo = cfg.build();
+            let r = Routing::new(&cfg, &topo);
+            let servers: Vec<NodeId> = topo.servers().map(|n| n.id).collect();
+            let a = servers[0];
+            let b = *servers.last().unwrap();
+            let p = r.path(&topo, a, b, 5);
+            assert_eq!(*p.last().unwrap(), b, "pods={pods}");
+        }
+    }
+}

@@ -1,0 +1,624 @@
+//! The concrete dataset generators.
+
+use sv2p_simcore::SimRng;
+
+use crate::dist::{EmpiricalCdf, Zipf};
+use crate::spec::{FlowProfile, TraceFlow};
+
+/// Summary statistics of a generated trace (the paper's "Address reuse
+/// characteristics" paragraph).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Number of flows.
+    pub flows: usize,
+    /// Total payload bytes.
+    pub total_bytes: u64,
+    /// Trace duration (ns) from first to last flow start.
+    pub duration_ns: u64,
+    /// VMs that are a destination of at least one flow.
+    pub distinct_dsts: usize,
+    /// VMs that are a destination in at least two flows.
+    pub dsts_with_2plus: usize,
+    /// VMs that are a destination in at least ten flows.
+    pub dsts_with_10plus: usize,
+}
+
+/// Computes [`TraceStats`].
+pub fn stats(flows: &[TraceFlow]) -> TraceStats {
+    use std::collections::HashMap;
+    let mut counts: HashMap<usize, u32> = HashMap::new();
+    for f in flows {
+        *counts.entry(f.dst_vm).or_insert(0) += 1;
+    }
+    let start = flows.iter().map(|f| f.start_ns).min().unwrap_or(0);
+    let end = flows.iter().map(|f| f.start_ns).max().unwrap_or(0);
+    TraceStats {
+        flows: flows.len(),
+        total_bytes: flows.iter().map(|f| f.bytes()).sum(),
+        duration_ns: end - start,
+        distinct_dsts: counts.len(),
+        dsts_with_2plus: counts.values().filter(|&&c| c >= 2).count(),
+        dsts_with_10plus: counts.values().filter(|&&c| c >= 10).count(),
+    }
+}
+
+/// Draws Poisson arrival times at `rate_per_sec` and returns `n` sorted
+/// starts (ns).
+fn poisson_starts(n: usize, rate_per_sec: f64, rng: &mut SimRng) -> Vec<u64> {
+    let mut t = 0.0;
+    (0..n)
+        .map(|_| {
+            t += rng.exponential(1.0 / rate_per_sec);
+            (t * 1e9) as u64
+        })
+        .collect()
+}
+
+/// Picks distinct (src, dst) uniformly.
+fn uniform_pair(vms: usize, rng: &mut SimRng) -> (usize, usize) {
+    let src = rng.gen_range(0..vms);
+    let mut dst = rng.gen_range(0..vms - 1);
+    if dst >= src {
+        dst += 1;
+    }
+    (src, dst)
+}
+
+/// Shared shape of the TCP trace generators.
+#[allow(clippy::too_many_arguments)]
+fn tcp_trace(
+    vms: usize,
+    active_vms: Option<usize>,
+    flows: usize,
+    load: f64,
+    hosts: usize,
+    nic_bps: u64,
+    cdf: &EmpiricalCdf,
+    pick_dst: &mut dyn FnMut(&mut SimRng) -> Option<usize>,
+    seed: u64,
+) -> Vec<TraceFlow> {
+    assert!(vms >= 2 && flows > 0 && load > 0.0 && hosts > 0);
+    let mut rng = SimRng::new(seed);
+    // Optionally restrict the endpoints to a random subset of the pool so a
+    // scaled-down flow count keeps the paper's flows-per-destination reuse
+    // ratio; the subset is shuffled, so it stays spread over all racks.
+    let pool: Vec<usize> = match active_vms {
+        Some(k) => {
+            assert!(k >= 2 && k <= vms);
+            let mut ids: Vec<usize> = (0..vms).collect();
+            rng.shuffle(&mut ids);
+            ids.truncate(k);
+            ids
+        }
+        None => (0..vms).collect(),
+    };
+    let n = pool.len();
+    // Offered load = load × aggregate host capacity; flow arrival rate
+    // follows from the mean flow size (the HPCC-style load model).
+    let agg_bps = load * hosts as f64 * nic_bps as f64;
+    let mean_bits = cdf.mean() * 8.0;
+    let rate = agg_bps / mean_bits;
+    let starts = poisson_starts(flows, rate, &mut rng);
+    starts
+        .into_iter()
+        .map(|start_ns| {
+            let (src, dst) = match pick_dst(&mut rng) {
+                Some(d) => {
+                    let mut src = rng.gen_range(0..vms - 1);
+                    if src >= d {
+                        src += 1;
+                    }
+                    (src, d)
+                }
+                None => {
+                    let (si, di) = uniform_pair(n, &mut rng);
+                    (pool[si], pool[di])
+                }
+            };
+            let bytes = cdf.sample(&mut rng).max(1.0) as u64;
+            TraceFlow {
+                src_vm: src,
+                dst_vm: dst,
+                start_ns,
+                profile: FlowProfile::Tcp { bytes },
+            }
+        })
+        .collect()
+}
+
+/// Hadoop trace parameters (defaults: FT8-10K at 30% load; the paper's full
+/// trace has 99 297 flows — scale `flows` down for quick runs).
+#[derive(Debug, Clone)]
+pub struct HadoopConfig {
+    /// VM pool size.
+    pub vms: usize,
+    /// If set, only this many (randomly chosen) VMs exchange traffic —
+    /// preserves the reuse ratio when `flows` is scaled down.
+    pub active_vms: Option<usize>,
+    /// Number of flows.
+    pub flows: usize,
+    /// Network load as a fraction of aggregate host bandwidth.
+    pub load: f64,
+    /// Physical host count.
+    pub hosts: usize,
+    /// Host NIC rate.
+    pub nic_bps: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for HadoopConfig {
+    fn default() -> Self {
+        HadoopConfig {
+            vms: 10_240,
+            active_vms: None,
+            flows: 99_297,
+            load: 0.3,
+            hosts: 128,
+            nic_bps: 100_000_000_000,
+            seed: 1,
+        }
+    }
+}
+
+/// Generates the Hadoop trace: short TCP flows, uniform src/dst, heavy
+/// cross-flow destination reuse at paper scale.
+pub fn hadoop(cfg: &HadoopConfig) -> Vec<TraceFlow> {
+    tcp_trace(
+        cfg.vms,
+        cfg.active_vms,
+        cfg.flows,
+        cfg.load,
+        cfg.hosts,
+        cfg.nic_bps,
+        &EmpiricalCdf::facebook_hadoop(),
+        &mut |_| None,
+        cfg.seed,
+    )
+}
+
+/// WebSearch trace parameters.
+#[derive(Debug, Clone)]
+pub struct WebSearchConfig {
+    /// VM pool size.
+    pub vms: usize,
+    /// Optional active-subset restriction (see [`HadoopConfig::active_vms`]).
+    pub active_vms: Option<usize>,
+    /// Number of flows (heavy flows: far fewer than Hadoop at equal load).
+    pub flows: usize,
+    /// Network load fraction.
+    pub load: f64,
+    /// Physical host count.
+    pub hosts: usize,
+    /// Host NIC rate.
+    pub nic_bps: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WebSearchConfig {
+    fn default() -> Self {
+        WebSearchConfig {
+            vms: 10_240,
+            active_vms: None,
+            flows: 5_000,
+            load: 0.3,
+            hosts: 128,
+            nic_bps: 100_000_000_000,
+            seed: 1,
+        }
+    }
+}
+
+/// Generates the WebSearch trace: DCTCP flow sizes, minimal reuse.
+pub fn websearch(cfg: &WebSearchConfig) -> Vec<TraceFlow> {
+    tcp_trace(
+        cfg.vms,
+        cfg.active_vms,
+        cfg.flows,
+        cfg.load,
+        cfg.hosts,
+        cfg.nic_bps,
+        &EmpiricalCdf::dctcp_websearch(),
+        &mut |_| None,
+        cfg.seed,
+    )
+}
+
+/// Alibaba microservice trace parameters.
+#[derive(Debug, Clone)]
+pub struct AlibabaConfig {
+    /// Container pool size (410 865 at paper scale on FT16-400K).
+    pub vms: usize,
+    /// Number of RPC calls.
+    pub rpcs: usize,
+    /// Trace duration (ns): the RPC prefix is replayed over this window
+    /// (the paper replays a prefix of the call trace rather than matching
+    /// a byte-load target — RPCs are tiny, so a load-derived arrival rate
+    /// would collapse the trace into a burst).
+    pub duration_ns: u64,
+    /// Zipf exponent over callee services (1.32 reproduces "95% of requests
+    /// to 5% of the microservices").
+    pub zipf_s: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AlibabaConfig {
+    fn default() -> Self {
+        AlibabaConfig {
+            vms: 410_865,
+            rpcs: 200_000,
+            duration_ns: 20_000_000,
+            zipf_s: 1.32,
+            seed: 1,
+        }
+    }
+}
+
+/// Generates the Alibaba trace: small TCP RPCs with Zipf-skewed callees,
+/// arriving as a Poisson process over the configured replay window.
+pub fn alibaba(cfg: &AlibabaConfig) -> Vec<TraceFlow> {
+    assert!(cfg.vms >= 2 && cfg.rpcs > 0 && cfg.duration_ns > 0);
+    let zipf = Zipf::new(cfg.vms, cfg.zipf_s);
+    // Permute ranks over VM ids so popular services are spread across racks.
+    let mut perm: Vec<usize> = (0..cfg.vms).collect();
+    let mut prng = SimRng::new(cfg.seed ^ 0xA11BABA);
+    prng.shuffle(&mut perm);
+    let mut rng = SimRng::new(cfg.seed);
+    let rate = cfg.rpcs as f64 / (cfg.duration_ns as f64 / 1e9);
+    let cdf = EmpiricalCdf::alibaba_rpc();
+    let starts = poisson_starts(cfg.rpcs, rate, &mut rng);
+    starts
+        .into_iter()
+        .map(|start_ns| {
+            let dst = perm[zipf.sample(&mut rng)];
+            let mut src = rng.gen_range(0..cfg.vms - 1);
+            if src >= dst {
+                src += 1;
+            }
+            let bytes = cdf.sample(&mut rng).max(1.0) as u64;
+            TraceFlow {
+                src_vm: src,
+                dst_vm: dst,
+                start_ns,
+                profile: FlowProfile::Tcp { bytes },
+            }
+        })
+        .collect()
+}
+
+/// Microbursts trace parameters.
+#[derive(Debug, Clone)]
+pub struct MicroburstsConfig {
+    /// VM pool size.
+    pub vms: usize,
+    /// Number of bursts.
+    pub bursts: usize,
+    /// Mean burst duration (ns); exponential durations give the paper's
+    /// "99th percentile burst duration of 158 µs" at a 34.3 µs mean.
+    pub mean_burst_ns: u64,
+    /// Burst rate at the source NIC (bursts transmit at line rate).
+    pub nic_bps: u64,
+    /// Datagram payload bytes (mice packets).
+    pub payload: u32,
+    /// Burst arrival rate (bursts/s across the cluster).
+    pub bursts_per_sec: f64,
+    /// Zipf exponent of destination popularity.
+    pub zipf_s: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MicroburstsConfig {
+    fn default() -> Self {
+        MicroburstsConfig {
+            vms: 10_240,
+            bursts: 20_000,
+            mean_burst_ns: 34_300,
+            nic_bps: 100_000_000_000,
+            payload: 1000,
+            bursts_per_sec: 2_000_000.0,
+            zipf_s: 0.9,
+            seed: 1,
+        }
+    }
+}
+
+/// Generates the Microbursts trace: UDP bursts to Zipf-popular destinations.
+pub fn microbursts(cfg: &MicroburstsConfig) -> Vec<TraceFlow> {
+    let mut rng = SimRng::new(cfg.seed);
+    let zipf = Zipf::new(cfg.vms, cfg.zipf_s);
+    let mut perm: Vec<usize> = (0..cfg.vms).collect();
+    rng.shuffle(&mut perm);
+    let starts = poisson_starts(cfg.bursts, cfg.bursts_per_sec, &mut rng);
+    starts
+        .into_iter()
+        .map(|start_ns| {
+            let dst = perm[zipf.sample(&mut rng)];
+            let mut src = rng.gen_range(0..cfg.vms - 1);
+            if src >= dst {
+                src += 1;
+            }
+            let duration = rng.exponential(cfg.mean_burst_ns as f64).max(1.0);
+            let bytes = duration * cfg.nic_bps as f64 / 8.0 / 1e9;
+            let count = (bytes / cfg.payload as f64).ceil().max(1.0) as u32;
+            TraceFlow {
+                src_vm: src,
+                dst_vm: dst,
+                start_ns,
+                profile: FlowProfile::UdpBurst {
+                    count,
+                    payload: cfg.payload,
+                },
+            }
+        })
+        .collect()
+}
+
+/// Video trace parameters ("64 senders at 48 Mbps", no destination reuse).
+#[derive(Debug, Clone)]
+pub struct VideoConfig {
+    /// VM pool size (senders and receivers are drawn from it).
+    pub vms: usize,
+    /// Number of streams.
+    pub senders: usize,
+    /// Per-stream rate.
+    pub rate_bps: u64,
+    /// Stream duration (ns).
+    pub duration_ns: u64,
+    /// Datagram payload.
+    pub payload: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for VideoConfig {
+    fn default() -> Self {
+        VideoConfig {
+            vms: 10_240,
+            senders: 64,
+            rate_bps: 48_000_000,
+            duration_ns: 100_000_000, // 100 ms
+            payload: 1000,
+            seed: 1,
+        }
+    }
+}
+
+/// Generates the 8K-Video trace: disjoint sender → receiver CBR streams.
+pub fn video(cfg: &VideoConfig) -> Vec<TraceFlow> {
+    assert!(cfg.vms >= 2 * cfg.senders, "need disjoint endpoints");
+    let mut rng = SimRng::new(cfg.seed);
+    let mut ids: Vec<usize> = (0..cfg.vms).collect();
+    rng.shuffle(&mut ids);
+    (0..cfg.senders)
+        .map(|i| TraceFlow {
+            src_vm: ids[2 * i],
+            dst_vm: ids[2 * i + 1],
+            start_ns: 0,
+            profile: FlowProfile::UdpCbr {
+                rate_bps: cfg.rate_bps,
+                duration_ns: cfg.duration_ns,
+                payload: cfg.payload,
+            },
+        })
+        .collect()
+}
+
+/// Migration incast parameters (§5.2: "64 UDP senders, each running on a
+/// distinct physical server... The entire trace lasts 1 msec, totaling 64K
+/// packets").
+#[derive(Debug, Clone)]
+pub struct IncastConfig {
+    /// Senders (each from a distinct server — the harness maps VM indices to
+    /// distinct servers).
+    pub senders: usize,
+    /// Total packets across all senders.
+    pub total_packets: u32,
+    /// Trace duration (ns).
+    pub duration_ns: u64,
+    /// Datagram payload; small packets keep the 64 Kpkt/ms aggregate within
+    /// the destination NIC rate.
+    pub payload: u32,
+}
+
+impl Default for IncastConfig {
+    fn default() -> Self {
+        IncastConfig {
+            senders: 64,
+            total_packets: 65_536,
+            duration_ns: 1_000_000,
+            payload: 100,
+        }
+    }
+}
+
+/// Generates the incast trace toward `dst_vm`; `sender_vms` must hold
+/// `senders` distinct VM indices on distinct servers.
+pub fn incast(cfg: &IncastConfig, sender_vms: &[usize], dst_vm: usize) -> Vec<TraceFlow> {
+    assert_eq!(sender_vms.len(), cfg.senders);
+    let per_sender = cfg.total_packets / cfg.senders as u32;
+    let rate_bps = (per_sender as u64 * cfg.payload as u64 * 8) * 1_000_000_000
+        / cfg.duration_ns;
+    sender_vms
+        .iter()
+        .map(|&src| {
+            assert_ne!(src, dst_vm);
+            TraceFlow {
+                src_vm: src,
+                dst_vm,
+                start_ns: 0,
+                profile: FlowProfile::UdpCbr {
+                    rate_bps,
+                    duration_ns: cfg.duration_ns,
+                    payload: cfg.payload,
+                },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hadoop_is_deterministic_and_sorted() {
+        let cfg = HadoopConfig {
+            flows: 2000,
+            ..Default::default()
+        };
+        let a = hadoop(&cfg);
+        let b = hadoop(&cfg);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].start_ns <= w[1].start_ns));
+        assert!(a.iter().all(|f| f.src_vm != f.dst_vm));
+    }
+
+    #[test]
+    fn hadoop_load_matches_target() {
+        let cfg = HadoopConfig {
+            flows: 30_000,
+            ..Default::default()
+        };
+        let t = hadoop(&cfg);
+        let s = stats(&t);
+        let offered = s.total_bytes as f64 * 8.0 / (s.duration_ns as f64 / 1e9);
+        let target = 0.3 * 128.0 * 100e9;
+        assert!(
+            (offered - target).abs() / target < 0.25,
+            "offered {offered:e} vs target {target:e}"
+        );
+    }
+
+    #[test]
+    fn paper_scale_hadoop_reuse_characteristics() {
+        let t = hadoop(&HadoopConfig::default());
+        let s = stats(&t);
+        assert_eq!(s.flows, 99_297);
+        // "10,233 VMs serve as destinations in at least two flows."
+        assert!(s.dsts_with_2plus > 10_000, "{s:?}");
+        assert!(s.distinct_dsts > 10_200, "{s:?}");
+    }
+
+    #[test]
+    fn active_subset_preserves_reuse_ratio() {
+        let cfg = HadoopConfig {
+            flows: 5_000,
+            active_vms: Some(512),
+            ..Default::default()
+        };
+        let t = hadoop(&cfg);
+        let s = stats(&t);
+        assert!(s.distinct_dsts <= 512, "{s:?}");
+        // ~9.8 flows per destination: nearly all active VMs repeat.
+        assert!(s.dsts_with_2plus > 450, "{s:?}");
+        // Endpoints spread over the whole pool, not just low ids.
+        assert!(t.iter().any(|f| f.dst_vm > 5_000));
+    }
+
+    #[test]
+    fn websearch_has_low_reuse_and_heavy_flows() {
+        let t = websearch(&WebSearchConfig::default());
+        let s = stats(&t);
+        assert_eq!(s.flows, 5_000);
+        // "only 48% of the VMs being a destination in at least one flow"
+        let frac = s.distinct_dsts as f64 / 10_240.0;
+        assert!((0.3..0.6).contains(&frac), "dst fraction {frac}");
+        // Few VMs repeat: order ~1.5K ("1,466 VMs are destinations in at
+        // least two flows").
+        assert!(s.dsts_with_2plus < 3_000, "{s:?}");
+        let mean = s.total_bytes / s.flows as u64;
+        assert!(mean > 1_000_000, "websearch mean flow {mean} too small");
+    }
+
+    #[test]
+    fn alibaba_concentrates_destinations() {
+        let cfg = AlibabaConfig {
+            vms: 50_000,
+            rpcs: 100_000,
+            ..Default::default()
+        };
+        let t = alibaba(&cfg);
+        let s = stats(&t);
+        // High cross-flow reuse: thousands of VMs with >= 10 RPCs.
+        assert!(s.dsts_with_10plus > 300, "{s:?}");
+        // Only a minority of the pool receives anything (24% in the paper).
+        assert!(
+            (s.distinct_dsts as f64) < 0.5 * cfg.vms as f64,
+            "{s:?}"
+        );
+    }
+
+    #[test]
+    fn alibaba_spreads_over_its_window() {
+        let cfg = AlibabaConfig {
+            vms: 10_000,
+            rpcs: 5_000,
+            duration_ns: 1_000_000,
+            ..Default::default()
+        };
+        let t = alibaba(&cfg);
+        let s = stats(&t);
+        // Poisson arrivals: the realized span is near the configured window.
+        assert!(
+            (s.duration_ns as f64) > 0.7e6 && (s.duration_ns as f64) < 1.6e6,
+            "{s:?}"
+        );
+    }
+
+    #[test]
+    fn microbursts_shape() {
+        let cfg = MicroburstsConfig {
+            bursts: 5_000,
+            ..Default::default()
+        };
+        let t = microbursts(&cfg);
+        // p99 burst duration ≈ 158 us => p99 packets ≈ 158us*100G/8/1000B ≈ 1975.
+        let mut counts: Vec<u32> = t
+            .iter()
+            .map(|f| match f.profile {
+                FlowProfile::UdpBurst { count, .. } => count,
+                _ => panic!("not a burst"),
+            })
+            .collect();
+        counts.sort_unstable();
+        let p99 = counts[(counts.len() as f64 * 0.99) as usize];
+        assert!(
+            (1_200..=3_000).contains(&p99),
+            "p99 burst packets {p99} off target"
+        );
+        let s = stats(&t);
+        assert!(s.dsts_with_10plus > 40, "{s:?}");
+    }
+
+    #[test]
+    fn video_streams_are_disjoint() {
+        let t = video(&VideoConfig::default());
+        assert_eq!(t.len(), 64);
+        let mut endpoints: Vec<usize> = t
+            .iter()
+            .flat_map(|f| [f.src_vm, f.dst_vm])
+            .collect();
+        endpoints.sort_unstable();
+        endpoints.dedup();
+        assert_eq!(endpoints.len(), 128, "no endpoint reuse allowed");
+        let s = stats(&t);
+        assert_eq!(s.dsts_with_2plus, 0);
+    }
+
+    #[test]
+    fn incast_totals_match() {
+        let cfg = IncastConfig::default();
+        let senders: Vec<usize> = (1..=64).collect();
+        let t = incast(&cfg, &senders, 0);
+        assert_eq!(t.len(), 64);
+        let total: u64 = t.iter().map(|f| f.bytes()).sum();
+        let expect = 65_536 / 64 * 64 * 100;
+        assert!(
+            (total as i64 - expect as i64).unsigned_abs() < 7_000,
+            "total {total} vs {expect}"
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! Workload generators for the five datasets of §5 plus the migration
+//! incast of §5.2.
+//!
+//! The paper replays proprietary packet traces; per DESIGN.md §4 we resample
+//! the *published* distributions they are built from:
+//!
+//! * **Hadoop** — Facebook's Hadoop cluster flow sizes (Roy et al.,
+//!   SIGCOMM'15): short flows, heavy cross-flow destination reuse;
+//! * **WebSearch** — the DCTCP search workload: mostly bytes in multi-MB
+//!   flows, minimal destination sharing;
+//! * **Alibaba** — microservice RPCs with Zipf service popularity
+//!   calibrated to "over 95% of the total requests are processed by just 5%
+//!   of the microservices" (Luo et al., SoCC'21);
+//! * **Microbursts** — mice-flow UDP bursts with a 158 µs 99th-percentile
+//!   burst duration;
+//! * **Video** — 64 × 48 Mb/s UDP senders, no destination reuse;
+//! * **Incast** — 64 UDP senders to one VM for the §5.2 migration study.
+//!
+//! Every generator is deterministic in its seed and emits flows at a Poisson
+//! arrival rate matched to the requested network load ("network load of 30%
+//! with 100 Gbps links").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod dist;
+pub mod spec;
+
+pub use datasets::{
+    alibaba, hadoop, incast, microbursts, video, AlibabaConfig, HadoopConfig, IncastConfig,
+    MicroburstsConfig, TraceStats, VideoConfig, WebSearchConfig, websearch,
+};
+pub use dist::{EmpiricalCdf, Zipf};
+pub use spec::{FlowProfile, TraceFlow};

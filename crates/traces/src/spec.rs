@@ -1,0 +1,95 @@
+//! Neutral trace output format (converted to `sv2p-netsim` flow specs by the
+//! harness, keeping this crate simulator-independent).
+
+use serde::{Deserialize, Serialize};
+
+/// Payload profile of one flow.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FlowProfile {
+    /// A TCP transfer.
+    Tcp {
+        /// Flow size in bytes.
+        bytes: u64,
+    },
+    /// Constant-bit-rate UDP.
+    UdpCbr {
+        /// Payload rate in bits per second.
+        rate_bps: u64,
+        /// Sending duration in nanoseconds.
+        duration_ns: u64,
+        /// Datagram payload bytes.
+        payload: u32,
+    },
+    /// A back-to-back UDP burst at the sender's line rate.
+    UdpBurst {
+        /// Number of datagrams.
+        count: u32,
+        /// Datagram payload bytes.
+        payload: u32,
+    },
+}
+
+/// One generated flow.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceFlow {
+    /// Sending VM index.
+    pub src_vm: usize,
+    /// Destination VM index.
+    pub dst_vm: usize,
+    /// Start time in nanoseconds.
+    pub start_ns: u64,
+    /// What the flow carries.
+    pub profile: FlowProfile,
+}
+
+impl TraceFlow {
+    /// Total payload bytes of the flow.
+    pub fn bytes(&self) -> u64 {
+        match self.profile {
+            FlowProfile::Tcp { bytes } => bytes,
+            FlowProfile::UdpCbr {
+                rate_bps,
+                duration_ns,
+                ..
+            } => (rate_bps as u128 * duration_ns as u128 / 8 / 1_000_000_000) as u64,
+            FlowProfile::UdpBurst { count, payload } => count as u64 * payload as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_accounting() {
+        let tcp = TraceFlow {
+            src_vm: 0,
+            dst_vm: 1,
+            start_ns: 0,
+            profile: FlowProfile::Tcp { bytes: 1234 },
+        };
+        assert_eq!(tcp.bytes(), 1234);
+        let cbr = TraceFlow {
+            src_vm: 0,
+            dst_vm: 1,
+            start_ns: 0,
+            profile: FlowProfile::UdpCbr {
+                rate_bps: 48_000_000,
+                duration_ns: 1_000_000_000,
+                payload: 1000,
+            },
+        };
+        assert_eq!(cbr.bytes(), 6_000_000);
+        let burst = TraceFlow {
+            src_vm: 0,
+            dst_vm: 1,
+            start_ns: 0,
+            profile: FlowProfile::UdpBurst {
+                count: 10,
+                payload: 100,
+            },
+        };
+        assert_eq!(burst.bytes(), 1000);
+    }
+}

@@ -1,0 +1,293 @@
+//! Data-plane extension points.
+//!
+//! The simulator (`sv2p-netsim`) is translation-scheme agnostic: every
+//! scheme — SwitchV2P itself and each baseline of §5 — is a [`Strategy`]
+//! that fabricates per-switch [`SwitchAgent`]s and per-server
+//! [`HostAgent`]s. Agents are sans-IO state machines: they mutate the packet
+//! in place (translate, tag, attach/strip options) and return an
+//! [`AgentOutput`] describing what the data plane should do next; the
+//! simulator owns queues, links, and the clock.
+
+use sv2p_packet::{Packet, Pip, SwitchTag, Vip};
+use sv2p_simcore::{SimDuration, SimRng, SimTime};
+use sv2p_topology::{NodeId, SwitchRole};
+
+use crate::mapping::MappingDb;
+
+/// Everything a switch agent may consult while processing one packet.
+///
+/// The `db` field is the control-plane ground truth: data-plane designs
+/// (SwitchV2P, GwCache, LocalLearning) never read it; it exists for agents
+/// that model a switch-local control plane (Bluebird's SFE) or an
+/// omniscient controller.
+pub struct SwitchCtx<'a> {
+    /// Current virtual time.
+    pub now: SimTime,
+    /// This switch's node id.
+    pub node: NodeId,
+    /// This switch's compact identifier (rides in the hit-switch option).
+    pub tag: SwitchTag,
+    /// This switch's own physical address (source of generated packets).
+    pub switch_pip: Pip,
+    /// Table 1 category.
+    pub role: SwitchRole,
+    /// Pod of this switch (`None` for cores).
+    pub my_pod: Option<u16>,
+    /// If the packet entered from a directly-attached host port, that host's
+    /// PIP (the front-panel port-to-PIP mapping of §3.3).
+    pub ingress_host: Option<Pip>,
+    /// True if the packet's current outer destination is a host attached to
+    /// this switch (used by ToRs to consume learning packets).
+    pub dst_attached: bool,
+    /// Control-plane ground truth (see struct docs).
+    pub db: &'a MappingDb,
+    /// Per-switch deterministic random stream (learning-packet coin flips).
+    pub rng: &'a mut SimRng,
+    /// The network's base RTT (timestamp-vector suppression window, §3.3).
+    pub base_rtt: SimDuration,
+    /// Resolves a PIP to its pod, if pod-local (promotion's "leaves the pod"
+    /// test).
+    pub pod_of: &'a dyn Fn(Pip) -> Option<u16>,
+    /// Resolves a switch tag to that switch's PIP (addressing invalidation
+    /// packets).
+    pub pip_of_tag: &'a dyn Fn(SwitchTag) -> Pip,
+}
+
+/// What the data plane should do with the processed packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketAction {
+    /// Forward normally toward the (possibly rewritten) outer destination.
+    Forward,
+    /// Hold the packet inside the switch for the given time, then re-inject
+    /// it at this switch (models a data-to-control-plane detour such as
+    /// Bluebird's SFE; the agent must have already resolved the packet so it
+    /// passes straight through on re-entry).
+    Delay(SimDuration),
+    /// Drop the packet (control-plane queue overflow).
+    Drop,
+    /// Absorb the packet: it reached its in-network consumer (a learning
+    /// packet at the target ToR, an invalidation packet at its target
+    /// switch).
+    Consume,
+}
+
+/// Result of processing one packet at one switch.
+#[derive(Debug)]
+pub struct AgentOutput {
+    /// Disposition of the processed packet.
+    pub action: PacketAction,
+    /// Extra protocol packets to inject at this switch (learning packets,
+    /// invalidation packets). Ids are assigned by the simulator.
+    pub emit: Vec<Packet>,
+    /// True if this switch's cache resolved the packet (hit-rate metrics and
+    /// Table 5's per-layer hit distribution).
+    pub cache_hit: bool,
+    /// True if a spillover option riding on the packet was inserted here.
+    pub spill_inserted: bool,
+    /// True if a promotion option was accepted into this (core) switch.
+    pub promotion_inserted: bool,
+}
+
+impl AgentOutput {
+    /// Plain forwarding, nothing else.
+    pub fn forward() -> Self {
+        AgentOutput {
+            action: PacketAction::Forward,
+            emit: Vec::new(),
+            cache_hit: false,
+            spill_inserted: false,
+            promotion_inserted: false,
+        }
+    }
+
+    /// Forwarding after a local cache hit.
+    pub fn forward_hit() -> Self {
+        AgentOutput {
+            cache_hit: true,
+            ..AgentOutput::forward()
+        }
+    }
+
+    /// Absorb the packet.
+    pub fn consume() -> Self {
+        AgentOutput {
+            action: PacketAction::Consume,
+            ..AgentOutput::forward()
+        }
+    }
+}
+
+/// Per-switch translation behavior.
+pub trait SwitchAgent {
+    /// Processes one packet entering the switch, before routing.
+    fn on_packet(&mut self, ctx: &mut SwitchCtx<'_>, pkt: &mut Packet) -> AgentOutput;
+
+    /// Number of valid cache entries (capacity audits in tests/benches).
+    fn occupancy(&self) -> usize {
+        0
+    }
+
+    /// Entries currently cached, as (vip, pip) pairs (diagnostics only).
+    fn entries(&self) -> Vec<(Vip, Pip)> {
+        Vec::new()
+    }
+
+    /// Control-plane installation of one entry (Controller baseline; no-op
+    /// for data-plane-managed caches).
+    fn install(&mut self, _vip: Vip, _pip: Pip) {}
+
+    /// Control-plane wipe of installed entries before a new epoch's
+    /// allocation (Controller baseline; no-op elsewhere).
+    fn clear_installed(&mut self) {}
+
+    /// Models a switch reboot: all volatile cache state is lost. The paper
+    /// argues SwitchV2P tolerates this by construction ("the opportunistic
+    /// nature of the caching approach makes it resilient to switch
+    /// failures"); netsim's failure-injection tests exercise the claim.
+    fn reset(&mut self) {}
+}
+
+/// How a sending host addresses the first hop of a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostResolution {
+    /// The host knows the mapping: outer dst = this PIP, resolved = true.
+    Direct(Pip),
+    /// Send unresolved toward a gateway (the simulator picks the concrete
+    /// gateway per flow from the [`crate::GatewayDirectory`]).
+    Gateway,
+    /// Send unresolved with a null outer destination; the first-hop ToR must
+    /// translate (Bluebird's model, where ToRs own the mapping table).
+    FirstHopTor,
+}
+
+/// Per-server sending behavior.
+pub trait HostAgent {
+    /// Decides how to address a packet for `dst_vip` belonging to the flow
+    /// with key `flow_key`. Called for every outgoing packet (agents cache
+    /// internally if they want per-flow behavior).
+    fn resolve(
+        &mut self,
+        now: SimTime,
+        db: &MappingDb,
+        dst_vip: Vip,
+        flow_key: u64,
+    ) -> HostResolution;
+}
+
+/// What the old host does with a packet that arrived for a VM that moved
+/// away (§5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MisdeliveryPolicy {
+    /// Forward to the VM's new location via the follow-me rule installed at
+    /// migration time (NoCache / OnDemand in the paper's Table 4).
+    FollowMe,
+    /// Forward to a gateway, unresolved; the in-network caches are repaired
+    /// by misdelivery tags and invalidation packets (SwitchV2P).
+    ToGateway,
+}
+
+/// A complete translation scheme.
+pub trait Strategy {
+    /// Scheme name as used in the paper's figures ("SwitchV2P", "NoCache"…).
+    fn name(&self) -> &'static str;
+
+    /// True if switches with this role hold a cache. The harness divides
+    /// the experiment's aggregate cache budget equally among caching
+    /// switches ("the cache size per switch is 1/#switches of the total
+    /// cache", §5).
+    fn caches_at(&self, role: SwitchRole) -> bool;
+
+    /// Relative share of the aggregate cache budget a switch of this role
+    /// receives (§4 "Heterogeneous memory allocation"). The default is the
+    /// paper's homogeneous split; schemes may weight layers differently.
+    /// Ignored for roles where `caches_at` is false.
+    fn cache_weight(&self, _role: SwitchRole) -> f64 {
+        1.0
+    }
+
+    /// Builds the agent for one switch. `lines` is the per-switch
+    /// direct-mapped cache capacity in entries (0 for non-caching switches).
+    fn make_switch_agent(
+        &self,
+        node: NodeId,
+        role: SwitchRole,
+        tag: SwitchTag,
+        lines: usize,
+    ) -> Box<dyn SwitchAgent>;
+
+    /// Builds the agent for one sending server. Defaults to the plain
+    /// gateway-driven host.
+    fn make_host_agent(&self, _node: NodeId, _pip: Pip) -> Box<dyn HostAgent> {
+        Box::new(GatewayHostAgent)
+    }
+
+    /// Misdelivery handling after VM migration.
+    fn misdelivery_policy(&self) -> MisdeliveryPolicy {
+        MisdeliveryPolicy::ToGateway
+    }
+
+    /// False for schemes where gateways take no part (Direct, Bluebird).
+    fn uses_gateways(&self) -> bool {
+        true
+    }
+}
+
+/// The default host behavior of every gateway-driven scheme: always send
+/// unresolved packets toward the per-flow gateway.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GatewayHostAgent;
+
+impl HostAgent for GatewayHostAgent {
+    fn resolve(
+        &mut self,
+        _now: SimTime,
+        _db: &MappingDb,
+        _dst_vip: Vip,
+        _flow_key: u64,
+    ) -> HostResolution {
+        HostResolution::Gateway
+    }
+}
+
+/// A switch that does nothing (NoCache, and non-ToR switches in GwCache /
+/// Bluebird).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSwitchAgent;
+
+impl SwitchAgent for NoopSwitchAgent {
+    fn on_packet(&mut self, _ctx: &mut SwitchCtx<'_>, _pkt: &mut Packet) -> AgentOutput {
+        AgentOutput::forward()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gateway_host_agent_always_defers() {
+        let mut agent = GatewayHostAgent;
+        let db = MappingDb::new();
+        for key in 0..5 {
+            assert_eq!(
+                agent.resolve(SimTime::ZERO, &db, Vip(1), key),
+                HostResolution::Gateway
+            );
+        }
+    }
+
+    #[test]
+    fn output_constructors() {
+        assert_eq!(AgentOutput::forward().action, PacketAction::Forward);
+        assert!(!AgentOutput::forward().cache_hit);
+        assert!(AgentOutput::forward_hit().cache_hit);
+        assert_eq!(AgentOutput::consume().action, PacketAction::Consume);
+    }
+
+    #[test]
+    fn noop_agent_reports_empty_cache() {
+        let agent = NoopSwitchAgent;
+        assert_eq!(agent.occupancy(), 0);
+        assert!(agent.entries().is_empty());
+    }
+}

@@ -1,0 +1,114 @@
+//! The V2P mapping database — the "ground truth at the gateways" (§3.3).
+//!
+//! A single writer (the virtual-network control plane) updates it; gateways
+//! read it on every translation. In-network caches are *not* kept coherent
+//! with it — that is the whole point of the paper's lazy invalidation design.
+
+use std::collections::HashMap;
+
+use sv2p_packet::{Pip, Vip};
+
+/// The authoritative virtual-to-physical mapping table.
+#[derive(Debug, Clone, Default)]
+pub struct MappingDb {
+    map: HashMap<Vip, Pip>,
+    /// Bumped on every update; lets tests and metrics distinguish
+    /// reads-after-write from stale cache serving.
+    epoch: u64,
+}
+
+impl MappingDb {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs or overwrites a mapping (control-plane write).
+    pub fn insert(&mut self, vip: Vip, pip: Pip) {
+        self.map.insert(vip, pip);
+        self.epoch += 1;
+    }
+
+    /// Resolves a VIP (gateway read). `None` means the VIP does not exist —
+    /// a tenant misconfiguration the gateway drops.
+    pub fn lookup(&self, vip: Vip) -> Option<Pip> {
+        self.map.get(&vip).copied()
+    }
+
+    /// Moves `vip` to a new physical location (VM migration). Returns the
+    /// previous location.
+    ///
+    /// Panics if the VIP was never placed: migrating an unknown VM is a
+    /// harness bug, not a runtime condition.
+    pub fn migrate(&mut self, vip: Vip, new_pip: Pip) -> Pip {
+        let old = self
+            .map
+            .insert(vip, new_pip)
+            .expect("migrating a VIP that was never placed");
+        self.epoch += 1;
+        old
+    }
+
+    /// Number of mappings.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no mappings exist.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The current write epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Iterates over all mappings (used by Direct-mode host preprogramming
+    /// and by the Controller baseline).
+    pub fn iter(&self) -> impl Iterator<Item = (Vip, Pip)> + '_ {
+        self.map.iter().map(|(&v, &p)| (v, p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_lookup_roundtrip() {
+        let mut db = MappingDb::new();
+        assert!(db.is_empty());
+        db.insert(Vip(1), Pip(10));
+        assert_eq!(db.lookup(Vip(1)), Some(Pip(10)));
+        assert_eq!(db.lookup(Vip(2)), None);
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn migrate_returns_old_location_and_bumps_epoch() {
+        let mut db = MappingDb::new();
+        db.insert(Vip(1), Pip(10));
+        let e0 = db.epoch();
+        let old = db.migrate(Vip(1), Pip(20));
+        assert_eq!(old, Pip(10));
+        assert_eq!(db.lookup(Vip(1)), Some(Pip(20)));
+        assert!(db.epoch() > e0);
+    }
+
+    #[test]
+    #[should_panic(expected = "never placed")]
+    fn migrating_unknown_vip_panics() {
+        let mut db = MappingDb::new();
+        db.migrate(Vip(1), Pip(20));
+    }
+
+    #[test]
+    fn reinsert_overwrites() {
+        let mut db = MappingDb::new();
+        db.insert(Vip(1), Pip(10));
+        db.insert(Vip(1), Pip(11));
+        assert_eq!(db.lookup(Vip(1)), Some(Pip(11)));
+        assert_eq!(db.len(), 1);
+    }
+}

@@ -1,0 +1,149 @@
+//! VM placement: assigning virtual addresses to physical servers.
+//!
+//! The paper places VMs uniformly: "We uniformly draw sources and
+//! destinations from a pool of 10240 VMs, with 80 VMs on each server"
+//! (FT8-10K) and 32 containers per server for Alibaba on FT16-400K. The
+//! placement fills servers round-robin so that VIP *i* lives on server
+//! `i / vms_per_server` — uniform draws over VIPs then spread uniformly over
+//! servers and racks.
+
+use std::collections::HashMap;
+
+use sv2p_packet::{Pip, Vip};
+use sv2p_topology::{NodeId, Topology};
+
+/// Where every VM lives.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    /// All VIPs, densely numbered — `vips[i]` is VM *i*.
+    pub vips: Vec<Vip>,
+    /// Server PIP of each VM, parallel to `vips`.
+    pub pips: Vec<Pip>,
+    /// Host node of each VM, parallel to `vips`.
+    pub nodes: Vec<NodeId>,
+    vip_index: HashMap<Vip, usize>,
+}
+
+/// Base of the VIP number space (dotted "20.0.0.0"); VM *i* is `VIP_BASE + i`.
+pub const VIP_BASE: u32 = 0x1400_0000;
+
+impl Placement {
+    /// Places `vms_per_server` VMs on every server of `topo`, in server
+    /// iteration order.
+    pub fn uniform(topo: &Topology, vms_per_server: u32) -> Self {
+        assert!(vms_per_server > 0);
+        let mut vips = Vec::new();
+        let mut pips = Vec::new();
+        let mut nodes = Vec::new();
+        let mut vip_index = HashMap::new();
+        for server in topo.servers() {
+            for _ in 0..vms_per_server {
+                let vip = Vip(VIP_BASE + vips.len() as u32);
+                vip_index.insert(vip, vips.len());
+                vips.push(vip);
+                pips.push(server.pip);
+                nodes.push(server.id);
+            }
+        }
+        Placement {
+            vips,
+            pips,
+            nodes,
+            vip_index,
+        }
+    }
+
+    /// Number of VMs.
+    pub fn len(&self) -> usize {
+        self.vips.len()
+    }
+
+    /// True if no VMs are placed.
+    pub fn is_empty(&self) -> bool {
+        self.vips.is_empty()
+    }
+
+    /// VM index of a VIP, if it exists.
+    pub fn index_of(&self, vip: Vip) -> Option<usize> {
+        self.vip_index.get(&vip).copied()
+    }
+
+    /// Current PIP of VM `i`.
+    pub fn pip_of(&self, i: usize) -> Pip {
+        self.pips[i]
+    }
+
+    /// Host node of VM `i`.
+    pub fn node_of(&self, i: usize) -> NodeId {
+        self.nodes[i]
+    }
+
+    /// Seeds a [`crate::MappingDb`] with the full placement.
+    pub fn seed_db(&self) -> crate::MappingDb {
+        let mut db = crate::MappingDb::new();
+        for (i, &vip) in self.vips.iter().enumerate() {
+            db.insert(vip, self.pips[i]);
+        }
+        db
+    }
+
+    /// Records a migration of VM `i` to a new host (keeps the placement in
+    /// sync with the mapping database; the caller updates the DB).
+    pub fn relocate(&mut self, i: usize, node: NodeId, pip: Pip) {
+        self.nodes[i] = node;
+        self.pips[i] = pip;
+    }
+
+    /// All VM indices hosted on `node`.
+    pub fn vms_on(&self, node: NodeId) -> Vec<usize> {
+        (0..self.len()).filter(|&i| self.nodes[i] == node).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sv2p_topology::FatTreeConfig;
+
+    #[test]
+    fn ft8_placement_is_10240_vms() {
+        let topo = FatTreeConfig::ft8_10k().build();
+        let p = Placement::uniform(&topo, 80);
+        assert_eq!(p.len(), 10_240);
+        // All VIPs unique and resolvable.
+        for (i, &vip) in p.vips.iter().enumerate() {
+            assert_eq!(p.index_of(vip), Some(i));
+        }
+    }
+
+    #[test]
+    fn vms_spread_evenly() {
+        let topo = FatTreeConfig::ft8_10k().build();
+        let p = Placement::uniform(&topo, 80);
+        for server in topo.servers() {
+            assert_eq!(p.vms_on(server.id).len(), 80);
+        }
+    }
+
+    #[test]
+    fn seed_db_matches_placement() {
+        let topo = FatTreeConfig::scaled_ft8(2).build();
+        let p = Placement::uniform(&topo, 4);
+        let db = p.seed_db();
+        assert_eq!(db.len(), p.len());
+        for i in 0..p.len() {
+            assert_eq!(db.lookup(p.vips[i]), Some(p.pip_of(i)));
+        }
+    }
+
+    #[test]
+    fn relocate_updates_location() {
+        let topo = FatTreeConfig::scaled_ft8(2).build();
+        let mut p = Placement::uniform(&topo, 1);
+        let target = topo.servers().last().unwrap();
+        p.relocate(0, target.id, target.pip);
+        assert_eq!(p.pip_of(0), target.pip);
+        assert_eq!(p.node_of(0), target.id);
+        assert!(p.vms_on(target.id).contains(&0));
+    }
+}

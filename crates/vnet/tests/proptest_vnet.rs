@@ -1,0 +1,74 @@
+//! Property tests for the virtual-network layer: placement/DB coherence
+//! across arbitrary migration histories, and gateway balancing quality.
+
+use proptest::prelude::*;
+use sv2p_topology::FatTreeConfig;
+use sv2p_vnet::{GatewayDirectory, Placement};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn db_and_placement_agree_across_migrations(
+        moves in proptest::collection::vec((0usize..64, 0usize..32), 0..60),
+    ) {
+        let topo = FatTreeConfig::scaled_ft8(2).build();
+        let mut placement = Placement::uniform(&topo, 1); // 128 VMs
+        let mut db = placement.seed_db();
+        let servers: Vec<_> = topo.servers().map(|n| (n.id, n.pip)).collect();
+        for (vm, srv) in moves {
+            let vm = vm % placement.len();
+            let (node, pip) = servers[srv % servers.len()];
+            db.migrate(placement.vips[vm], pip);
+            placement.relocate(vm, node, pip);
+        }
+        // Invariant: the DB and the placement answer identically for every VM.
+        for i in 0..placement.len() {
+            prop_assert_eq!(db.lookup(placement.vips[i]), Some(placement.pip_of(i)));
+        }
+        prop_assert_eq!(db.len(), placement.len());
+    }
+
+    #[test]
+    fn vms_on_is_consistent_with_node_of(
+        moves in proptest::collection::vec((0usize..64, 0usize..16), 0..40),
+    ) {
+        let topo = FatTreeConfig::scaled_ft8(2).build();
+        let mut placement = Placement::uniform(&topo, 2);
+        let servers: Vec<_> = topo.servers().map(|n| (n.id, n.pip)).collect();
+        for (vm, srv) in moves {
+            let vm = vm % placement.len();
+            let (node, pip) = servers[srv % servers.len()];
+            placement.relocate(vm, node, pip);
+        }
+        let mut total = 0;
+        for &(node, _) in &servers {
+            for vm in placement.vms_on(node) {
+                prop_assert_eq!(placement.node_of(vm), node);
+            }
+            total += placement.vms_on(node).len();
+        }
+        prop_assert_eq!(total, placement.len());
+    }
+
+    #[test]
+    fn gateway_balancing_is_fair(seed in any::<u64>()) {
+        let topo = FatTreeConfig::ft8_10k().build();
+        let dir = GatewayDirectory::from_topology(&topo);
+        let n = dir.len() as f64;
+        let mut counts = std::collections::HashMap::new();
+        let trials = 20_000u64;
+        for i in 0..trials {
+            *counts.entry(dir.pick(seed.wrapping_add(i))).or_insert(0u64) += 1;
+        }
+        // Per-flow balancing: no gateway receives more than 3x its fair
+        // share over 20k flows.
+        let fair = trials as f64 / n;
+        for (&gw, &c) in &counts {
+            prop_assert!(
+                (c as f64) < 3.0 * fair,
+                "gateway {gw} got {c} of {trials} flows (fair {fair})"
+            );
+        }
+    }
+}

@@ -1,0 +1,13 @@
+#!/bin/sh
+set -x
+cd "$(dirname "$0")"
+B=./target/release
+$B/fig5 microbursts > results/fig5b_microbursts.txt 2>&1
+$B/table4 > results/table4.txt 2>&1
+$B/table5 > results/table5.txt 2>&1
+$B/fig7 > results/fig7_fig8.txt 2>&1
+$B/fig9 > results/fig9.txt 2>&1
+$B/fig10 > results/fig10.txt 2>&1
+$B/ablations > results/ablations.txt 2>&1
+$B/tracegen all > results/trace_characteristics.txt 2>&1
+echo RERUN_DONE

@@ -1,0 +1,21 @@
+#!/bin/sh
+# Regenerates every table and figure (quick scale) into results/.
+set -x
+cd "$(dirname "$0")"
+B=./target/release
+$B/table3 > results/table3.txt 2>&1
+$B/table6 > results/table6.txt 2>&1
+$B/table4 > results/table4.txt 2>&1
+$B/fig5 hadoop > results/fig5a_hadoop.txt 2>&1
+$B/fig5 microbursts > results/fig5b_microbursts.txt 2>&1
+$B/fig5 websearch > results/fig5c_websearch.txt 2>&1
+$B/fig5 video > results/fig5d_video.txt 2>&1
+$B/table5 > results/table5.txt 2>&1
+$B/fig7 > results/fig7_fig8.txt 2>&1
+$B/fig9 > results/fig9.txt 2>&1
+$B/fig10 > results/fig10.txt 2>&1
+$B/fig6 > results/fig6_alibaba.txt 2>&1
+$B/controller > results/controller_a2.txt 2>&1
+$B/ablations > results/ablations.txt 2>&1
+$B/tracegen all > results/trace_characteristics.txt 2>&1
+echo ALL_RESULTS_DONE
