@@ -146,6 +146,12 @@ impl SwitchAgent for BluebirdTorAgent {
     fn entries(&self) -> Vec<(Vip, Pip)> {
         self.cache.entries()
     }
+
+    fn reset(&mut self) {
+        self.cache = DirectMappedCache::new(self.cache.capacity());
+        self.pending.clear();
+        self.control_busy_until = SimTime::ZERO;
+    }
 }
 
 /// Host agent: defer all translation to the first-hop ToR.

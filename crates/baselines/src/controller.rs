@@ -64,6 +64,12 @@ impl SwitchAgent for InstalledCacheAgent {
     fn clear_installed(&mut self) {
         self.entries.clear();
     }
+
+    fn reset(&mut self) {
+        // A reboot wipes installed entries too; the controller re-installs
+        // them at its next epoch.
+        self.entries.clear();
+    }
 }
 
 impl Strategy for Controller {

@@ -47,6 +47,10 @@ impl SwitchAgent for GwCacheAgent {
     fn entries(&self) -> Vec<(Vip, Pip)> {
         self.cache.entries()
     }
+
+    fn reset(&mut self) {
+        self.cache = DirectMappedCache::new(self.cache.capacity());
+    }
 }
 
 impl Strategy for GwCache {

@@ -103,6 +103,10 @@ impl HostAgent for OnDemandHostAgent {
         }
         HostResolution::Gateway
     }
+
+    fn reset(&mut self) {
+        self.cache.clear();
+    }
 }
 
 impl Strategy for OnDemand {

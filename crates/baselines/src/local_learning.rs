@@ -45,6 +45,10 @@ impl SwitchAgent for LocalLearningAgent {
     fn entries(&self) -> Vec<(Vip, Pip)> {
         self.cache.entries()
     }
+
+    fn reset(&mut self) {
+        self.cache = DirectMappedCache::new(self.cache.capacity());
+    }
 }
 
 impl Strategy for LocalLearning {

@@ -234,12 +234,12 @@ pub fn sweep(
         .unwrap_or(1)
         .min(jobs.len().max(1));
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Vec<parking_lot::Mutex<Option<Row>>> =
-        (0..jobs.len()).map(|_| parking_lot::Mutex::new(None)).collect();
+    let results: Vec<std::sync::Mutex<Option<Row>>> =
+        (0..jobs.len()).map(|_| std::sync::Mutex::new(None)).collect();
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= jobs.len() {
                     break;
@@ -251,19 +251,18 @@ pub fn sweep(
                     ..base.clone()
                 };
                 let summary = run_spec(&spec);
-                *results[i].lock() = Some(Row {
+                *results[i].lock().expect("sweep lock") = Some(Row {
                     scheme: strategy.name(),
                     cache_frac: frac,
                     summary,
                 });
             });
         }
-    })
-    .expect("sweep threads");
+    });
 
     let rows: Vec<Row> = results
         .into_iter()
-        .map(|r| r.into_inner().expect("job ran"))
+        .map(|r| r.into_inner().expect("sweep lock").expect("job ran"))
         .collect();
 
     // Expand cache-insensitive runs to every requested fraction so tables
@@ -348,6 +347,29 @@ pub fn print_figure5_panels(title: &str, rows: &[Row], cache_fracs: &[f64]) {
             println!();
         }
     }
+
+    // Per-cause drop accounting, so congestion losses are never confused
+    // with injected faults when a figure is run under a fault plan.
+    let any_drops = rows.iter().any(|r| r.summary.packets_dropped > 0);
+    if any_drops {
+        println!("\n{title} — data-packet drops by cause");
+        for r in rows {
+            println!(
+                "{:<14} {:>6}% cache  {}",
+                r.scheme,
+                (r.cache_frac * 100.0).round(),
+                drop_breakdown(&r.summary)
+            );
+        }
+    }
+}
+
+/// Formats a summary's per-cause drop counters on one line.
+pub fn drop_breakdown(s: &RunSummary) -> String {
+    format!(
+        "drops total {} (queue {}, unroutable {}, blackout {}, loss {})",
+        s.packets_dropped, s.drops_queue, s.drops_unroutable, s.drops_blackout, s.drops_loss
+    )
 }
 
 #[cfg(test)]

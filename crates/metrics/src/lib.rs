@@ -20,6 +20,9 @@ use sv2p_packet::{FlowId, SwitchTag};
 use sv2p_simcore::stats::{Percentiles, Running};
 use sv2p_simcore::SimTime;
 
+/// Default recovery-series window: 100 µs of virtual time.
+pub const DEFAULT_WINDOW_NS: u64 = 100_000;
+
 /// Topology layer of a switch, for Table 5 breakdowns.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
 pub enum Layer {
@@ -48,6 +51,81 @@ struct FlowRecord {
     first_pkt_latency: Option<f64>,
 }
 
+/// Why a tenant data packet was dropped (per-cause breakdown of
+/// [`Metrics::packets_dropped`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum DropCause {
+    /// Drop-tail queue overflow (link buffer or an agent's control-plane
+    /// queue).
+    Queue,
+    /// No usable route to the destination (null translation, missing
+    /// follow-me rule, or every ECMP next-hop down).
+    Unroutable,
+    /// The packet traversed a switch or gateway during its blackout window.
+    Blackout,
+    /// Stochastic loss injected by a `LossRate` fault.
+    Loss,
+}
+
+/// One injected fault, timestamped so experiments can align time series to
+/// it.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FaultAnnotation {
+    /// Virtual time of the event, microseconds.
+    pub at_us: f64,
+    /// Human-readable description ("switch_reboot_start node=12" …).
+    pub label: String,
+}
+
+/// Per-window counters backing the recovery metrics.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct WindowStat {
+    /// Data packets handed to the network in this window.
+    pub data_sent: u64,
+    /// Data packets that reached a gateway in this window.
+    pub gateway: u64,
+    /// Sum of FCTs (µs) of flows completing in this window.
+    pub fct_sum_us: f64,
+    /// Flows completing in this window.
+    pub fct_count: u64,
+}
+
+impl WindowStat {
+    /// Window-local hit rate (1 − gateway share); `None` with no traffic.
+    pub fn hit_rate(&self) -> Option<f64> {
+        if self.data_sent == 0 {
+            None
+        } else {
+            Some(1.0 - self.gateway as f64 / self.data_sent as f64)
+        }
+    }
+}
+
+/// Fault-recovery analysis over the windowed series, relative to one fault
+/// window `[fault_at, fault_end)`.
+#[derive(Debug, Clone, Serialize)]
+pub struct RecoveryReport {
+    /// Mean hit rate over complete windows before the fault.
+    pub pre_fault_hit_rate: f64,
+    /// Mean hit rate over windows overlapping the fault.
+    pub during_fault_hit_rate: f64,
+    /// Mean hit rate over windows after the fault cleared.
+    pub post_fault_hit_rate: f64,
+    /// Mean FCT (µs) of flows completing before the fault.
+    pub pre_fault_avg_fct_us: f64,
+    /// Mean FCT (µs) of flows completing during the fault.
+    pub during_fault_avg_fct_us: f64,
+    /// Mean FCT (µs) of flows completing after the fault cleared.
+    pub post_fault_avg_fct_us: f64,
+    /// `during_fault_avg_fct_us / pre_fault_avg_fct_us` (1.0 when either
+    /// side has no samples).
+    pub fct_degradation: f64,
+    /// Virtual time from fault end until the first window whose hit rate
+    /// reaches 95 % of the pre-fault rate; `None` if it never recovers
+    /// within the run.
+    pub time_to_recover_us: Option<f64>,
+}
+
 /// The recording surface.
 #[derive(Debug, Default)]
 pub struct Metrics {
@@ -61,8 +139,16 @@ pub struct Metrics {
     pub data_packets_sent: u64,
     /// Tenant data packets delivered to their (correct) destination VM.
     pub data_packets_delivered: u64,
-    /// Tenant data packets dropped anywhere.
+    /// Tenant data packets dropped anywhere (sum of the per-cause counters).
     pub packets_dropped: u64,
+    /// Drops from full queues (link buffers, agent control-plane queues).
+    pub drops_queue: u64,
+    /// Drops for lack of a usable route.
+    pub drops_unroutable: u64,
+    /// Drops inside a switch/gateway blackout window.
+    pub drops_blackout: u64,
+    /// Drops from injected stochastic loss.
+    pub drops_loss: u64,
     /// Tenant data packets that were processed by a translation gateway.
     pub gateway_packets: u64,
     /// Tenant data packets that a switch cache resolved.
@@ -99,6 +185,15 @@ pub struct Metrics {
     pub reordered_segments: u64,
     /// TCP retransmissions summed over senders.
     pub retransmissions: u64,
+
+    /// Injected faults, in injection order.
+    pub fault_events: Vec<FaultAnnotation>,
+    /// Windowed traffic series feeding [`Metrics::recovery_report`];
+    /// window `i` covers `[i*window_ns, (i+1)*window_ns)`.
+    pub windows: Vec<WindowStat>,
+    /// Recovery-series window length in nanoseconds (0 ⇒
+    /// [`DEFAULT_WINDOW_NS`]).
+    pub window_ns: u64,
 }
 
 impl Metrics {
@@ -160,13 +255,17 @@ impl Metrics {
 
     /// A flow finished (all bytes acked / last datagram delivered).
     pub fn flow_completed(&mut self, flow: FlowId, now: SimTime) {
-        if let Some(rec) = self.flows.get_mut(&flow) {
-            if rec.completed.is_none() {
+        let fct = match self.flows.get_mut(&flow) {
+            Some(rec) if rec.completed.is_none() => {
                 rec.completed = Some(now);
-                self.fct_us
-                    .push(now.saturating_since(rec.started).as_micros_f64());
+                now.saturating_since(rec.started).as_micros_f64()
             }
-        }
+            _ => return,
+        };
+        self.fct_us.push(fct);
+        let win = self.window_mut(now);
+        win.fct_sum_us += fct;
+        win.fct_count += 1;
     }
 
     /// A data packet was delivered; records latency and stretch.
@@ -175,6 +274,129 @@ impl Metrics {
         self.packet_latency_us
             .push(now.saturating_since(sent_at).as_micros_f64());
         self.stretch.push(switch_hops as f64);
+    }
+
+    /// Effective recovery-series window length in nanoseconds.
+    pub fn window_len_ns(&self) -> u64 {
+        if self.window_ns == 0 {
+            DEFAULT_WINDOW_NS
+        } else {
+            self.window_ns
+        }
+    }
+
+    fn window_mut(&mut self, now: SimTime) -> &mut WindowStat {
+        let idx = (now.as_nanos() / self.window_len_ns()) as usize;
+        if idx >= self.windows.len() {
+            self.windows.resize(idx + 1, WindowStat::default());
+        }
+        &mut self.windows[idx]
+    }
+
+    /// A tenant data packet entered the network.
+    pub fn record_data_sent(&mut self, now: SimTime) {
+        self.data_packets_sent += 1;
+        self.window_mut(now).data_sent += 1;
+    }
+
+    /// A tenant data packet reached a translation gateway.
+    pub fn record_gateway_packet(&mut self, now: SimTime) {
+        self.gateway_packets += 1;
+        self.window_mut(now).gateway += 1;
+    }
+
+    /// A tenant data packet was dropped for `cause`.
+    pub fn record_drop(&mut self, cause: DropCause) {
+        self.packets_dropped += 1;
+        match cause {
+            DropCause::Queue => self.drops_queue += 1,
+            DropCause::Unroutable => self.drops_unroutable += 1,
+            DropCause::Blackout => self.drops_blackout += 1,
+            DropCause::Loss => self.drops_loss += 1,
+        }
+    }
+
+    /// Records an injected fault so time series can be aligned to it.
+    pub fn record_fault(&mut self, now: SimTime, label: impl Into<String>) {
+        self.fault_events.push(FaultAnnotation {
+            at_us: now.as_micros_f64(),
+            label: label.into(),
+        });
+    }
+
+    /// Analyzes recovery relative to the fault window `[fault_at,
+    /// fault_end)` using the windowed series.
+    pub fn recovery_report(&self, fault_at: SimTime, fault_end: SimTime) -> RecoveryReport {
+        let w = self.window_len_ns();
+        // Complete windows strictly before the fault.
+        let pre_end = (fault_at.as_nanos() / w) as usize;
+        // First window entirely after the fault cleared.
+        let post_start = (fault_end.as_nanos().div_ceil(w)) as usize;
+
+        let mean_hit = |range: &[WindowStat]| -> f64 {
+            let (mut sent, mut gw) = (0u64, 0u64);
+            for s in range {
+                sent += s.data_sent;
+                gw += s.gateway;
+            }
+            if sent == 0 {
+                0.0
+            } else {
+                1.0 - gw as f64 / sent as f64
+            }
+        };
+        let mean_fct = |range: &[WindowStat]| -> f64 {
+            let (mut sum, mut n) = (0.0f64, 0u64);
+            for s in range {
+                sum += s.fct_sum_us;
+                n += s.fct_count;
+            }
+            if n == 0 {
+                0.0
+            } else {
+                sum / n as f64
+            }
+        };
+
+        let all = &self.windows[..];
+        let pre = &all[..pre_end.min(all.len())];
+        let during = &all[pre_end.min(all.len())..post_start.min(all.len())];
+        let post = &all[post_start.min(all.len())..];
+
+        let pre_hit = mean_hit(pre);
+        let pre_fct = mean_fct(pre);
+        let during_fct = mean_fct(during);
+        let fct_degradation = if pre_fct > 0.0 && during_fct > 0.0 {
+            during_fct / pre_fct
+        } else {
+            1.0
+        };
+
+        // Time to recover: first post-fault window with traffic whose hit
+        // rate reaches 95 % of the pre-fault rate.
+        let threshold = 0.95 * pre_hit;
+        let mut time_to_recover_us = None;
+        for (i, s) in all.iter().enumerate().skip(post_start) {
+            if let Some(h) = s.hit_rate() {
+                if h >= threshold {
+                    let win_start_ns = i as u64 * w;
+                    let delta_ns = win_start_ns.saturating_sub(fault_end.as_nanos());
+                    time_to_recover_us = Some(delta_ns as f64 / 1_000.0);
+                    break;
+                }
+            }
+        }
+
+        RecoveryReport {
+            pre_fault_hit_rate: pre_hit,
+            during_fault_hit_rate: mean_hit(during),
+            post_fault_hit_rate: mean_hit(post),
+            pre_fault_avg_fct_us: pre_fct,
+            during_fault_avg_fct_us: during_fct,
+            post_fault_avg_fct_us: mean_fct(post),
+            fct_degradation,
+            time_to_recover_us,
+        }
     }
 
     /// A packet arrived at a host that no longer hosts the destination VM.
@@ -237,6 +459,11 @@ impl Metrics {
             data_packets_sent: self.data_packets_sent,
             data_packets_delivered: self.data_packets_delivered,
             packets_dropped: self.packets_dropped,
+            drops_queue: self.drops_queue,
+            drops_unroutable: self.drops_unroutable,
+            drops_blackout: self.drops_blackout,
+            drops_loss: self.drops_loss,
+            fault_count: self.fault_events.len() as u64,
             gateway_packets: self.gateway_packets,
             hit_rate: self.hit_rate(),
             avg_fct_us: self.fct_us.mean(),
@@ -277,6 +504,16 @@ pub struct RunSummary {
     pub data_packets_delivered: u64,
     /// Data packets dropped.
     pub packets_dropped: u64,
+    /// Drops from full queues.
+    pub drops_queue: u64,
+    /// Drops for lack of a usable route.
+    pub drops_unroutable: u64,
+    /// Drops inside a blackout window.
+    pub drops_blackout: u64,
+    /// Drops from injected stochastic loss.
+    pub drops_loss: u64,
+    /// Fault events injected during the run.
+    pub fault_count: u64,
     /// Data packets processed by gateways.
     pub gateway_packets: u64,
     /// 1 − gateway share.
@@ -425,6 +662,104 @@ mod tests {
         assert_eq!(m.data_packets_delivered, 2);
         assert!((m.packet_latency_us.mean() - 15.0).abs() < 1e-9);
         assert!((m.stretch.mean() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_cause_drops_sum_to_total() {
+        let mut m = Metrics::new();
+        m.record_drop(DropCause::Queue);
+        m.record_drop(DropCause::Queue);
+        m.record_drop(DropCause::Unroutable);
+        m.record_drop(DropCause::Blackout);
+        m.record_drop(DropCause::Loss);
+        assert_eq!(m.packets_dropped, 5);
+        assert_eq!(m.drops_queue, 2);
+        assert_eq!(m.drops_unroutable, 1);
+        assert_eq!(m.drops_blackout, 1);
+        assert_eq!(m.drops_loss, 1);
+        let s = m.summary("x");
+        assert_eq!(
+            s.packets_dropped,
+            s.drops_queue + s.drops_unroutable + s.drops_blackout + s.drops_loss
+        );
+    }
+
+    #[test]
+    fn fault_annotations_record_time_and_label() {
+        let mut m = Metrics::new();
+        m.record_fault(SimTime::from_micros(250), "link_down link=3");
+        m.record_fault(SimTime::from_micros(900), "link_up link=3");
+        assert_eq!(m.fault_events.len(), 2);
+        assert!((m.fault_events[0].at_us - 250.0).abs() < 1e-9);
+        assert_eq!(m.fault_events[1].label, "link_up link=3");
+        assert_eq!(m.summary("x").fault_count, 2);
+    }
+
+    #[test]
+    fn windowed_series_buckets_by_time() {
+        let mut m = Metrics::new(); // 100us default window
+        m.record_data_sent(SimTime::from_micros(10));
+        m.record_data_sent(SimTime::from_micros(20));
+        m.record_gateway_packet(SimTime::from_micros(30));
+        m.record_data_sent(SimTime::from_micros(150));
+        assert_eq!(m.windows.len(), 2);
+        assert_eq!(m.windows[0].data_sent, 2);
+        assert_eq!(m.windows[0].gateway, 1);
+        assert_eq!(m.windows[0].hit_rate(), Some(0.5));
+        assert_eq!(m.windows[1].data_sent, 1);
+        assert_eq!(m.windows[1].hit_rate(), Some(1.0));
+        // Totals stay in sync with the windowed series.
+        assert_eq!(m.data_packets_sent, 3);
+        assert_eq!(m.gateway_packets, 1);
+    }
+
+    #[test]
+    fn recovery_report_finds_recovery_window() {
+        let mut m = Metrics::new();
+        let us = SimTime::from_micros;
+        // Pre-fault: two windows at hit rate 1.0.
+        for t in [10u64, 110] {
+            for _ in 0..10 {
+                m.record_data_sent(us(t));
+            }
+        }
+        // Fault [200us, 400us): everything falls back to the gateway.
+        for t in [210u64, 310] {
+            for _ in 0..10 {
+                m.record_data_sent(us(t));
+                m.record_gateway_packet(us(t));
+            }
+        }
+        // Post-fault: one degraded window, then recovered.
+        for _ in 0..10 {
+            m.record_data_sent(us(410));
+        }
+        for _ in 0..5 {
+            m.record_gateway_packet(us(410));
+        }
+        for _ in 0..10 {
+            m.record_data_sent(us(510));
+        }
+        let r = m.recovery_report(us(200), us(400));
+        assert!((r.pre_fault_hit_rate - 1.0).abs() < 1e-12);
+        assert!((r.during_fault_hit_rate - 0.0).abs() < 1e-12);
+        // Window [400,500) has hit rate 0.5 < 0.95; window [500,600) hits
+        // 1.0, i.e. 100us after the fault cleared.
+        assert_eq!(r.time_to_recover_us, Some(100.0));
+    }
+
+    #[test]
+    fn recovery_report_fct_degradation() {
+        let mut m = Metrics::new();
+        let us = SimTime::from_micros;
+        m.flow_started(FlowId(0), us(0));
+        m.flow_completed(FlowId(0), us(50)); // pre: FCT 50us
+        m.flow_started(FlowId(1), us(200));
+        m.flow_completed(FlowId(1), us(350)); // during: FCT 150us
+        let r = m.recovery_report(us(300), us(400));
+        assert!((r.pre_fault_avg_fct_us - 50.0).abs() < 1e-9);
+        assert!((r.during_fault_avg_fct_us - 150.0).abs() < 1e-9);
+        assert!((r.fct_degradation - 3.0).abs() < 1e-9);
     }
 
     #[test]

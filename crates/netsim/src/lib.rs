@@ -21,10 +21,12 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod faults;
 pub mod flows;
 pub mod link;
 pub mod sim;
 
 pub use config::SimConfig;
+pub use faults::{FaultEvent, FaultPlan};
 pub use flows::{FlowKind, FlowSpec};
 pub use sim::Simulation;

@@ -27,6 +27,11 @@ pub struct LinkState {
     busy: bool,
     /// Drops due to a full buffer.
     pub drops: u64,
+    /// Injected loss probability per enqueued packet (sum of the active
+    /// `LossRate` faults covering this link; 0 when healthy).
+    pub loss_rate: f64,
+    /// Drops due to injected stochastic loss.
+    pub losses: u64,
 }
 
 /// What [`LinkState::enqueue`] decided.
@@ -41,6 +46,9 @@ pub enum EnqueueOutcome {
     Queued,
     /// Buffer full; the packet was dropped.
     Dropped,
+    /// The packet was discarded by injected stochastic loss before reaching
+    /// the queue.
+    Lost,
 }
 
 impl LinkState {
@@ -54,12 +62,27 @@ impl LinkState {
             queued_bytes: 0,
             busy: false,
             drops: 0,
+            loss_rate: 0.0,
+            losses: 0,
         }
     }
 
     /// Serialization time of `pkt` on this link.
     pub fn ser_time(&self, pkt: &Packet) -> SimDuration {
         SimDuration::serialization(pkt.wire_size(), self.bandwidth_bps)
+    }
+
+    /// Offers a packet to the egress port, first exposing it to the link's
+    /// injected loss. `draw` is a uniform sample in `[0, 1)` from the
+    /// simulation's dedicated fault RNG stream; a draw below the active
+    /// loss rate discards the packet before it reaches the queue (the
+    /// corruption/loss point of a real wire).
+    pub fn enqueue_with_loss(&mut self, pkt: Packet, draw: f64) -> EnqueueOutcome {
+        if self.loss_rate > 0.0 && draw < self.loss_rate {
+            self.losses += 1;
+            return EnqueueOutcome::Lost;
+        }
+        self.enqueue(pkt)
     }
 
     /// Offers a packet to the egress port.
@@ -204,6 +227,26 @@ mod tests {
         assert!(next2.is_none());
         // Link is idle again.
         assert!(matches!(l.enqueue(pkt(1)), EnqueueOutcome::StartTx(_)));
+    }
+
+    #[test]
+    fn injected_loss_discards_below_rate_only() {
+        let mut l = link();
+        // Healthy link: the draw is irrelevant.
+        assert!(matches!(
+            l.enqueue_with_loss(pkt(MSS), 0.0),
+            EnqueueOutcome::StartTx(_)
+        ));
+        l.tx_done();
+        l.loss_rate = 0.01;
+        assert_eq!(l.enqueue_with_loss(pkt(MSS), 0.005), EnqueueOutcome::Lost);
+        assert_eq!(l.losses, 1);
+        assert!(matches!(
+            l.enqueue_with_loss(pkt(MSS), 0.5),
+            EnqueueOutcome::StartTx(_)
+        ));
+        // Loss drops never consume buffer space.
+        assert_eq!(l.queue_len(), 0);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use sv2p_metrics::{Layer, Metrics, SwitchInfo};
+use sv2p_metrics::{DropCause, Layer, Metrics, SwitchInfo};
 use sv2p_packet::packet::Protocol;
 use sv2p_packet::{
     FlowId, InnerHeader, OuterHeader, Packet, PacketId, PacketKind, Pip, SwitchTag, TcpFlags,
@@ -20,6 +20,7 @@ use sv2p_vnet::{
 };
 
 use crate::config::SimConfig;
+use crate::faults::{FaultEvent, FaultPlan};
 use crate::flows::{FlowKind, FlowSpec, FlowState};
 use crate::link::{EnqueueOutcome, LinkState};
 
@@ -35,6 +36,8 @@ enum Event {
     ReInject { node: NodeId, pkt: Packet },
     HostForward { node: NodeId, pkt: Packet },
     Migrate(usize),
+    FaultStart(usize),
+    FaultEnd(usize),
 }
 
 /// A complete, runnable experiment instance.
@@ -63,6 +66,15 @@ pub struct Simulation {
     timers: TimerWheel,
     flows: Vec<FlowState>,
     migrations: Vec<Migration>,
+    /// Scheduled faults, indexed by `Event::FaultStart`/`FaultEnd`.
+    fault_plan: Vec<FaultEvent>,
+    /// Per-node blackout flag (rebooting switches, out gateways).
+    blackout: Vec<bool>,
+    /// Per-link up flag; downed links are masked out of ECMP.
+    link_up: Vec<bool>,
+    /// Dedicated RNG stream for stochastic-loss draws, forked off the seed
+    /// so fault draws never perturb agent randomness.
+    fault_rng: SimRng,
     /// All recorded measurements.
     pub metrics: Metrics,
     next_pkt_id: u64,
@@ -176,6 +188,12 @@ impl Simulation {
             })
             .collect();
 
+        let blackout = vec![false; topo.nodes.len()];
+        let link_up = vec![true; topo.links.len()];
+        // A label far outside the node-id space keeps the fault stream
+        // disjoint from every per-agent fork.
+        let fault_rng = base_rng.fork(u64::MAX);
+
         Simulation {
             cfg,
             topo,
@@ -196,6 +214,10 @@ impl Simulation {
             timers: TimerWheel::new(),
             flows: Vec::new(),
             migrations: Vec::new(),
+            fault_plan: Vec::new(),
+            blackout,
+            link_up,
+            fault_rng,
             metrics,
             next_pkt_id: 0,
             traffic_matrix: HashMap::new(),
@@ -315,20 +337,63 @@ impl Simulation {
         self.agents[node.0 as usize] = Some(agent);
     }
 
+    /// Registers a fault plan: every event's start and end are pushed onto
+    /// the queue up front, in plan order, so same-instant faults and packet
+    /// events tie-break deterministically (the queue is FIFO at equal
+    /// times). May be called mid-run; instants already in the past take
+    /// effect immediately.
+    pub fn apply_fault_plan(&mut self, plan: FaultPlan) {
+        let now = self.now();
+        for ev in plan.events() {
+            let idx = self.fault_plan.len();
+            self.events
+                .schedule_at(ev.at().max(now), Event::FaultStart(idx));
+            self.events
+                .schedule_at(ev.end().max(now), Event::FaultEnd(idx));
+            self.fault_plan.push(ev.clone());
+        }
+    }
+
     /// Injects a switch failure: the switch's volatile state (its cache) is
     /// lost, as after a reboot. Forwarding continues — SwitchV2P's caches
     /// are opportunistic, so correctness must not depend on them (§2.1).
     pub fn fail_switch(&mut self, node: NodeId) {
-        if let Some(agent) = self.agents[node.0 as usize].as_mut() {
-            agent.reset();
-        }
+        let now = self.now();
+        self.metrics.record_fault(now, format!("reboot sw{}", node.0));
+        self.cold_reset_switch(node);
     }
 
     /// Fails every switch at once (the harshest reboot storm).
     pub fn fail_all_switches(&mut self) {
+        let now = self.now();
+        self.metrics.record_fault(now, "reboot storm: all switches");
         for sw in 0..self.agents.len() {
-            if let Some(agent) = self.agents[sw].as_mut() {
-                agent.reset();
+            if self.agents[sw].is_some() {
+                self.cold_reset_switch(NodeId(sw as u32));
+            }
+        }
+    }
+
+    /// Cold-starts one switch: its agent loses all volatile state, and if it
+    /// is a ToR the attached servers' host agents reset with it (their
+    /// vswitches restart when the rack's uplink switch reboots). Shared by
+    /// [`Self::fail_switch`], [`Self::fail_all_switches`] and scheduled
+    /// [`FaultEvent::SwitchReboot`]s so every reboot path clears per-switch
+    /// state uniformly.
+    fn cold_reset_switch(&mut self, node: NodeId) {
+        if let Some(agent) = self.agents[node.0 as usize].as_mut() {
+            agent.reset();
+        }
+        let is_tor = self
+            .roles
+            .role(node)
+            .is_some_and(|r| r.layer() == "ToR");
+        if is_tor {
+            for &link in &self.topo.out_links[node.0 as usize] {
+                let peer = self.topo.link(link).to;
+                if let Some(host) = self.host_agents[peer.0 as usize].as_mut() {
+                    host.reset();
+                }
             }
         }
     }
@@ -394,6 +459,68 @@ impl Simulation {
             Event::ReInject { node, pkt } => self.handle_at_switch(node, pkt, None, false),
             Event::HostForward { node, pkt } => self.on_host_forward(node, pkt),
             Event::Migrate(idx) => self.on_migrate(idx),
+            Event::FaultStart(idx) => self.on_fault_start(idx),
+            Event::FaultEnd(idx) => self.on_fault_end(idx),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    fn on_fault_start(&mut self, idx: usize) {
+        let now = self.now();
+        let ev = self.fault_plan[idx].clone();
+        self.metrics.record_fault(now, ev.label());
+        match ev {
+            FaultEvent::SwitchReboot { node, .. } | FaultEvent::GatewayOutage { node, .. } => {
+                self.blackout[node.0 as usize] = true;
+            }
+            FaultEvent::LinkDown { link, .. } => {
+                self.link_up[link.0 as usize] = false;
+            }
+            FaultEvent::LossRate { link, rate, .. } => match link {
+                Some(l) => self.links[l.0 as usize].loss_rate += rate,
+                None => {
+                    for l in &mut self.links {
+                        l.loss_rate += rate;
+                    }
+                }
+            },
+        }
+    }
+
+    fn on_fault_end(&mut self, idx: usize) {
+        let now = self.now();
+        let ev = self.fault_plan[idx].clone();
+        self.metrics
+            .record_fault(now, format!("{} cleared", ev.label()));
+        match ev {
+            FaultEvent::SwitchReboot { node, .. } => {
+                self.blackout[node.0 as usize] = false;
+                // Back up, but cold: the reboot lost all volatile state.
+                self.cold_reset_switch(node);
+            }
+            FaultEvent::GatewayOutage { node, .. } => {
+                self.blackout[node.0 as usize] = false;
+            }
+            FaultEvent::LinkDown { link, .. } => {
+                self.link_up[link.0 as usize] = true;
+            }
+            FaultEvent::LossRate { link, rate, .. } => {
+                // Subtract rather than zero so overlapping windows compose.
+                match link {
+                    Some(l) => {
+                        let lr = &mut self.links[l.0 as usize].loss_rate;
+                        *lr = (*lr - rate).max(0.0);
+                    }
+                    None => {
+                        for l in &mut self.links {
+                            l.loss_rate = (l.loss_rate - rate).max(0.0);
+                        }
+                    }
+                }
+            }
         }
     }
 
@@ -546,7 +673,7 @@ impl Simulation {
             visited_gateway: false,
         };
 
-        self.metrics.data_packets_sent += 1;
+        self.metrics.record_data_sent(now);
         if self.cfg.record_traffic_matrix {
             *self
                 .traffic_matrix
@@ -568,19 +695,40 @@ impl Simulation {
             .first()
             .copied()
             .expect("host has an uplink");
+        if !self.link_up[uplink.0 as usize] {
+            // The host's only uplink is down: nowhere to go.
+            if matches!(pkt.kind, PacketKind::Data) {
+                self.metrics.record_drop(DropCause::Unroutable);
+            }
+            return;
+        }
         self.enqueue_on_link(uplink, pkt);
     }
 
     fn enqueue_on_link(&mut self, link: LinkId, pkt: Packet) {
         let is_data = matches!(pkt.kind, PacketKind::Data);
-        match self.links[link.0 as usize].enqueue(pkt) {
+        let l = &mut self.links[link.0 as usize];
+        // Draw from the dedicated fault stream only while loss is active, so
+        // a healthy run consumes no fault randomness at all.
+        let outcome = if l.loss_rate > 0.0 {
+            let draw = self.fault_rng.uniform();
+            l.enqueue_with_loss(pkt, draw)
+        } else {
+            l.enqueue(pkt)
+        };
+        match outcome {
             EnqueueOutcome::StartTx(ser) => {
                 self.events.schedule_in(ser, Event::LinkFree(link));
             }
             EnqueueOutcome::Queued => {}
             EnqueueOutcome::Dropped => {
                 if is_data {
-                    self.metrics.packets_dropped += 1;
+                    self.metrics.record_drop(DropCause::Queue);
+                }
+            }
+            EnqueueOutcome::Lost => {
+                if is_data {
+                    self.metrics.record_drop(DropCause::Loss);
                 }
             }
         }
@@ -628,6 +776,13 @@ impl Simulation {
     ) {
         let idx = node.0 as usize;
         let now = self.events.now();
+        if self.blackout[idx] {
+            // A rebooting switch drops everything that traverses it.
+            if matches!(pkt.kind, PacketKind::Data) {
+                self.metrics.record_drop(DropCause::Blackout);
+            }
+            return;
+        }
         let tag = self.tags[idx].expect("switch tag");
         if count {
             self.metrics.record_switch_bytes(tag, pkt.wire_size());
@@ -703,7 +858,7 @@ impl Simulation {
             }
             PacketAction::Drop => {
                 if matches!(pkt.kind, PacketKind::Data) {
-                    self.metrics.packets_dropped += 1;
+                    self.metrics.record_drop(DropCause::Queue);
                 }
             }
             PacketAction::Consume => {}
@@ -714,7 +869,7 @@ impl Simulation {
         let Some(dst_node) = self.topo.node_by_pip(pkt.outer.dst_pip) else {
             // Unroutable (e.g. a Bluebird packet no ToR translated): drop.
             if matches!(pkt.kind, PacketKind::Data) {
-                self.metrics.packets_dropped += 1;
+                self.metrics.record_drop(DropCause::Unroutable);
             }
             return;
         };
@@ -723,11 +878,18 @@ impl Simulation {
             return;
         }
         let key = pkt.ecmp_key();
-        match self.routing.next_link(&self.topo, node, dst_node, key) {
+        let next = {
+            let link_up = &self.link_up;
+            let usable = |l: LinkId| link_up[l.0 as usize];
+            self.routing
+                .next_link_filtered(&self.topo, node, dst_node, key, &usable)
+        };
+        match next {
             Some(link) => self.enqueue_on_link(link, pkt),
             None => {
+                // No route, or every candidate port is down.
                 if matches!(pkt.kind, PacketKind::Data) {
-                    self.metrics.packets_dropped += 1;
+                    self.metrics.record_drop(DropCause::Unroutable);
                 }
             }
         }
@@ -747,9 +909,17 @@ impl Simulation {
     // ------------------------------------------------------------------
 
     fn handle_at_gateway(&mut self, node: NodeId, pkt: Packet) {
+        let now = self.now();
+        if self.blackout[node.0 as usize] {
+            // An out gateway answers nothing; senders ride their RTO.
+            if matches!(pkt.kind, PacketKind::Data) {
+                self.metrics.record_drop(DropCause::Blackout);
+            }
+            return;
+        }
         match pkt.kind {
             PacketKind::Data if !pkt.outer.resolved => {
-                self.metrics.gateway_packets += 1;
+                self.metrics.record_gateway_packet(now);
                 let delay = self.cfg.gateway.processing();
                 self.events
                     .schedule_in(delay, Event::GatewayDone { node, pkt });
@@ -758,13 +928,18 @@ impl Simulation {
                 // Resolved tenant traffic or protocol packets have no
                 // business at a gateway.
                 if matches!(pkt.kind, PacketKind::Data) {
-                    self.metrics.packets_dropped += 1;
+                    self.metrics.record_drop(DropCause::Unroutable);
                 }
             }
         }
     }
 
     fn on_gateway_done(&mut self, node: NodeId, mut pkt: Packet) {
+        if self.blackout[node.0 as usize] {
+            // The outage began while this packet was in processing.
+            self.metrics.record_drop(DropCause::Blackout);
+            return;
+        }
         match self.db.lookup(pkt.inner.dst_vip) {
             Some(pip) => {
                 pkt.outer.dst_pip = pip;
@@ -777,7 +952,7 @@ impl Simulation {
                 self.transmit_from_host(node, pkt);
             }
             None => {
-                self.metrics.packets_dropped += 1;
+                self.metrics.record_drop(DropCause::Unroutable);
             }
         }
     }
@@ -868,7 +1043,7 @@ impl Simulation {
                     }
                     None => {
                         // No rule: the VM is simply gone; drop.
-                        self.metrics.packets_dropped += 1;
+                        self.metrics.record_drop(DropCause::Unroutable);
                         return;
                     }
                 }

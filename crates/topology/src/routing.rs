@@ -193,7 +193,24 @@ impl Routing {
         dst: NodeId,
         key: u64,
     ) -> Option<LinkId> {
-        let c = self.candidates(topo, at, dst);
+        self.next_link_filtered(topo, at, dst, key, &|_| true)
+    }
+
+    /// [`Self::next_link`] restricted to links where `usable` holds — the
+    /// data plane's view after link failures. Unusable members are masked
+    /// out of the ECMP group before hashing, so flows rehash onto the
+    /// surviving ports; returns `None` only when every candidate is down
+    /// (the packet is unroutable).
+    pub fn next_link_filtered(
+        &self,
+        topo: &Topology,
+        at: NodeId,
+        dst: NodeId,
+        key: u64,
+        usable: &dyn Fn(LinkId) -> bool,
+    ) -> Option<LinkId> {
+        let mut c = self.candidates(topo, at, dst);
+        c.retain(|&l| usable(l));
         if c.is_empty() {
             None
         } else {
@@ -366,6 +383,33 @@ mod tests {
             let p = r.path(&topo, a, gw, 11);
             assert_eq!(*p.last().unwrap(), gw);
         }
+    }
+
+    #[test]
+    fn filtered_next_link_falls_back_to_surviving_ports() {
+        let (_, topo, r) = setup();
+        let a = server(&topo, 0, 0, 0);
+        let b = server(&topo, 5, 1, 0);
+        let tor = r.tor_of(&topo, a);
+        // From the ToR every pod spine is a candidate; fail the one the
+        // hash picks and the flow must rehash onto a different uplink.
+        let picked = r.next_link(&topo, tor, b, 99).expect("route exists");
+        let alt = r
+            .next_link_filtered(&topo, tor, b, 99, &|l| l != picked)
+            .expect("alternate port exists");
+        assert_ne!(alt, picked);
+        // Same key + same mask is deterministic.
+        assert_eq!(
+            r.next_link_filtered(&topo, tor, b, 99, &|l| l != picked),
+            Some(alt)
+        );
+        // Masking everything makes the destination unroutable.
+        assert_eq!(r.next_link_filtered(&topo, tor, b, 99, &|_| false), None);
+        // A host's single uplink down: unroutable at the source.
+        assert_eq!(
+            r.next_link_filtered(&topo, a, b, 1, &|_| false),
+            None
+        );
     }
 
     #[test]

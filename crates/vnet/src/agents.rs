@@ -172,6 +172,13 @@ pub trait HostAgent {
         dst_vip: Vip,
         flow_key: u64,
     ) -> HostResolution;
+
+    /// Models losing the host's volatile resolution state (e.g. its vswitch
+    /// restarting when the rack's ToR reboots). Stateless agents keep the
+    /// no-op default; caching agents must drop their cached mappings so a
+    /// reboot leaves the whole rack cold, mirroring
+    /// [`SwitchAgent::reset`].
+    fn reset(&mut self) {}
 }
 
 /// What the old host does with a packet that arrived for a VM that moved

@@ -18,4 +18,5 @@ $B/fig6 > results/fig6_alibaba.txt 2>&1
 $B/controller > results/controller_a2.txt 2>&1
 $B/ablations > results/ablations.txt 2>&1
 $B/tracegen all > results/trace_characteristics.txt 2>&1
+$B/failures > results/failures.txt 2>&1
 echo ALL_RESULTS_DONE

@@ -1,0 +1,202 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides exactly the trait surface the workspace uses: [`RngCore`],
+//! [`SeedableRng`], the [`Rng`] extension with `gen_range`, and the
+//! `distributions::uniform` sampling traits. The actual generator lives in
+//! `sv2p-simcore` (`SimRng`); nothing here draws randomness of its own.
+
+#![forbid(unsafe_code)]
+
+use core::ops::{Range, RangeInclusive};
+
+/// Error type for fallible RNG operations (never produced here).
+#[derive(Debug)]
+pub struct Error;
+
+impl core::fmt::Display for Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "rng error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core randomness source interface.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible fill (infallible for every generator in this workspace).
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+/// Construction from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// Seed byte array type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+    /// Builds the generator from a `u64` convenience seed.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for (i, b) in seed.as_mut().iter_mut().enumerate() {
+            *b = state.to_le_bytes()[i % 8];
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub mod distributions {
+    //! Minimal uniform-sampling machinery backing `Rng::gen_range`.
+
+    pub mod uniform {
+        use crate::RngCore;
+
+        /// Types that can be sampled uniformly from a range.
+        pub trait SampleUniform: Copy + PartialOrd {
+            /// Uniform draw in `[low, high)` (`[low, high]` when `inclusive`).
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self;
+        }
+
+        macro_rules! impl_sample_int {
+            ($($t:ty),* $(,)?) => {$(
+                impl SampleUniform for $t {
+                    fn sample_between<R: RngCore + ?Sized>(
+                        rng: &mut R,
+                        low: Self,
+                        high: Self,
+                        inclusive: bool,
+                    ) -> Self {
+                        let lo = low as i128;
+                        let hi = high as i128 + if inclusive { 1 } else { 0 };
+                        let span = hi - lo;
+                        assert!(span > 0, "cannot sample from empty range");
+                        (lo + (rng.next_u64() as i128).rem_euclid(span)) as $t
+                    }
+                }
+            )*};
+        }
+        impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+        impl SampleUniform for f64 {
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                _inclusive: bool,
+            ) -> Self {
+                assert!(high > low, "cannot sample from empty range");
+                let frac = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                low + frac * (high - low)
+            }
+        }
+
+        impl SampleUniform for f32 {
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                f64::sample_between(rng, low as f64, high as f64, inclusive) as f32
+            }
+        }
+
+        /// Range types accepted by `Rng::gen_range`.
+        pub trait SampleRange<T> {
+            /// Draws one uniform sample from the range.
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                T::sample_between(rng, self.start, self.end, false)
+            }
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                T::sample_between(rng, *self.start(), *self.end(), true)
+            }
+        }
+    }
+}
+
+/// Convenience extension over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform draw from `range`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: distributions::uniform::SampleUniform,
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli trial with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let frac = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        frac < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+// Unused-but-referenced helper so `use core::ops::{Range, RangeInclusive}`
+// above is exercised even when downstream only uses inclusive ranges.
+#[allow(dead_code)]
+fn _range_types_exist(_: Range<u8>, _: RangeInclusive<u8>) {}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::uniform::SampleUniform;
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for b in dest.iter_mut() {
+                *b = self.next_u64() as u8;
+            }
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = Counter(1);
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: u64 = rng.gen_range(0..=5);
+            assert!(w <= 5);
+            let f: f64 = rng.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = Counter(1);
+        let _ = u32::sample_between(&mut rng, 5, 5, false);
+    }
+}

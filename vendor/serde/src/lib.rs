@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on result structs so that
+//! a real serde can be dropped in when the build environment has network
+//! access, but nothing in-tree actually serializes through a serde backend
+//! (summaries are printed via `Display`/hand-rolled JSON). The traits are
+//! therefore markers, and the derive macros emit empty impls.
+
+#![forbid(unsafe_code)]
+
+/// Marker for types that can be serialized.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker for types deserializable with any lifetime.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

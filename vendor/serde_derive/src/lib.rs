@@ -1,0 +1,45 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real crate generates full (de)serialization impls via syn/quote.
+//! Here `serde::Serialize`/`Deserialize` are marker traits (see the vendored
+//! `serde`), so the derives only need to name the type: they scan the item's
+//! token stream for the `struct`/`enum` keyword and emit an empty impl.
+//! Generic types are not supported (nothing in the workspace derives serde
+//! on a generic type).
+
+use proc_macro::{TokenStream, TokenTree};
+
+fn type_name(input: &TokenStream) -> String {
+    let mut saw_kw = false;
+    for tt in input.clone() {
+        // Attribute groups, doc comments, visibility parens: skip.
+        if let TokenTree::Ident(id) = tt {
+            let s = id.to_string();
+            if saw_kw {
+                return s;
+            }
+            if s == "struct" || s == "enum" {
+                saw_kw = true;
+            }
+        }
+    }
+    panic!("serde derive stub: could not find struct/enum name in input");
+}
+
+/// Emits `impl ::serde::Serialize for <T> {}`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl must parse")
+}
+
+/// Emits `impl<'de> ::serde::Deserialize<'de> for <T> {}`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl must parse")
+}
