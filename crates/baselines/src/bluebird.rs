@@ -20,10 +20,10 @@ use sv2p_simcore::{SimDuration, SimTime};
 use sv2p_topology::{NodeId, SwitchRole};
 use sv2p_vnet::agents::NoopSwitchAgent;
 use sv2p_vnet::{
-    AgentOutput, HostAgent, HostResolution, MappingDb, MisdeliveryPolicy, PacketAction,
-    Strategy, SwitchAgent, SwitchCtx,
+    AgentOutput, CacheOp, HostAgent, HostResolution, MappingDb, MisdeliveryPolicy,
+    PacketAction, Strategy, SwitchAgent, SwitchCtx,
 };
-use switchv2p::cache::{Admission, DirectMappedCache};
+use switchv2p::cache::{push_insert_ops, Admission, DirectMappedCache};
 
 /// Bluebird model parameters (paper defaults).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -72,17 +72,23 @@ struct BluebirdTorAgent {
 }
 
 impl BluebirdTorAgent {
-    /// Moves matured pending insertions into the route cache.
-    fn flush_pending(&mut self, now: SimTime) {
-        let ready: Vec<Vip> = self
+    /// Moves matured pending insertions into the route cache. Sorted by VIP
+    /// so line-collision winners (and any traced ops) never depend on
+    /// `HashMap` iteration order.
+    fn flush_pending(&mut self, now: SimTime, mut ops: Option<&mut Vec<CacheOp>>) {
+        let mut ready: Vec<Vip> = self
             .pending
             .iter()
             .filter(|&(_, &(_, at))| at <= now)
             .map(|(&v, _)| v)
             .collect();
+        ready.sort_unstable_by_key(|v| v.0);
         for vip in ready {
             let (pip, _) = self.pending.remove(&vip).expect("pending entry");
-            self.cache.insert(vip, pip, Admission::All);
+            let outcome = self.cache.insert(vip, pip, Admission::All);
+            if let Some(ops) = ops.as_deref_mut() {
+                push_insert_ops(ops, outcome, CacheOp::Insert { vip, pip });
+            }
         }
     }
 }
@@ -92,13 +98,16 @@ impl SwitchAgent for BluebirdTorAgent {
         if !matches!(pkt.kind, PacketKind::Data) || pkt.outer.resolved {
             return AgentOutput::forward();
         }
-        self.flush_pending(ctx.now);
+        let mut out = AgentOutput::forward();
+        let trace = ctx.trace_cache_ops;
+        self.flush_pending(ctx.now, trace.then_some(&mut out.cache_ops));
 
         // Route-cache lookup (data plane).
         if let Some((pip, _)) = self.cache.lookup(pkt.inner.dst_vip) {
             pkt.outer.dst_pip = pip;
             pkt.outer.resolved = true;
-            return AgentOutput::forward_hit();
+            out.cache_hit = true;
+            return out;
         }
 
         // Miss: the SFE takes over. Model the 20 Gbps control link as a
@@ -109,10 +118,8 @@ impl SwitchAgent for BluebirdTorAgent {
             / 8.0) as u64;
         if backlog_bytes > self.cfg.control_buffer_bytes {
             self.drops += 1;
-            return AgentOutput {
-                action: PacketAction::Drop,
-                ..AgentOutput::forward()
-            };
+            out.action = PacketAction::Drop;
+            return out;
         }
         let start = self.control_busy_until.max(ctx.now);
         self.control_busy_until = start + ser;
@@ -127,16 +134,11 @@ impl SwitchAgent for BluebirdTorAgent {
                 self.pending
                     .entry(pkt.inner.dst_vip)
                     .or_insert((pip, ctx.now + self.cfg.insertion_latency));
-                AgentOutput {
-                    action: PacketAction::Delay(detour),
-                    ..AgentOutput::forward()
-                }
+                out.action = PacketAction::Delay(detour);
             }
-            None => AgentOutput {
-                action: PacketAction::Drop,
-                ..AgentOutput::forward()
-            },
+            None => out.action = PacketAction::Drop,
         }
+        out
     }
 
     fn occupancy(&self) -> usize {
@@ -234,6 +236,7 @@ mod tests {
             base_rtt: SimDuration::from_micros(12),
             pod_of: &|_| None,
             pip_of_tag: &|_| Pip(0),
+            trace_cache_ops: false,
         }
     }
 

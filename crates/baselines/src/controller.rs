@@ -240,6 +240,7 @@ mod tests {
             base_rtt: SimDuration::from_micros(12),
             pod_of: &|_| None,
             pip_of_tag: &|_| Pip(0),
+            trace_cache_ops: false,
         };
         let mut pkt = Packet {
             id: PacketId(0),

@@ -7,8 +7,8 @@
 use sv2p_packet::{Packet, PacketKind, Pip, SwitchTag, Vip};
 use sv2p_topology::{NodeId, SwitchRole};
 use sv2p_vnet::agents::NoopSwitchAgent;
-use sv2p_vnet::{AgentOutput, MisdeliveryPolicy, Strategy, SwitchAgent, SwitchCtx};
-use switchv2p::cache::{Admission, DirectMappedCache};
+use sv2p_vnet::{AgentOutput, CacheOp, MisdeliveryPolicy, Strategy, SwitchAgent, SwitchCtx};
+use switchv2p::cache::{push_insert_ops, Admission, DirectMappedCache};
 
 /// The GwCache baseline.
 #[derive(Debug, Clone, Copy, Default)]
@@ -21,7 +21,7 @@ struct GwCacheAgent {
 }
 
 impl SwitchAgent for GwCacheAgent {
-    fn on_packet(&mut self, _ctx: &mut SwitchCtx<'_>, pkt: &mut Packet) -> AgentOutput {
+    fn on_packet(&mut self, ctx: &mut SwitchCtx<'_>, pkt: &mut Packet) -> AgentOutput {
         if !matches!(pkt.kind, PacketKind::Data) {
             return AgentOutput::forward();
         }
@@ -34,8 +34,11 @@ impl SwitchAgent for GwCacheAgent {
             }
         } else {
             // Packets leaving the gateways teach the mapping.
-            self.cache
-                .insert(pkt.inner.dst_vip, pkt.outer.dst_pip, Admission::All);
+            let (vip, pip) = (pkt.inner.dst_vip, pkt.outer.dst_pip);
+            let outcome = self.cache.insert(vip, pip, Admission::All);
+            if ctx.trace_cache_ops {
+                push_insert_ops(&mut out.cache_ops, outcome, CacheOp::Insert { vip, pip });
+            }
         }
         out
     }

@@ -4,8 +4,8 @@
 
 use sv2p_packet::{Packet, PacketKind, Pip, SwitchTag, Vip};
 use sv2p_topology::{NodeId, SwitchRole};
-use sv2p_vnet::{AgentOutput, MisdeliveryPolicy, Strategy, SwitchAgent, SwitchCtx};
-use switchv2p::cache::{Admission, DirectMappedCache};
+use sv2p_vnet::{AgentOutput, CacheOp, MisdeliveryPolicy, Strategy, SwitchAgent, SwitchCtx};
+use switchv2p::cache::{push_insert_ops, Admission, DirectMappedCache};
 
 /// The LocalLearning baseline.
 #[derive(Debug, Clone, Copy, Default)]
@@ -18,7 +18,7 @@ pub struct LocalLearningAgent {
 }
 
 impl SwitchAgent for LocalLearningAgent {
-    fn on_packet(&mut self, _ctx: &mut SwitchCtx<'_>, pkt: &mut Packet) -> AgentOutput {
+    fn on_packet(&mut self, ctx: &mut SwitchCtx<'_>, pkt: &mut Packet) -> AgentOutput {
         if !matches!(pkt.kind, PacketKind::Data) {
             return AgentOutput::forward();
         }
@@ -32,8 +32,11 @@ impl SwitchAgent for LocalLearningAgent {
         }
         if pkt.outer.resolved {
             // Local greedy destination learning, admit all (§3.1).
-            self.cache
-                .insert(pkt.inner.dst_vip, pkt.outer.dst_pip, Admission::All);
+            let (vip, pip) = (pkt.inner.dst_vip, pkt.outer.dst_pip);
+            let outcome = self.cache.insert(vip, pip, Admission::All);
+            if ctx.trace_cache_ops {
+                push_insert_ops(&mut out.cache_ops, outcome, CacheOp::Insert { vip, pip });
+            }
         }
         out
     }
@@ -102,6 +105,7 @@ mod tests {
             base_rtt: SimDuration::from_micros(12),
             pod_of: &|_| None,
             pip_of_tag: &|_| Pip(0),
+            trace_cache_ops: false,
         }
     }
 

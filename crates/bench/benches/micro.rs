@@ -153,6 +153,7 @@ fn bench_end_to_end(c: &mut Criterion) {
                     migrations: vec![],
                     end_of_time_us: None,
                     seed: 1,
+                    label: String::new(),
                 };
                 black_box(run_spec(&spec))
             })

@@ -6,12 +6,13 @@
 //! ```
 
 use sv2p_bench::harness::{run_spec, ExperimentSpec, StrategyKind};
-use sv2p_bench::Scale;
+use sv2p_bench::cli;
 use sv2p_traces::{hadoop, video};
 use switchv2p::SwitchV2PConfig;
 
 fn main() {
-    let scale = Scale::from_args();
+    let args = cli::init("ablations");
+    let scale = args.scale;
     let variants: Vec<(&str, SwitchV2PConfig)> = vec![
         ("full design", SwitchV2PConfig::default()),
         ("w/o learning packets", SwitchV2PConfig::without_learning_packets()),
@@ -47,7 +48,8 @@ fn main() {
                 cache_entries: scale.analysis_cache_entries(""),
                 migrations: vec![],
                 end_of_time_us: None,
-                seed: 1,
+                seed: args.seed(),
+                label: format!("{dataset}:{name}"),
             };
             let s = run_spec(&spec);
             println!(
@@ -62,4 +64,5 @@ fn main() {
         }
         println!();
     }
+    cli::finish();
 }

@@ -11,6 +11,7 @@
 //! ```
 
 use sv2p_baselines::{Controller, ControllerDriver};
+use sv2p_bench::cli;
 use sv2p_bench::harness::{run_spec, to_flow_specs, ExperimentSpec, StrategyKind};
 use sv2p_bench::Scale;
 use sv2p_netsim::{SimConfig, Simulation};
@@ -19,7 +20,12 @@ use sv2p_topology::NodeId;
 use sv2p_traces::websearch;
 use sv2p_vnet::GatewayDirectory;
 
-fn run_controller(scale: Scale, period: SimDuration, cache_frac: f64) -> sv2p_metrics::RunSummary {
+fn run_controller(
+    scale: Scale,
+    period: SimDuration,
+    cache_frac: f64,
+    label: &str,
+) -> sv2p_metrics::RunSummary {
     let ft = scale.ft8();
     let strategy = Controller;
     let active = scale.active_addresses("websearch");
@@ -29,6 +35,7 @@ fn run_controller(scale: Scale, period: SimDuration, cache_frac: f64) -> sv2p_me
 
     let cfg = SimConfig {
         record_traffic_matrix: true,
+        telemetry: cli::telemetry_cfg(),
         ..SimConfig::default()
     };
     let mut sim = Simulation::new(cfg, &ft, &strategy, total_entries, 80);
@@ -45,6 +52,7 @@ fn run_controller(scale: Scale, period: SimDuration, cache_frac: f64) -> sv2p_me
     let dir: GatewayDirectory = sim.gateway_directory().clone();
 
     // Epoch loop: run a period, replan from the observed matrix, install.
+    let start = std::time::Instant::now();
     let mut t = SimTime::ZERO;
     loop {
         t += period;
@@ -76,11 +84,25 @@ fn run_controller(scale: Scale, period: SimDuration, cache_frac: f64) -> sv2p_me
         }
     }
     sim.run();
-    sim.summary()
+    let wall = start.elapsed().as_secs_f64();
+    let s = sim.summary();
+    cli::record_manifest(cli::manifest_for_sim(
+        "Controller",
+        &ft,
+        label,
+        cli::args().seed(),
+        total_entries as u64,
+        &sim,
+        &s,
+        wall,
+    ));
+    cli::write_traces(&sim, &format!("controller.Controller.{label}"));
+    s
 }
 
 fn main() {
-    let scale = Scale::from_args();
+    let args = cli::init("controller");
+    let scale = args.scale;
     let fracs = [0.1, 0.25, 0.5, 1.0];
     println!("Appendix A.2: Controller (greedy ILP) on WebSearch\n");
     println!(
@@ -92,7 +114,12 @@ fn main() {
             ("Controller @150us", SimDuration::from_micros(150)),
             ("Controller @300us", SimDuration::from_micros(300)),
         ] {
-            let s = run_controller(scale, period, frac);
+            let run_label = format!(
+                "p{}us-c{}",
+                period.as_nanos() / 1_000,
+                (frac * 100.0) as u32
+            );
+            let s = run_controller(scale, period, frac, &run_label);
             println!(
                 "{:<22} {:>6}% {:>9.1}% {:>12.1} {:>14.1}",
                 label,
@@ -111,7 +138,8 @@ fn main() {
             cache_entries: ((frac * scale.active_addresses("websearch") as f64) as usize).max(1),
             migrations: vec![],
             end_of_time_us: None,
-            seed: 1,
+            seed: args.seed(),
+            label: format!("c{}", (frac * 100.0) as u32),
         };
         let s = run_spec(&spec);
         println!(
@@ -127,4 +155,5 @@ fn main() {
     println!("The controller wins at small caches (global placement, no");
     println!("duplication) and fades as its information staleness dominates —");
     println!("the Appendix A.2 observation.");
+    cli::finish();
 }

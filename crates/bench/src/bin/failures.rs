@@ -10,6 +10,7 @@
 //! cargo run --release -p sv2p-bench --bin failures
 //! ```
 
+use sv2p_bench::cli;
 use sv2p_bench::harness::{drop_breakdown, ExperimentSpec, StrategyKind};
 use sv2p_netsim::faults::{FaultEvent, FaultPlan};
 use sv2p_netsim::Simulation;
@@ -33,7 +34,7 @@ fn steady_flows(n: usize, horizon_us: u64, bytes: u64) -> Vec<TraceFlow> {
         .collect()
 }
 
-fn base_spec(strategy: StrategyKind) -> ExperimentSpec {
+fn base_spec(strategy: StrategyKind, scenario: &str) -> ExperimentSpec {
     ExperimentSpec {
         topology: FatTreeConfig::scaled_ft8(2),
         vms_per_server: 16,
@@ -42,7 +43,8 @@ fn base_spec(strategy: StrategyKind) -> ExperimentSpec {
         cache_entries: 96,
         migrations: vec![],
         end_of_time_us: None,
-        seed: 1,
+        seed: cli::args().seed(),
+        label: scenario.to_string(),
     }
 }
 
@@ -126,13 +128,16 @@ fn plan_for(scenario: &str, sim: &Simulation) -> FaultPlan {
 }
 
 fn run_scenario(scenario: &str, strategy: StrategyKind) {
-    let spec = base_spec(strategy);
+    let spec = base_spec(strategy, scenario);
     let total = spec.flows.len();
     let mut sim = spec.build();
     let plan = plan_for(scenario, &sim);
     sim.apply_fault_plan(plan);
+    let start = std::time::Instant::now();
     sim.run();
+    let wall = start.elapsed().as_secs_f64();
     let s = sim.summary();
+    cli::record_run(&spec, &sim, &s, wall);
     let r = sim
         .metrics
         .recovery_report(
@@ -159,6 +164,7 @@ fn run_scenario(scenario: &str, strategy: StrategyKind) {
 }
 
 fn main() {
+    cli::init("failures");
     let strategies = [
         StrategyKind::SwitchV2P,
         StrategyKind::GwCache,
@@ -172,4 +178,5 @@ fn main() {
             run_scenario(scenario, strategy);
         }
     }
+    cli::finish();
 }

@@ -6,12 +6,13 @@
 //! ```
 
 use sv2p_bench::harness::{run_spec, ExperimentSpec, StrategyKind};
-use sv2p_bench::Scale;
+use sv2p_bench::cli;
 use sv2p_topology::FatTreeConfig;
 use sv2p_traces::hadoop;
 
 fn main() {
-    let scale = Scale::from_args();
+    let args = cli::init("fig10");
+    let scale = args.scale;
     let flows = hadoop(&scale.hadoop());
     let systems = [
         StrategyKind::LocalLearning,
@@ -37,7 +38,8 @@ fn main() {
                 cache_entries: cache,
                 migrations: vec![],
                 end_of_time_us: None,
-                seed: 1,
+                seed: args.seed(),
+                label: format!("pods{pods}"),
             };
             let r = run_spec(&spec);
             println!(
@@ -52,4 +54,5 @@ fn main() {
         }
         println!();
     }
+    cli::finish();
 }

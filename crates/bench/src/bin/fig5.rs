@@ -11,10 +11,10 @@
 //! ```
 
 use sv2p_bench::harness::{print_figure5_panels, sweep, ExperimentSpec, StrategyKind};
-use sv2p_bench::Scale;
+use sv2p_bench::{cli, Scale};
 use sv2p_traces::{hadoop, microbursts, video, websearch};
 
-fn run_dataset(name: &str, scale: Scale) {
+fn run_dataset(name: &str, scale: Scale, seed: u64) {
     let flows = match name {
         "hadoop" => hadoop(&scale.hadoop()),
         "websearch" => websearch(&scale.websearch()),
@@ -39,7 +39,8 @@ fn run_dataset(name: &str, scale: Scale) {
         cache_entries: 0,
         migrations: vec![],
         end_of_time_us: None,
-        seed: 1,
+        seed,
+        label: name.to_string(),
     };
     let fracs = scale.cache_fracs();
     let rows = sweep(
@@ -52,18 +53,16 @@ fn run_dataset(name: &str, scale: Scale) {
 }
 
 fn main() {
-    let scale = Scale::from_args();
-    let dataset = std::env::args()
-        .nth(1)
-        .filter(|a| a != "--full")
-        .unwrap_or_else(|| "all".to_string());
-    match dataset.as_str() {
+    let args = cli::init("fig5");
+    let (scale, seed) = (args.scale, args.seed());
+    match args.dataset_or("all") {
         "all" => {
             for d in ["hadoop", "microbursts", "websearch", "video"] {
-                run_dataset(d, scale);
+                run_dataset(d, scale, seed);
                 println!();
             }
         }
-        d => run_dataset(d, scale),
+        d => run_dataset(d, scale, seed),
     }
+    cli::finish();
 }

@@ -6,11 +6,12 @@
 //! ```
 
 use sv2p_bench::harness::{print_figure5_panels, sweep, ExperimentSpec, StrategyKind};
-use sv2p_bench::Scale;
+use sv2p_bench::cli;
 use sv2p_traces::alibaba;
 
 fn main() {
-    let scale = Scale::from_args();
+    let args = cli::init("fig6");
+    let scale = args.scale;
     let (topology, ali_cfg, vms_per_server) = scale.alibaba();
     let flows = alibaba(&ali_cfg);
     let base = ExperimentSpec {
@@ -21,7 +22,8 @@ fn main() {
         cache_entries: 0,
         migrations: vec![],
         end_of_time_us: None,
-        seed: 1,
+        seed: args.seed(),
+        label: "alibaba".into(),
     };
     let fracs = scale.cache_fracs();
     let rows = sweep(
@@ -31,4 +33,5 @@ fn main() {
         scale.active_addresses("alibaba"),
     );
     print_figure5_panels("Figure 6 (Alibaba, FT16-400K)", &rows, &fracs);
+    cli::finish();
 }

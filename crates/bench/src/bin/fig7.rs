@@ -11,12 +11,13 @@
 //! ```
 
 use sv2p_bench::harness::{ExperimentSpec, StrategyKind};
-use sv2p_bench::Scale;
+use sv2p_bench::cli;
 use sv2p_topology::NodeKind;
 use sv2p_traces::hadoop;
 
 fn main() {
-    let scale = Scale::from_args();
+    let args = cli::init("fig7");
+    let scale = args.scale;
     let flows = hadoop(&scale.hadoop());
     let systems = [
         StrategyKind::NoCache,
@@ -39,10 +40,13 @@ fn main() {
             cache_entries: if s.cache_sensitive() { cache } else { 0 },
             migrations: vec![],
             end_of_time_us: None,
-            seed: 1,
+            seed: args.seed(),
+            label: "hadoop".into(),
         };
         let mut sim = spec.build();
+        let start = std::time::Instant::now();
         sim.run();
+        let wall = start.elapsed().as_secs_f64();
         let pods: Vec<u64> = (0..8).map(|p| sim.metrics.pod_bytes(p)).collect();
         // Pod 8 (index 7) per switch: spines then ToRs then the gateway ToR,
         // matching Figure 8's switch numbering.
@@ -65,6 +69,7 @@ fn main() {
         spines.sort();
         tors.sort();
         let summary = sim.summary();
+        cli::record_run(&spec, &sim, &summary, wall);
         per_pod.push((
             s.name(),
             pods,
@@ -129,4 +134,5 @@ fn main() {
         gw_bytes("NoCache") / gw_bytes("SwitchV2P"),
         gw_bytes("GwCache") / gw_bytes("SwitchV2P"),
     );
+    cli::finish();
 }

@@ -5,11 +5,12 @@
 //! ```
 
 use sv2p_bench::harness::{run_spec, ExperimentSpec, StrategyKind};
-use sv2p_bench::Scale;
+use sv2p_bench::cli;
 use sv2p_traces::hadoop;
 
 fn main() {
-    let scale = Scale::from_args();
+    let args = cli::init("fig9");
+    let scale = args.scale;
     let flows = hadoop(&scale.hadoop());
     let gateway_counts = [40u16, 20, 10, 8, 4];
     let systems = [
@@ -37,7 +38,8 @@ fn main() {
                 migrations: vec![],
                 // Under-provisioned gateway fleets melt down; cap the run.
                 end_of_time_us: Some(100_000),
-                seed: 1,
+                seed: args.seed(),
+                label: format!("gw{gws}"),
             };
             let r = run_spec(&spec);
             println!(
@@ -52,4 +54,5 @@ fn main() {
         }
         println!();
     }
+    cli::finish();
 }

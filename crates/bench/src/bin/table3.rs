@@ -1,8 +1,11 @@
 //! Table 3: the network topologies' characteristics.
 
+use sv2p_bench::cli;
 use sv2p_topology::FatTreeConfig;
 
 fn main() {
+    cli::init("table3");
+    let start = std::time::Instant::now();
     let ft8 = FatTreeConfig::ft8_10k();
     let ft16 = FatTreeConfig::ft16_400k();
     let (c8, c16) = (ft8.characteristics(), ft16.characteristics());
@@ -28,4 +31,9 @@ fn main() {
         "\n(total switches: FT8-10K = {}, FT16-400K = {})",
         c8.total_switches, c16.total_switches
     );
+    cli::record_manifest(cli::analytic_manifest(
+        "topology-characteristics",
+        start.elapsed().as_secs_f64(),
+    ));
+    cli::finish();
 }

@@ -6,12 +6,13 @@
 //! ```
 
 use sv2p_bench::harness::{run_spec, ExperimentSpec, StrategyKind};
-use sv2p_bench::Scale;
+use sv2p_bench::cli;
 use sv2p_traces::incast;
 use switchv2p::SwitchV2PConfig;
 
 fn main() {
-    let scale = Scale::from_args();
+    let args = cli::init("table4");
+    let scale = args.scale;
     // VM 0 is the victim; senders live on 64 distinct servers (80 VMs per
     // server on FT8-10K).
     let dst_vm = 0usize;
@@ -54,7 +55,8 @@ fn main() {
             cache_entries,
             migrations: vec![(dst_vm, 500)],
             end_of_time_us: None,
-            seed: 1,
+            seed: args.seed(),
+            label: name.to_string(),
         };
         let s = run_spec(&spec);
         let (base_lat, base_misdel) =
@@ -69,4 +71,5 @@ fn main() {
             s.invalidation_packets
         );
     }
+    cli::finish();
 }

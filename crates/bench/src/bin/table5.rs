@@ -6,11 +6,12 @@
 //! ```
 
 use sv2p_bench::harness::{run_spec, ExperimentSpec, StrategyKind};
-use sv2p_bench::Scale;
+use sv2p_bench::cli;
 use sv2p_traces::{hadoop, microbursts, video, websearch};
 
 fn main() {
-    let scale = Scale::from_args();
+    let args = cli::init("table5");
+    let scale = args.scale;
     println!("Table 5: SwitchV2P cache-hit distribution by layer (cache 50%)\n");
     println!(
         "{:<12} | {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7}",
@@ -37,7 +38,8 @@ fn main() {
             cache_entries: scale.analysis_cache_entries(""),
             migrations: vec![],
             end_of_time_us: None,
-            seed: 1,
+            seed: args.seed(),
+            label: name.to_lowercase(),
         };
         let s = run_spec(&spec);
         println!(
@@ -52,4 +54,5 @@ fn main() {
         );
     }
     println!("\n(Alibaba's row is produced by the fig6 binary's summary.)");
+    cli::finish();
 }

@@ -6,9 +6,12 @@
 //! cargo run --release -p sv2p-bench --bin table6
 //! ```
 
+use sv2p_bench::cli;
 use sv2p_p4model::SwitchV2PProgram;
 
 fn main() {
+    cli::init("table6");
+    let start = std::time::Instant::now();
     // 50% of FT8-10K's 10 240 addresses over 80 switches = 64 lines/switch.
     let lines = 10_240 / 2 / 80;
     let program = SwitchV2PProgram::new(lines as u64);
@@ -35,4 +38,9 @@ fn main() {
             lines, u.sram, u.hash_bits, u.meter_alu, u.vliw
         );
     }
+    cli::record_manifest(cli::analytic_manifest(
+        "p4-resource-model",
+        start.elapsed().as_secs_f64(),
+    ));
+    cli::finish();
 }

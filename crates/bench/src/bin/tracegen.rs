@@ -6,7 +6,7 @@
 //! cargo run --release -p sv2p-bench --bin tracegen -- hadoop [--full] [--dump]
 //! ```
 
-use sv2p_bench::Scale;
+use sv2p_bench::cli;
 use sv2p_traces::datasets::stats;
 use sv2p_traces::{alibaba, hadoop, microbursts, video, websearch, TraceFlow};
 
@@ -37,14 +37,10 @@ fn describe(name: &str, flows: &[TraceFlow], dump: bool) {
 }
 
 fn main() {
-    let scale = Scale::from_args();
-    let args: Vec<String> = std::env::args().collect();
-    let dump = args.iter().any(|a| a == "--dump");
-    let which = args
-        .get(1)
-        .filter(|a| !a.starts_with("--"))
-        .cloned()
-        .unwrap_or_else(|| "all".into());
+    let args = cli::init("tracegen");
+    let scale = args.scale;
+    let dump = std::env::args().any(|a| a == "--dump");
+    let which = args.dataset_or("all").to_string();
 
     let run = |name: &str, dump: bool| match name {
         "hadoop" => describe("Hadoop", &hadoop(&scale.hadoop()), dump),
@@ -60,6 +56,7 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let start = std::time::Instant::now();
     if which == "all" {
         for d in ["hadoop", "websearch", "alibaba", "microbursts", "video"] {
             run(d, dump);
@@ -67,4 +64,9 @@ fn main() {
     } else {
         run(&which, dump);
     }
+    cli::record_manifest(cli::analytic_manifest(
+        &which,
+        start.elapsed().as_secs_f64(),
+    ));
+    cli::finish();
 }

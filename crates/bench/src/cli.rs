@@ -1,0 +1,314 @@
+//! Shared CLI arguments and run recording for the bench binaries.
+//!
+//! Every binary under `src/bin/` begins with [`init`] (its own name) and
+//! ends with [`finish`]. In between, [`run_spec`](crate::harness::run_spec)
+//! records one [`RunManifest`] per simulation into a process-wide sink;
+//! `finish` writes the sink — sorted by [`RunManifest::sort_key`], so the
+//! file never depends on sweep-thread scheduling — to
+//! `results/<bin>[.<dataset>].manifest.jsonl`.
+//!
+//! Common flags (accepted anywhere on the command line):
+//!
+//! * `--full` — paper-scale parameters (default: quick);
+//! * `--seed N` — RNG seed override (default: 1);
+//! * `--telemetry DIR` — enable structured tracing and write
+//!   `<label>.events.jsonl` / `<label>.samples.jsonl` per run into DIR.
+//!
+//! The first argument that is not one of these flags is the dataset /
+//! sub-command selector (`fig5 -- hadoop`, `fig6 -- all`, …).
+
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
+
+use sv2p_metrics::RunSummary;
+use sv2p_netsim::Simulation;
+use sv2p_telemetry::manifest::write_manifests;
+use sv2p_telemetry::RunManifest;
+use sv2p_topology::FatTreeConfig;
+
+use crate::harness::ExperimentSpec;
+use crate::Scale;
+
+/// Arguments shared by every bench binary.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    /// Quick or paper-scale parameters (`--full`).
+    pub scale: Scale,
+    /// First positional argument (dataset or sub-command), if any.
+    pub dataset: Option<String>,
+    /// `--seed N` override.
+    pub seed: Option<u64>,
+    /// `--telemetry DIR`: trace every run into DIR.
+    pub telemetry: Option<PathBuf>,
+}
+
+impl BenchArgs {
+    fn parse(argv: impl Iterator<Item = String>) -> BenchArgs {
+        let mut out = BenchArgs {
+            scale: Scale::Quick,
+            dataset: None,
+            seed: None,
+            telemetry: None,
+        };
+        let mut it = argv.peekable();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--full" => out.scale = Scale::Full,
+                "--seed" => {
+                    let v = it.next().unwrap_or_else(|| die("--seed needs a value"));
+                    out.seed =
+                        Some(v.parse().unwrap_or_else(|_| die("--seed needs an integer")));
+                }
+                "--telemetry" => {
+                    let v = it
+                        .next()
+                        .unwrap_or_else(|| die("--telemetry needs a directory"));
+                    out.telemetry = Some(PathBuf::from(v));
+                }
+                other if !other.starts_with("--") && out.dataset.is_none() => {
+                    out.dataset = Some(other.to_string());
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// The effective seed: `--seed N` if given, else 1 (the historical
+    /// default every bin hard-coded).
+    pub fn seed(&self) -> u64 {
+        self.seed.unwrap_or(1)
+    }
+
+    /// The dataset selector, defaulting to `fallback`.
+    pub fn dataset_or<'a>(&'a self, fallback: &'a str) -> &'a str {
+        self.dataset.as_deref().unwrap_or(fallback)
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}
+
+static ARGS: OnceLock<BenchArgs> = OnceLock::new();
+static BIN: OnceLock<String> = OnceLock::new();
+static SINK: Mutex<Vec<RunManifest>> = Mutex::new(Vec::new());
+
+/// Parses (once) and returns the process's bench arguments.
+pub fn args() -> &'static BenchArgs {
+    ARGS.get_or_init(|| BenchArgs::parse(std::env::args().skip(1)))
+}
+
+/// Registers the binary's name (used for the manifest path and trace-file
+/// labels) and returns the parsed arguments. Call first in every `main`.
+pub fn init(bin: &str) -> &'static BenchArgs {
+    let _ = BIN.set(bin.to_string());
+    args()
+}
+
+/// The `--telemetry` output directory, if tracing was requested.
+pub fn telemetry_dir() -> Option<&'static Path> {
+    args().telemetry.as_deref()
+}
+
+/// The telemetry configuration implied by the CLI (for bins that build
+/// their own [`sv2p_netsim::SimConfig`]).
+pub fn telemetry_cfg() -> sv2p_telemetry::TelemetryConfig {
+    if telemetry_dir().is_some() {
+        sv2p_telemetry::TelemetryConfig::enabled()
+    } else {
+        sv2p_telemetry::TelemetryConfig::disabled()
+    }
+}
+
+/// "quick" or "full", for manifest rows.
+pub fn scale_str() -> &'static str {
+    match args().scale {
+        Scale::Quick => "quick",
+        Scale::Full => "full",
+    }
+}
+
+/// Appends one manifest to the process sink (written by [`finish`]).
+pub fn record_manifest(m: RunManifest) {
+    SINK.lock().expect("manifest sink").push(m);
+}
+
+/// A short machine-readable topology label ("ft8p4r4s" = 8 pods × 4 racks
+/// × 4 servers).
+pub fn topology_label(ft: &FatTreeConfig) -> String {
+    format!("ft{}p{}r{}s", ft.pods, ft.racks_per_pod, ft.servers_per_rack)
+}
+
+/// Builds a manifest row for a hand-driven simulation.
+#[allow(clippy::too_many_arguments)]
+pub fn manifest_for_sim(
+    strategy: &str,
+    topology: &FatTreeConfig,
+    config: &str,
+    seed: u64,
+    cache_entries: u64,
+    sim: &Simulation,
+    summary: &RunSummary,
+    wall_clock_s: f64,
+) -> RunManifest {
+    let events = sim.events_executed();
+    RunManifest {
+        experiment: BIN.get().cloned().unwrap_or_else(|| "adhoc".into()),
+        strategy: strategy.to_string(),
+        topology: topology_label(topology),
+        config: config.to_string(),
+        scale: scale_str().into(),
+        seed,
+        cache_entries,
+        flows: summary.flows,
+        flows_completed: summary.flows_completed,
+        hit_rate: summary.hit_rate,
+        wall_clock_s,
+        events_processed: events,
+        events_per_sec: events as f64 / wall_clock_s.max(1e-9),
+        peak_queue: sim.peak_queue() as u64,
+        telemetry_enabled: sim.tracer().enabled(),
+    }
+}
+
+/// Writes the sim's trace/sample files into the `--telemetry` directory
+/// under `label` (no-op when tracing is off or no directory was given).
+pub fn write_traces(sim: &Simulation, label: &str) {
+    let Some(dir) = telemetry_dir() else { return };
+    if !sim.tracer().enabled() {
+        return;
+    }
+    match sim.tracer().write_to_dir(dir, label) {
+        Ok((ev, _)) => eprintln!(
+            "[telemetry] {} events ({} dropped), {} samples -> {}",
+            sim.tracer().total_recorded(),
+            sim.tracer().dropped(),
+            sim.tracer().samples.len(),
+            ev.display()
+        ),
+        Err(e) => eprintln!("[telemetry] write failed: {e}"),
+    }
+}
+
+/// Records a completed simulation: one manifest line, plus trace files when
+/// `--telemetry DIR` was given. Called by `run_spec`; call it directly for
+/// bins that drive a [`Simulation`] by hand.
+pub fn record_run(
+    spec: &ExperimentSpec,
+    sim: &Simulation,
+    summary: &RunSummary,
+    wall_clock_s: f64,
+) {
+    record_manifest(manifest_for_sim(
+        spec.strategy.name(),
+        &spec.topology,
+        &spec.label,
+        spec.seed,
+        spec.cache_entries as u64,
+        sim,
+        summary,
+        wall_clock_s,
+    ));
+    write_traces(sim, &trace_label(spec));
+}
+
+/// Trace-file label, derived from the spec alone (never from thread or
+/// completion order) so a rerun names its files identically.
+fn trace_label(spec: &ExperimentSpec) -> String {
+    let bin = BIN.get().map(String::as_str).unwrap_or("adhoc");
+    let mut label = format!("{bin}.{}", spec.strategy.name());
+    if !spec.label.is_empty() {
+        label.push('.');
+        label.push_str(&sanitize(&spec.label));
+    }
+    label.push_str(&format!(".c{}.s{}", spec.cache_entries, spec.seed));
+    label
+}
+
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect()
+}
+
+/// Writes the manifest sink to `results/<bin>[.<dataset>].manifest.jsonl`
+/// (the dataset suffix keeps `fig5 hadoop` from clobbering `fig5 video`).
+/// Call last in every `main` — including analytic bins, which record a
+/// strategy-"-" line so every experiment leaves a manifest.
+pub fn finish() {
+    let Some(bin) = BIN.get() else {
+        return;
+    };
+    let mut ms = std::mem::take(&mut *SINK.lock().expect("manifest sink"));
+    let name = match &args().dataset {
+        Some(d) => format!("{bin}.{}.manifest.jsonl", sanitize(d)),
+        None => format!("{bin}.manifest.jsonl"),
+    };
+    let path = Path::new("results").join(name);
+    match write_manifests(&path, &mut ms) {
+        Ok(()) => eprintln!("[manifest] {} run(s) -> {}", ms.len(), path.display()),
+        Err(e) => eprintln!("[manifest] write failed for {}: {e}", path.display()),
+    }
+}
+
+/// A manifest line for an analytic (no-simulation) step.
+pub fn analytic_manifest(config: &str, wall_clock_s: f64) -> RunManifest {
+    RunManifest {
+        experiment: BIN.get().cloned().unwrap_or_else(|| "adhoc".into()),
+        strategy: "-".into(),
+        topology: "-".into(),
+        config: config.into(),
+        scale: match args().scale {
+            Scale::Quick => "quick".into(),
+            Scale::Full => "full".into(),
+        },
+        seed: args().seed(),
+        cache_entries: 0,
+        flows: 0,
+        flows_completed: 0,
+        hit_rate: 0.0,
+        wall_clock_s,
+        events_processed: 0,
+        events_per_sec: 0.0,
+        peak_queue: 0,
+        telemetry_enabled: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> BenchArgs {
+        BenchArgs::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_flags_in_any_order() {
+        let a = parse(&["--telemetry", "out", "hadoop", "--seed", "7", "--full"]);
+        assert_eq!(a.scale, Scale::Full);
+        assert_eq!(a.dataset.as_deref(), Some("hadoop"));
+        assert_eq!(a.seed(), 7);
+        assert_eq!(a.telemetry.as_deref(), Some(Path::new("out")));
+    }
+
+    #[test]
+    fn defaults_are_quick_seed1_no_telemetry() {
+        let a = parse(&[]);
+        assert_eq!(a.scale, Scale::Quick);
+        assert_eq!(a.seed(), 1);
+        assert!(a.dataset.is_none());
+        assert!(a.telemetry.is_none());
+        assert_eq!(a.dataset_or("all"), "all");
+    }
+
+    #[test]
+    fn topology_label_is_compact() {
+        assert_eq!(
+            topology_label(&FatTreeConfig::ft8_10k()),
+            "ft8p4r4s".to_string()
+        );
+    }
+}

@@ -107,15 +107,25 @@ pub struct ExperimentSpec {
     pub end_of_time_us: Option<u64>,
     /// RNG seed.
     pub seed: u64,
+    /// Short run label (dataset, variant, sweep point); names the run in
+    /// manifests and trace files. May be empty.
+    pub label: String,
 }
 
 impl ExperimentSpec {
-    /// Builds the simulator and loads the workload.
+    /// Builds the simulator and loads the workload. Tracing is enabled when
+    /// the process was started with `--telemetry DIR` (see [`crate::cli`]).
     pub fn build(&self) -> Simulation {
         let strategy = self.strategy.build();
+        let telemetry = if crate::cli::telemetry_dir().is_some() {
+            sv2p_telemetry::TelemetryConfig::enabled()
+        } else {
+            sv2p_telemetry::TelemetryConfig::disabled()
+        };
         let cfg = SimConfig {
             seed: self.seed,
             end_of_time: self.end_of_time_us.map(SimTime::from_micros),
+            telemetry,
             ..SimConfig::default()
         };
         let mut sim = Simulation::new(
@@ -187,11 +197,16 @@ pub fn to_flow_specs(flows: &[TraceFlow], n_vms: usize) -> Vec<FlowSpec> {
         .collect()
 }
 
-/// Runs one experiment to completion.
+/// Runs one experiment to completion, recording a run manifest (and trace
+/// files when `--telemetry` is on) via [`crate::cli::record_run`].
 pub fn run_spec(spec: &ExperimentSpec) -> RunSummary {
     let mut sim = spec.build();
+    let start = std::time::Instant::now();
     sim.run();
-    sim.summary()
+    let wall = start.elapsed().as_secs_f64();
+    let summary = sim.summary();
+    crate::cli::record_run(spec, &sim, &summary, wall);
+    summary
 }
 
 /// One output row of a figure: scheme × cache size with the three panels
@@ -392,6 +407,7 @@ mod tests {
             migrations: vec![],
             end_of_time_us: None,
             seed: 1,
+            label: "unit".into(),
         }
     }
 

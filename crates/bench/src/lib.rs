@@ -7,15 +7,19 @@
 //! * [`harness`] — experiment specs, trace → simulator conversion, strategy
 //!   registry, parallel sweeps, improvement-factor normalization;
 //! * [`scale`] — "quick" (single-core-friendly) and "full" (paper-scale)
-//!   parameter sets; every binary takes `--full` and per-knob overrides.
+//!   parameter sets; every binary takes `--full` and per-knob overrides;
+//! * [`cli`] — shared argument parsing (`--full`, `--seed`, `--telemetry`),
+//!   the run-manifest sink, and per-run trace writing.
 //!
 //! Criterion micro-benchmarks of the primitives are under `benches/`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod harness;
 pub mod scale;
 
+pub use cli::BenchArgs;
 pub use harness::{run_spec, sweep, ExperimentSpec, Row, StrategyKind};
 pub use scale::Scale;

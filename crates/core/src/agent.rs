@@ -36,9 +36,9 @@ use sv2p_packet::{
 };
 use sv2p_simcore::SimTime;
 use sv2p_topology::SwitchRole;
-use sv2p_vnet::{AgentOutput, SwitchAgent, SwitchCtx};
+use sv2p_vnet::{AgentOutput, CacheOp, SwitchAgent, SwitchCtx};
 
-use crate::cache::{Admission, DirectMappedCache, InsertOutcome};
+use crate::cache::{push_insert_ops, Admission, DirectMappedCache, InsertOutcome};
 use crate::config::{InvalidationMode, SwitchV2PConfig};
 
 /// SwitchV2P behavior for one switch.
@@ -138,7 +138,9 @@ impl SwitchV2PAgent {
                         stale_pip: host_pip,
                     };
                     pkt.opts.misdelivery = Some(tag);
-                    self.cache.invalidate(dst_vip, Some(host_pip));
+                    if self.cache.invalidate(dst_vip, Some(host_pip)) && ctx.trace_cache_ops {
+                        out.cache_ops.push(CacheOp::Invalidate { vip: dst_vip });
+                    }
                     if self.cfg.invalidation != InvalidationMode::None {
                         if let Some(culprit) = pkt.opts.hit_switch.take() {
                             let allowed = match self.cfg.invalidation {
@@ -174,7 +176,9 @@ impl SwitchV2PAgent {
 
         // 2. Tag-driven invalidation en route.
         if let Some(tag) = pkt.opts.misdelivery {
-            self.cache.invalidate(tag.vip, Some(tag.stale_pip));
+            if self.cache.invalidate(tag.vip, Some(tag.stale_pip)) && ctx.trace_cache_ops {
+                out.cache_ops.push(CacheOp::Invalidate { vip: tag.vip });
+            }
         }
 
         // 3. Lookup.
@@ -212,7 +216,8 @@ impl SwitchV2PAgent {
         // 4. Promotion pickup at cores.
         if self.role == SwitchRole::Core {
             if let Some(m) = pkt.opts.promotion {
-                match self.cache.insert(m.vip, m.pip, Admission::AbitClear) {
+                let outcome = self.cache.insert(m.vip, m.pip, Admission::AbitClear);
+                match outcome {
                     InsertOutcome::Inserted | InsertOutcome::Evicted { .. } => {
                         pkt.opts.promotion = None;
                         out.promotion_inserted = true;
@@ -222,13 +227,21 @@ impl SwitchV2PAgent {
                     }
                     InsertOutcome::Rejected => {}
                 }
+                if ctx.trace_cache_ops {
+                    let accepted = CacheOp::Promote {
+                        vip: m.vip,
+                        pip: m.pip,
+                    };
+                    push_insert_ops(&mut out.cache_ops, outcome, accepted);
+                }
             }
         }
 
         // 5. Spillover pickup (entries evicted by an upstream switch).
         if self.cfg.spillover {
             if let Some(m) = pkt.opts.spillover {
-                match self.cache.insert(m.vip, m.pip, self.admission()) {
+                let outcome = self.cache.insert(m.vip, m.pip, self.admission());
+                match outcome {
                     InsertOutcome::Inserted | InsertOutcome::Evicted { .. } => {
                         // Note: accepting a spill may itself evict; that
                         // evictee is not re-spilled (the slot is in use) —
@@ -241,6 +254,13 @@ impl SwitchV2PAgent {
                     }
                     InsertOutcome::Rejected => {}
                 }
+                if ctx.trace_cache_ops {
+                    let accepted = CacheOp::Spill {
+                        vip: m.vip,
+                        pip: m.pip,
+                    };
+                    push_insert_ops(&mut out.cache_ops, outcome, accepted);
+                }
             }
         }
 
@@ -248,7 +268,12 @@ impl SwitchV2PAgent {
         match self.role {
             SwitchRole::GatewayTor => {
                 if pkt.outer.resolved {
-                    self.insert_with_spill(dst_vip, pkt.outer.dst_pip, Admission::All, pkt);
+                    let pip = pkt.outer.dst_pip;
+                    let outcome = self.insert_with_spill(dst_vip, pip, Admission::All, pkt);
+                    if ctx.trace_cache_ops {
+                        let accepted = CacheOp::Insert { vip: dst_vip, pip };
+                        push_insert_ops(&mut out.cache_ops, outcome, accepted);
+                    }
                     if self.cfg.learning_packets && ctx.rng.chance(self.cfg.p_learn) {
                         let m = MappingOption {
                             vip: dst_vip,
@@ -263,21 +288,21 @@ impl SwitchV2PAgent {
             SwitchRole::Tor => {
                 // Source learning: the sender's own mapping, useful when the
                 // rack's receivers reply.
-                self.insert_with_spill(
-                    pkt.inner.src_vip,
-                    pkt.outer.src_pip,
-                    Admission::All,
-                    pkt,
-                );
+                let (vip, pip) = (pkt.inner.src_vip, pkt.outer.src_pip);
+                let outcome = self.insert_with_spill(vip, pip, Admission::All, pkt);
+                if ctx.trace_cache_ops {
+                    push_insert_ops(&mut out.cache_ops, outcome, CacheOp::Insert { vip, pip });
+                }
             }
             SwitchRole::Spine | SwitchRole::GatewaySpine => {
                 if pkt.outer.resolved {
-                    self.insert_with_spill(
-                        dst_vip,
-                        pkt.outer.dst_pip,
-                        Admission::AbitClear,
-                        pkt,
-                    );
+                    let pip = pkt.outer.dst_pip;
+                    let outcome =
+                        self.insert_with_spill(dst_vip, pip, Admission::AbitClear, pkt);
+                    if ctx.trace_cache_ops {
+                        let accepted = CacheOp::Insert { vip: dst_vip, pip };
+                        push_insert_ops(&mut out.cache_ops, outcome, accepted);
+                    }
                 }
             }
             SwitchRole::Core => {} // cores learn only from promotions (step 4)
@@ -293,8 +318,16 @@ impl SwitchAgent for SwitchV2PAgent {
             PacketKind::Data => self.handle_data(ctx, pkt),
             PacketKind::Learning(m) => {
                 if self.is_tor() && ctx.dst_attached {
-                    self.cache.insert(m.vip, m.pip, Admission::All);
-                    AgentOutput::consume()
+                    let outcome = self.cache.insert(m.vip, m.pip, Admission::All);
+                    let mut out = AgentOutput::consume();
+                    if ctx.trace_cache_ops {
+                        let accepted = CacheOp::Insert {
+                            vip: m.vip,
+                            pip: m.pip,
+                        };
+                        push_insert_ops(&mut out.cache_ops, outcome, accepted);
+                    }
+                    out
                 } else {
                     AgentOutput::forward()
                 }
@@ -303,12 +336,16 @@ impl SwitchAgent for SwitchV2PAgent {
                 // Invalidate here and at every switch en route (§3.3: "all
                 // the caches along the path to the destination are
                 // invalidated as well").
-                self.cache.invalidate(tag.vip, Some(tag.stale_pip));
-                if pkt.outer.dst_pip == ctx.switch_pip {
+                let removed = self.cache.invalidate(tag.vip, Some(tag.stale_pip));
+                let mut out = if pkt.outer.dst_pip == ctx.switch_pip {
                     AgentOutput::consume()
                 } else {
                     AgentOutput::forward()
+                };
+                if removed && ctx.trace_cache_ops {
+                    out.cache_ops.push(CacheOp::Invalidate { vip: tag.vip });
                 }
+                out
             }
         }
     }
@@ -372,6 +409,7 @@ mod tests {
         db: MappingDb,
         rng: SimRng,
         now: SimTime,
+        trace: bool,
     }
 
     fn pod_of(pip: Pip) -> Option<u16> {
@@ -388,6 +426,7 @@ mod tests {
                 db: MappingDb::new(),
                 rng: SimRng::new(7),
                 now: SimTime::from_micros(100),
+                trace: false,
             }
         }
 
@@ -411,6 +450,7 @@ mod tests {
                 base_rtt: SimDuration::from_micros(12),
                 pod_of: &pod_of,
                 pip_of_tag: &pip_of_tag,
+                trace_cache_ops: self.trace,
             }
         }
     }
@@ -775,6 +815,58 @@ mod tests {
         assert!(out.cache_hit);
         assert_eq!(pkt.outer.dst_pip, Pip(77));
         assert_eq!(agent.cache.peek(Vip(2)), Some(Pip(77)));
+    }
+
+    #[test]
+    fn cache_ops_reported_only_when_traced() {
+        // Untraced: mutations happen but cache_ops stays empty.
+        let mut fx = Fixture::new();
+        let mut agent = SwitchV2PAgent::new(SwitchRole::Tor, 16, SwitchV2PConfig::default());
+        let mut pkt = data_packet(1, 2, 11, 999, false);
+        let out = agent.on_packet(&mut fx.ctx(SwitchRole::Tor, Some(Pip(11)), false), &mut pkt);
+        assert!(out.cache_ops.is_empty());
+        assert_eq!(agent.cache.peek(Vip(1)), Some(Pip(11)));
+
+        // Traced: the same source-learning insert is reported.
+        let mut fx = Fixture::new();
+        fx.trace = true;
+        let mut agent = SwitchV2PAgent::new(SwitchRole::Tor, 16, SwitchV2PConfig::default());
+        let mut pkt = data_packet(1, 2, 11, 999, false);
+        let out = agent.on_packet(&mut fx.ctx(SwitchRole::Tor, Some(Pip(11)), false), &mut pkt);
+        assert_eq!(
+            out.cache_ops,
+            vec![CacheOp::Insert {
+                vip: Vip(1),
+                pip: Pip(11)
+            }]
+        );
+
+        // Traced eviction on a 1-line cache: evictee then newcomer.
+        let mut one = SwitchV2PAgent::new(SwitchRole::Tor, 1, SwitchV2PConfig::default());
+        let mut p1 = data_packet(1, 2, 11, 999, false);
+        one.on_packet(&mut fx.ctx(SwitchRole::Tor, Some(Pip(11)), false), &mut p1);
+        let mut p2 = data_packet(3, 2, 33, 999, false);
+        let out = one.on_packet(&mut fx.ctx(SwitchRole::Tor, Some(Pip(33)), false), &mut p2);
+        assert_eq!(
+            out.cache_ops,
+            vec![
+                CacheOp::Evict {
+                    vip: Vip(1),
+                    pip: Pip(11)
+                },
+                CacheOp::Insert {
+                    vip: Vip(3),
+                    pip: Pip(33)
+                }
+            ]
+        );
+
+        // Traced misdelivery: the stale entry's invalidation is reported.
+        let mut tor = SwitchV2PAgent::new(SwitchRole::Tor, 16, SwitchV2PConfig::default());
+        tor.cache.insert(Vip(2), Pip(55), Admission::All);
+        let mut pkt = data_packet(1, 2, 11, 999, false);
+        let out = tor.on_packet(&mut fx.ctx(SwitchRole::Tor, Some(Pip(55)), false), &mut pkt);
+        assert!(out.cache_ops.contains(&CacheOp::Invalidate { vip: Vip(2) }));
     }
 
     #[test]

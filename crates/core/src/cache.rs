@@ -7,6 +7,7 @@
 //! bit-for-bit the same state machine.
 
 use sv2p_packet::{Pip, Vip};
+use sv2p_vnet::CacheOp;
 
 /// One cache line.
 #[derive(Debug, Clone, Copy, Default)]
@@ -44,6 +45,28 @@ pub enum InsertOutcome {
     },
     /// The admission policy kept the resident entry.
     Rejected,
+}
+
+/// Folds an [`InsertOutcome`] into telemetry [`CacheOp`]s. `accepted` is the
+/// op to report when the new mapping actually entered the cache (`Insert`,
+/// `Spill`, `Promote`, `Install`); an eviction is reported before it, an
+/// in-place refresh becomes `Update`, and a rejection reports nothing.
+///
+/// Shared by every agent that owns a [`DirectMappedCache`] so all strategies
+/// describe mutations with the same vocabulary.
+pub fn push_insert_ops(ops: &mut Vec<CacheOp>, outcome: InsertOutcome, accepted: CacheOp) {
+    match outcome {
+        InsertOutcome::Inserted => ops.push(accepted),
+        InsertOutcome::Updated => ops.push(CacheOp::Update {
+            vip: accepted.vip(),
+            pip: accepted.pip().expect("insert-style ops carry a pip"),
+        }),
+        InsertOutcome::Evicted { vip, pip, .. } => {
+            ops.push(CacheOp::Evict { vip, pip });
+            ops.push(accepted);
+        }
+        InsertOutcome::Rejected => {}
+    }
 }
 
 /// A direct-mapped VIP → PIP cache with per-line access bits.

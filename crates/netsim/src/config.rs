@@ -1,6 +1,7 @@
 //! Simulation-wide knobs.
 
 use sv2p_simcore::{SimDuration, SimTime};
+use sv2p_telemetry::TelemetryConfig;
 use sv2p_transport::TcpConfig;
 use sv2p_vnet::GatewayConfig;
 
@@ -25,6 +26,9 @@ pub struct SimConfig {
     pub record_traffic_matrix: bool,
     /// Hard stop; events after this instant are not executed.
     pub end_of_time: Option<SimTime>,
+    /// Structured tracing and time-series sampling (off by default; when
+    /// off the layer costs one branch per emission point).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for SimConfig {
@@ -38,6 +42,7 @@ impl Default for SimConfig {
             base_rtt: SimDuration::from_micros(12),
             record_traffic_matrix: false,
             end_of_time: None,
+            telemetry: TelemetryConfig::disabled(),
         }
     }
 }

@@ -9,7 +9,8 @@ use sv2p_packet::{
     TunnelOptions, Vip,
 };
 use sv2p_simcore::timer::TimerToken;
-use sv2p_simcore::{EventQueue, SimRng, SimTime, TimerWheel};
+use sv2p_simcore::{EventQueue, SimDuration, SimRng, SimTime, TimerWheel};
+use sv2p_telemetry::{EventKind, LayerName, Sample, TraceEvent, Tracer};
 use sv2p_topology::{
     FatTreeConfig, LinkId, NodeId, NodeKind, RoleMap, Routing, Topology,
 };
@@ -38,6 +39,9 @@ enum Event {
     Migrate(usize),
     FaultStart(usize),
     FaultEnd(usize),
+    /// Periodic telemetry snapshot; reschedules itself while other events
+    /// remain pending (so it never keeps an otherwise-finished run alive).
+    TelemetrySample,
 }
 
 /// A complete, runnable experiment instance.
@@ -77,6 +81,11 @@ pub struct Simulation {
     fault_rng: SimRng,
     /// All recorded measurements.
     pub metrics: Metrics,
+    /// Structured event tracing and time-series sampling.
+    tracer: Tracer,
+    /// Per-node flag: a switch that actually holds cache lines (gates
+    /// `CacheLookup` trace events, so non-caching switches stay silent).
+    caching: Vec<bool>,
     next_pkt_id: u64,
     traffic_matrix: HashMap<(u32, u32), u64>,
     misdelivery_policy: MisdeliveryPolicy,
@@ -155,6 +164,7 @@ impl Simulation {
         let mut agents: Vec<Option<Box<dyn SwitchAgent>>> = Vec::new();
         let mut agent_rngs = Vec::new();
         let mut host_agents: Vec<Option<Box<dyn HostAgent>>> = Vec::new();
+        let mut caching = vec![false; topo.nodes.len()];
         for node in &topo.nodes {
             agent_rngs.push(base_rng.fork(node.id.0 as u64));
             match node.kind {
@@ -162,6 +172,7 @@ impl Simulation {
                     let role = roles.role(node.id).expect("switch role");
                     let tag = tags[node.id.0 as usize].expect("switch tag");
                     let lines = lines_for(role);
+                    caching[node.id.0 as usize] = lines > 0;
                     agents.push(Some(strategy.make_switch_agent(node.id, role, tag, lines)));
                     host_agents.push(None);
                 }
@@ -194,7 +205,8 @@ impl Simulation {
         // disjoint from every per-agent fork.
         let fault_rng = base_rng.fork(u64::MAX);
 
-        Simulation {
+        let tracer = Tracer::new(cfg.telemetry);
+        let mut sim = Simulation {
             cfg,
             topo,
             routing,
@@ -219,17 +231,45 @@ impl Simulation {
             link_up,
             fault_rng,
             metrics,
+            tracer,
+            caching,
             next_pkt_id: 0,
             traffic_matrix: HashMap::new(),
             misdelivery_policy: strategy.misdelivery_policy(),
             finalized: false,
             strategy_name: strategy.name().to_string(),
+        };
+        if sim.tracer.enabled() && sim.tracer.config().sample_every_ns > 0 {
+            // First snapshot at t = 0; workload events scheduled later at the
+            // same instant run after it (the calendar is FIFO at equal times).
+            sim.events.schedule_at(SimTime::ZERO, Event::TelemetrySample);
         }
+        sim
     }
 
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.events.now()
+    }
+
+    /// Events executed by the calendar so far (run manifests).
+    pub fn events_executed(&self) -> u64 {
+        self.events.events_executed()
+    }
+
+    /// The calendar's pending-event high-water mark (run manifests).
+    pub fn peak_queue(&self) -> usize {
+        self.events.peak_len()
+    }
+
+    /// The telemetry tracer (read events/samples after a run).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Mutable tracer access (harnesses that write trace files).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
     }
 
     /// Read-only topology access.
@@ -316,6 +356,20 @@ impl Simulation {
             }
             for &(vip, pip) in entries {
                 agent.install(vip, pip);
+            }
+        } else {
+            return;
+        }
+        if self.tracer.enabled() {
+            let t = self.events.now().as_nanos();
+            let layer = self.layer_name(node);
+            for &(vip, pip) in entries {
+                let mut ev = TraceEvent::new(t, EventKind::CacheOp).at_node(node.0);
+                ev.op = Some("install");
+                ev.vip = Some(vip.0);
+                ev.pip = Some(pip.0);
+                ev.layer = Some(layer);
+                self.tracer.record(ev);
             }
         }
     }
@@ -461,6 +515,81 @@ impl Simulation {
             Event::Migrate(idx) => self.on_migrate(idx),
             Event::FaultStart(idx) => self.on_fault_start(idx),
             Event::FaultEnd(idx) => self.on_fault_end(idx),
+            Event::TelemetrySample => self.on_telemetry_sample(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Telemetry
+    // ------------------------------------------------------------------
+
+    /// Records a data-packet drop trace event (no-op when tracing is off;
+    /// callers record the metrics counter themselves).
+    #[inline]
+    fn trace_drop(&mut self, pkt: &Packet, node: NodeId, cause: &'static str) {
+        if self.tracer.enabled() {
+            self.trace_drop_ids(pkt.flow.0, pkt.id.0, node, cause);
+        }
+    }
+
+    /// Drop tracing for call sites where the packet has already been moved
+    /// (its ids were captured beforehand).
+    fn trace_drop_ids(&mut self, flow: u64, pkt: u64, node: NodeId, cause: &'static str) {
+        let mut ev = TraceEvent::new(self.events.now().as_nanos(), EventKind::Drop)
+            .packet(flow, pkt)
+            .at_node(node.0);
+        ev.cause = Some(cause);
+        self.tracer.record(ev);
+    }
+
+    /// Lowercase wire name of a switch's layer.
+    fn layer_name(&self, node: NodeId) -> LayerName {
+        match self.roles.role(node).map(|r| r.layer()) {
+            Some("ToR") => "tor",
+            Some("Spine") => "spine",
+            _ => "core",
+        }
+    }
+
+    /// Takes one time-series snapshot and re-arms the sampler while any
+    /// other event remains pending.
+    fn on_telemetry_sample(&mut self) {
+        let now = self.events.now();
+        let (mut q_total, mut q_max) = (0u64, 0u64);
+        for l in &self.links {
+            let q = l.queue_len() as u64;
+            q_total += q;
+            q_max = q_max.max(q);
+        }
+        let (mut occ_tor, mut occ_spine, mut occ_core) = (0u64, 0u64, 0u64);
+        for sw in self.topo.switches() {
+            let occ = self.agents[sw.id.0 as usize]
+                .as_ref()
+                .map_or(0, |a| a.occupancy()) as u64;
+            match self.roles.role(sw.id).map(|r| r.layer()) {
+                Some("ToR") => occ_tor += occ,
+                Some("Spine") => occ_spine += occ,
+                _ => occ_core += occ,
+            }
+        }
+        let widx = (now.as_nanos() / self.metrics.window_len_ns()) as usize;
+        let hit_rate_window = self.metrics.windows.get(widx).and_then(|w| w.hit_rate());
+        self.tracer.samples.push(Sample {
+            t_ns: now.as_nanos(),
+            events_executed: self.events.events_executed(),
+            pending_events: self.events.len() as u64,
+            queue_pkts_total: q_total,
+            queue_pkts_max: q_max,
+            occ_tor,
+            occ_spine,
+            occ_core,
+            hit_rate_window,
+            hit_rate_cum: self.metrics.hit_rate(),
+            gateway_pkts_cum: self.metrics.gateway_packets,
+        });
+        if !self.events.is_empty() {
+            let period = SimDuration::from_nanos(self.tracer.config().sample_every_ns);
+            self.events.schedule_in(period, Event::TelemetrySample);
         }
     }
 
@@ -674,6 +803,14 @@ impl Simulation {
         };
 
         self.metrics.record_data_sent(now);
+        if self.tracer.enabled() {
+            let mut ev = TraceEvent::new(now.as_nanos(), EventKind::PacketSent)
+                .packet(flow_id.0, pkt.id.0)
+                .at_node(src_node.0);
+            ev.resolved = Some(resolved);
+            ev.vip = Some(dst_vip.0);
+            self.tracer.record(ev);
+        }
         if self.cfg.record_traffic_matrix {
             *self
                 .traffic_matrix
@@ -699,6 +836,7 @@ impl Simulation {
             // The host's only uplink is down: nowhere to go.
             if matches!(pkt.kind, PacketKind::Data) {
                 self.metrics.record_drop(DropCause::Unroutable);
+                self.trace_drop(&pkt, node, "unroutable");
             }
             return;
         }
@@ -707,6 +845,10 @@ impl Simulation {
 
     fn enqueue_on_link(&mut self, link: LinkId, pkt: Packet) {
         let is_data = matches!(pkt.kind, PacketKind::Data);
+        // Ids captured up front: the packet is moved into the link below, but
+        // a Dropped/Lost outcome still needs them for the trace event.
+        let trace_ids = (is_data && self.tracer.enabled()).then_some((pkt.flow.0, pkt.id.0));
+        let from_node = self.topo.link(link).from;
         let l = &mut self.links[link.0 as usize];
         // Draw from the dedicated fault stream only while loss is active, so
         // a healthy run consumes no fault randomness at all.
@@ -724,11 +866,17 @@ impl Simulation {
             EnqueueOutcome::Dropped => {
                 if is_data {
                     self.metrics.record_drop(DropCause::Queue);
+                    if let Some((f, p)) = trace_ids {
+                        self.trace_drop_ids(f, p, from_node, "queue");
+                    }
                 }
             }
             EnqueueOutcome::Lost => {
                 if is_data {
                     self.metrics.record_drop(DropCause::Loss);
+                    if let Some((f, p)) = trace_ids {
+                        self.trace_drop_ids(f, p, from_node, "loss");
+                    }
                 }
             }
         }
@@ -780,14 +928,27 @@ impl Simulation {
             // A rebooting switch drops everything that traverses it.
             if matches!(pkt.kind, PacketKind::Data) {
                 self.metrics.record_drop(DropCause::Blackout);
+                self.trace_drop(&pkt, node, "blackout");
             }
             return;
         }
         let tag = self.tags[idx].expect("switch tag");
+        let is_data = matches!(pkt.kind, PacketKind::Data);
         if count {
             self.metrics.record_switch_bytes(tag, pkt.wire_size());
             pkt.switch_hops = pkt.switch_hops.saturating_add(1);
         }
+        let trace = self.tracer.enabled();
+        // Protocol packets carry the default FlowId(0); tracing them would
+        // pollute flow 0's packet trace, so lifecycle events are data-only.
+        if trace && count && is_data {
+            self.tracer.record(
+                TraceEvent::new(now.as_nanos(), EventKind::SwitchIngress)
+                    .packet(pkt.flow.0, pkt.id.0)
+                    .at_node(node.0),
+            );
+        }
+        let was_unresolved = is_data && !pkt.outer.resolved;
         let role = self.roles.role(node).expect("switch role");
         let dst_attached = self.dst_attached(node, pkt.outer.dst_pip);
         let first_of_flow = pkt.first_of_flow;
@@ -825,6 +986,7 @@ impl Simulation {
                 base_rtt: self.cfg.base_rtt,
                 pod_of: &pod_of,
                 pip_of_tag: &pip_of_tag,
+                trace_cache_ops: trace,
             };
             match self.agents[idx].as_mut() {
                 Some(agent) => agent.on_packet(&mut ctx, &mut pkt),
@@ -840,6 +1002,33 @@ impl Simulation {
         }
         if output.promotion_inserted {
             self.metrics.promotion_inserts += 1;
+        }
+        if trace {
+            // A data packet that arrived unresolved at a switch holding cache
+            // lines probed that cache; the agent reported hit/miss.
+            if was_unresolved && self.caching[idx] {
+                let mut ev = TraceEvent::new(now.as_nanos(), EventKind::CacheLookup)
+                    .packet(pkt.flow.0, pkt.id.0)
+                    .at_node(node.0);
+                ev.hit = Some(output.cache_hit);
+                ev.layer = Some(self.layer_name(node));
+                self.tracer.record(ev);
+            }
+            if !output.cache_ops.is_empty() {
+                let layer = self.layer_name(node);
+                for op in &output.cache_ops {
+                    let mut ev = TraceEvent::new(now.as_nanos(), EventKind::CacheOp)
+                        .at_node(node.0);
+                    if is_data {
+                        ev = ev.packet(pkt.flow.0, pkt.id.0);
+                    }
+                    ev.op = Some(op.name());
+                    ev.vip = Some(op.vip().0);
+                    ev.pip = op.pip().map(|p| p.0);
+                    ev.layer = Some(layer);
+                    self.tracer.record(ev);
+                }
+            }
         }
         for mut extra in output.emit {
             extra.id = self.alloc_pkt_id();
@@ -859,6 +1048,7 @@ impl Simulation {
             PacketAction::Drop => {
                 if matches!(pkt.kind, PacketKind::Data) {
                     self.metrics.record_drop(DropCause::Queue);
+                    self.trace_drop(&pkt, node, "queue");
                 }
             }
             PacketAction::Consume => {}
@@ -870,6 +1060,7 @@ impl Simulation {
             // Unroutable (e.g. a Bluebird packet no ToR translated): drop.
             if matches!(pkt.kind, PacketKind::Data) {
                 self.metrics.record_drop(DropCause::Unroutable);
+                self.trace_drop(&pkt, node, "unroutable");
             }
             return;
         };
@@ -890,6 +1081,7 @@ impl Simulation {
                 // No route, or every candidate port is down.
                 if matches!(pkt.kind, PacketKind::Data) {
                     self.metrics.record_drop(DropCause::Unroutable);
+                    self.trace_drop(&pkt, node, "unroutable");
                 }
             }
         }
@@ -914,12 +1106,20 @@ impl Simulation {
             // An out gateway answers nothing; senders ride their RTO.
             if matches!(pkt.kind, PacketKind::Data) {
                 self.metrics.record_drop(DropCause::Blackout);
+                self.trace_drop(&pkt, node, "blackout");
             }
             return;
         }
         match pkt.kind {
             PacketKind::Data if !pkt.outer.resolved => {
                 self.metrics.record_gateway_packet(now);
+                if self.tracer.enabled() {
+                    self.tracer.record(
+                        TraceEvent::new(now.as_nanos(), EventKind::GatewayIngress)
+                            .packet(pkt.flow.0, pkt.id.0)
+                            .at_node(node.0),
+                    );
+                }
                 let delay = self.cfg.gateway.processing();
                 self.events
                     .schedule_in(delay, Event::GatewayDone { node, pkt });
@@ -929,6 +1129,7 @@ impl Simulation {
                 // business at a gateway.
                 if matches!(pkt.kind, PacketKind::Data) {
                     self.metrics.record_drop(DropCause::Unroutable);
+                    self.trace_drop(&pkt, node, "unroutable");
                 }
             }
         }
@@ -938,6 +1139,7 @@ impl Simulation {
         if self.blackout[node.0 as usize] {
             // The outage began while this packet was in processing.
             self.metrics.record_drop(DropCause::Blackout);
+            self.trace_drop(&pkt, node, "blackout");
             return;
         }
         match self.db.lookup(pkt.inner.dst_vip) {
@@ -949,10 +1151,20 @@ impl Simulation {
                 // markings are now moot.
                 pkt.opts.misdelivery = None;
                 pkt.opts.hit_switch = None;
+                if self.tracer.enabled() {
+                    let mut ev =
+                        TraceEvent::new(self.now().as_nanos(), EventKind::GatewayDone)
+                            .packet(pkt.flow.0, pkt.id.0)
+                            .at_node(node.0);
+                    ev.vip = Some(pkt.inner.dst_vip.0);
+                    ev.pip = Some(pip.0);
+                    self.tracer.record(ev);
+                }
                 self.transmit_from_host(node, pkt);
             }
             None => {
                 self.metrics.record_drop(DropCause::Unroutable);
+                self.trace_drop(&pkt, node, "unroutable");
             }
         }
     }
@@ -993,6 +1205,14 @@ impl Simulation {
         // Forward-direction data.
         let sent_at = SimTime::from_nanos(pkt.sent_ns);
         self.metrics.record_delivery(sent_at, now, pkt.switch_hops);
+        if self.tracer.enabled() {
+            let mut ev = TraceEvent::new(now.as_nanos(), EventKind::Delivery)
+                .packet(pkt.flow.0, pkt.id.0)
+                .at_node(node.0);
+            ev.hops = Some(pkt.switch_hops);
+            ev.latency_ns = Some(now.as_nanos().saturating_sub(pkt.sent_ns));
+            self.tracer.record(ev);
+        }
         if pkt.first_of_flow {
             self.metrics.first_packet_delivered(pkt.flow, now);
         }
@@ -1026,6 +1246,13 @@ impl Simulation {
     fn on_misdelivery(&mut self, node: NodeId, pkt: Packet) {
         let now = self.now();
         self.metrics.record_misdelivery(now);
+        if self.tracer.enabled() {
+            self.tracer.record(
+                TraceEvent::new(now.as_nanos(), EventKind::Misdelivery)
+                    .packet(pkt.flow.0, pkt.id.0)
+                    .at_node(node.0),
+            );
+        }
         self.events.schedule_in(
             self.cfg.misdelivery_penalty,
             Event::HostForward { node, pkt },
@@ -1044,6 +1271,7 @@ impl Simulation {
                     None => {
                         // No rule: the VM is simply gone; drop.
                         self.metrics.record_drop(DropCause::Unroutable);
+                        self.trace_drop(&pkt, node, "unroutable");
                         return;
                     }
                 }
@@ -1367,6 +1595,57 @@ mod tests {
             (t as i64 - 3 * c as i64).abs() <= 3,
             "ToR {t} lines vs core {c}"
         );
+    }
+
+    #[test]
+    fn telemetry_traces_lifecycle_and_samples() {
+        let ft = FatTreeConfig::scaled_ft8(2);
+        let cfg = SimConfig {
+            telemetry: sv2p_telemetry::TelemetryConfig::enabled(),
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(cfg, &ft, &TestNoCache, 0, 4);
+        sim.add_flows([FlowSpec {
+            src_vm: 0,
+            dst_vm: sim.placement.len() - 1,
+            start: SimTime::ZERO,
+            kind: FlowKind::Tcp { bytes: 20_000 },
+        }]);
+        sim.run();
+        let tracer = sim.tracer();
+        let count = |k: EventKind| tracer.events().filter(|e| e.kind == k).count();
+        assert!(count(EventKind::PacketSent) > 0);
+        assert!(count(EventKind::SwitchIngress) > 0);
+        assert!(
+            count(EventKind::GatewayIngress) > 0,
+            "NoCache sends every first-sighting through a gateway"
+        );
+        assert_eq!(
+            count(EventKind::GatewayIngress),
+            count(EventKind::GatewayDone),
+            "a healthy run finishes every gateway translation it starts"
+        );
+        assert!(count(EventKind::Delivery) > 0);
+        assert_eq!(count(EventKind::Drop), 0);
+        assert!(!tracer.samples.is_empty(), "sampler must have fired");
+        assert_eq!(tracer.dropped(), 0);
+        // Events come out in chronological order.
+        let ts: Vec<u64> = tracer.events().map(|e| e.t_ns).collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn telemetry_disabled_records_nothing() {
+        let mut sim = small_sim();
+        sim.add_flows([FlowSpec {
+            src_vm: 0,
+            dst_vm: 100,
+            start: SimTime::ZERO,
+            kind: FlowKind::Tcp { bytes: 5_000 },
+        }]);
+        sim.run();
+        assert_eq!(sim.tracer().total_recorded(), 0);
+        assert!(sim.tracer().samples.is_empty());
     }
 
     #[test]

@@ -60,6 +60,7 @@ pub struct EventQueue<E> {
     next_seq: u64,
     now: SimTime,
     popped: u64,
+    peak_len: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -76,6 +77,7 @@ impl<E> EventQueue<E> {
             next_seq: 0,
             now: SimTime::ZERO,
             popped: 0,
+            peak_len: 0,
         }
     }
 
@@ -86,6 +88,7 @@ impl<E> EventQueue<E> {
             next_seq: 0,
             now: SimTime::ZERO,
             popped: 0,
+            peak_len: 0,
         }
     }
 
@@ -109,6 +112,12 @@ impl<E> EventQueue<E> {
         self.popped
     }
 
+    /// Largest number of simultaneously pending events seen so far (the
+    /// calendar's memory high-water mark, reported by run manifests).
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
+    }
+
     /// Schedules `payload` at absolute time `at`.
     ///
     /// Returns the sequence number, which uniquely identifies the scheduling
@@ -127,6 +136,7 @@ impl<E> EventQueue<E> {
             seq,
             payload,
         });
+        self.peak_len = self.peak_len.max(self.heap.len());
         seq
     }
 
@@ -208,6 +218,22 @@ mod tests {
         q.schedule_at(SimTime::from_nanos(100), ());
         q.pop();
         q.schedule_at(SimTime::from_nanos(50), ());
+    }
+
+    #[test]
+    fn peak_len_tracks_high_water_mark() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peak_len(), 0);
+        q.schedule_at(SimTime::from_nanos(10), 1);
+        q.schedule_at(SimTime::from_nanos(20), 2);
+        q.schedule_at(SimTime::from_nanos(30), 3);
+        assert_eq!(q.peak_len(), 3);
+        q.pop();
+        q.pop();
+        q.schedule_at(SimTime::from_nanos(40), 4);
+        // Draining below the peak must not lower it.
+        assert_eq!(q.peak_len(), 3);
+        assert_eq!(q.len(), 2);
     }
 
     #[test]

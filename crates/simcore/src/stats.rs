@@ -198,6 +198,67 @@ mod tests {
     }
 
     #[test]
+    fn running_single_sample() {
+        let mut r = Running::new();
+        r.push(7.5);
+        assert_eq!(r.count(), 1);
+        assert_eq!(r.mean(), 7.5);
+        assert_eq!(r.min(), 7.5);
+        assert_eq!(r.max(), 7.5);
+        assert_eq!(r.stddev(), 0.0, "one sample has no spread");
+    }
+
+    #[test]
+    fn running_min_max_are_nan_free() {
+        // Empty: the sentinel infinities must never leak out.
+        let empty = Running::new();
+        for v in [empty.mean(), empty.min(), empty.max(), empty.stddev()] {
+            assert!(v.is_finite(), "empty accumulator leaked {v}");
+        }
+        // Negative-only data: min/max stay finite and ordered.
+        let mut r = Running::new();
+        r.push(-3.0);
+        r.push(-1.0);
+        assert_eq!(r.min(), -3.0);
+        assert_eq!(r.max(), -1.0);
+        assert!(r.min().is_finite() && r.max().is_finite());
+        // Merging an empty accumulator changes nothing.
+        r.merge(&Running::new());
+        assert_eq!(r.count(), 2);
+        assert_eq!(r.min(), -3.0);
+    }
+
+    #[test]
+    fn percentiles_empty_accumulator_is_zero() {
+        let mut p = Percentiles::new();
+        assert_eq!(p.count(), 0);
+        assert_eq!(p.mean(), 0.0);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(p.quantile(q), 0.0);
+        }
+    }
+
+    #[test]
+    fn percentiles_single_sample_dominates_every_quantile() {
+        let mut p = Percentiles::new();
+        p.push(42.0);
+        assert_eq!(p.count(), 1);
+        assert_eq!(p.mean(), 42.0);
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(p.quantile(q), 42.0);
+        }
+    }
+
+    #[test]
+    fn percentiles_quantile_clamps_out_of_range_q() {
+        let mut p = Percentiles::new();
+        p.push(1.0);
+        p.push(2.0);
+        assert_eq!(p.quantile(-0.5), 1.0);
+        assert_eq!(p.quantile(7.0), 2.0);
+    }
+
+    #[test]
     fn percentiles_nearest_rank() {
         let mut p = Percentiles::new();
         for x in 1..=100 {

@@ -1,0 +1,164 @@
+//! `sv2p-trace`: inspect a telemetry trace produced by the bench harness.
+//!
+//! ```sh
+//! sv2p-trace run.events.jsonl                      # per-kind summary
+//! sv2p-trace run.events.jsonl --flow 12            # all events of flow 12
+//! sv2p-trace run.events.jsonl --switch 3           # all events at node 3
+//! sv2p-trace run.events.jsonl --kind cache_lookup  # one event kind
+//! sv2p-trace run.events.jsonl --path 12            # flow 12's first packet,
+//!                                                  # hop by hop with latency
+//! sv2p-trace run.events.jsonl --path 12 --pkt 900  # a specific packet
+//! ```
+//!
+//! Filters compose (AND). Filtered events print as JSONL, so output can be
+//! piped back into `sv2p-trace` or any JSON tool.
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use sv2p_telemetry::inspect::{format_path, kind_counts, parse_events, reconstruct_path};
+use sv2p_telemetry::EventKind;
+
+struct Args {
+    file: String,
+    flow: Option<u64>,
+    switch: Option<u32>,
+    kind: Option<EventKind>,
+    path: Option<u64>,
+    pkt: Option<u64>,
+    summary: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: sv2p-trace <trace.events.jsonl> \
+         [--summary] [--flow N] [--switch N] [--kind K] [--path FLOW] [--pkt N]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, ExitCode> {
+    let mut args = Args {
+        file: String::new(),
+        flow: None,
+        switch: None,
+        kind: None,
+        path: None,
+        pkt: None,
+        summary: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut num = |name: &str| -> Result<u64, ExitCode> {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| {
+                    eprintln!("{name} needs a numeric argument");
+                    usage()
+                })
+        };
+        match a.as_str() {
+            "--summary" => args.summary = true,
+            "--flow" => args.flow = Some(num("--flow")?),
+            "--switch" => args.switch = Some(num("--switch")? as u32),
+            "--path" => args.path = Some(num("--path")?),
+            "--pkt" => args.pkt = Some(num("--pkt")?),
+            "--kind" => {
+                let k = it.next().unwrap_or_default();
+                match EventKind::parse(&k) {
+                    Some(kind) => args.kind = Some(kind),
+                    None => {
+                        let names: Vec<&str> =
+                            EventKind::ALL.iter().map(|k| k.as_str()).collect();
+                        eprintln!("unknown kind {k:?}; one of: {}", names.join(", "));
+                        return Err(usage());
+                    }
+                }
+            }
+            "--help" | "-h" => return Err(usage()),
+            _ if args.file.is_empty() && !a.starts_with('-') => args.file = a,
+            other => {
+                eprintln!("unknown argument {other:?}");
+                return Err(usage());
+            }
+        }
+    }
+    if args.file.is_empty() {
+        return Err(usage());
+    }
+    Ok(args)
+}
+
+/// Inspects the file and writes the requested view to `out`. An `Err` is
+/// an I/O failure on `out` — `main` treats a broken pipe (`… | head`) as
+/// a normal early exit.
+fn run(args: &Args, out: &mut impl Write) -> std::io::Result<ExitCode> {
+    let text = match std::fs::read_to_string(&args.file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", args.file);
+            return Ok(ExitCode::FAILURE);
+        }
+    };
+    let events = parse_events(&text);
+    if events.is_empty() {
+        eprintln!("{}: no parseable trace events", args.file);
+        return Ok(ExitCode::FAILURE);
+    }
+
+    if let Some(flow) = args.path {
+        match reconstruct_path(&events, flow, args.pkt) {
+            Some(report) => {
+                write!(out, "{}", format_path(&report))?;
+                return Ok(ExitCode::SUCCESS);
+            }
+            None => {
+                eprintln!("no events for flow {flow} (pkt {:?})", args.pkt);
+                return Ok(ExitCode::FAILURE);
+            }
+        }
+    }
+
+    let filtering = args.flow.is_some() || args.switch.is_some() || args.kind.is_some();
+    if filtering && !args.summary {
+        for e in &events {
+            if args.flow.is_some_and(|f| e.flow != Some(f)) {
+                continue;
+            }
+            if args.switch.is_some_and(|n| e.node != Some(n)) {
+                continue;
+            }
+            if args.kind.is_some_and(|k| e.kind != k) {
+                continue;
+            }
+            writeln!(out, "{}", e.to_json())?;
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    // Summary (the default).
+    writeln!(out, "{}: {} events", args.file, events.len())?;
+    for (kind, n) in kind_counts(&events) {
+        writeln!(out, "  {kind:<16} {n}")?;
+    }
+    let t0 = events.iter().map(|e| e.t_ns).min().unwrap_or(0);
+    let t1 = events.iter().map(|e| e.t_ns).max().unwrap_or(0);
+    writeln!(out, "  span: {t0} .. {t1} ns ({} us)", (t1 - t0) / 1000)?;
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    let mut out = std::io::BufWriter::new(std::io::stdout().lock());
+    match run(&args, &mut out).and_then(|code| out.flush().map(|()| code)) {
+        Ok(code) => code,
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("write failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,475 @@
+//! Trace events, the ring-buffered tracer, and time-series samples.
+//!
+//! Everything here is keyed by **virtual time only** (`t_ns`). Wall-clock
+//! never enters a trace or a sample, so two same-seed runs of the same
+//! experiment render byte-identical JSONL.
+
+use crate::json::JsonObj;
+
+/// Switch-layer label carried on switch-side events.
+///
+/// Kept as a `&'static str` ("tor"/"spine"/"core") so this crate stays
+/// dependency-free; the simulator maps its `Layer` enum at emission time.
+pub type LayerName = &'static str;
+
+/// What happened. One discriminant per packet-lifecycle or cache-mutation
+/// point; the per-kind payload rides in [`TraceEvent`]'s optional fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A tenant data packet entered the network at its source host.
+    PacketSent,
+    /// A packet arrived at a switch.
+    SwitchIngress,
+    /// A caching switch looked the packet's destination up (`hit` says
+    /// whether its cache resolved it).
+    CacheLookup,
+    /// A cache mutated (`op` = insert/update/evict/invalidate/spill/promote).
+    CacheOp,
+    /// An unresolved packet reached a translation gateway (the detour).
+    GatewayIngress,
+    /// The gateway finished translating and re-emitted the packet.
+    GatewayDone,
+    /// A packet arrived at a host that no longer hosts the destination VM.
+    Misdelivery,
+    /// A data packet reached its (correct) destination VM.
+    Delivery,
+    /// A data packet was dropped (`cause` = queue/unroutable/blackout/loss).
+    Drop,
+}
+
+impl EventKind {
+    /// Stable wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::PacketSent => "send",
+            EventKind::SwitchIngress => "switch_ingress",
+            EventKind::CacheLookup => "cache_lookup",
+            EventKind::CacheOp => "cache_op",
+            EventKind::GatewayIngress => "gateway_ingress",
+            EventKind::GatewayDone => "gateway_done",
+            EventKind::Misdelivery => "misdelivery",
+            EventKind::Delivery => "delivery",
+            EventKind::Drop => "drop",
+        }
+    }
+
+    /// Inverse of [`Self::as_str`].
+    pub fn parse(s: &str) -> Option<EventKind> {
+        Some(match s {
+            "send" => EventKind::PacketSent,
+            "switch_ingress" => EventKind::SwitchIngress,
+            "cache_lookup" => EventKind::CacheLookup,
+            "cache_op" => EventKind::CacheOp,
+            "gateway_ingress" => EventKind::GatewayIngress,
+            "gateway_done" => EventKind::GatewayDone,
+            "misdelivery" => EventKind::Misdelivery,
+            "delivery" => EventKind::Delivery,
+            "drop" => EventKind::Drop,
+            _ => return None,
+        })
+    }
+
+    /// Every kind, in wire order (inspector summaries iterate this so
+    /// output order never depends on hash-map iteration).
+    pub const ALL: [EventKind; 9] = [
+        EventKind::PacketSent,
+        EventKind::SwitchIngress,
+        EventKind::CacheLookup,
+        EventKind::CacheOp,
+        EventKind::GatewayIngress,
+        EventKind::GatewayDone,
+        EventKind::Misdelivery,
+        EventKind::Delivery,
+        EventKind::Drop,
+    ];
+}
+
+/// One structured trace record. Flat on purpose: a fixed field order
+/// renders to a byte-stable JSONL line and parses back with the minimal
+/// flat-object parser.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Virtual time, nanoseconds.
+    pub t_ns: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Flow id (absent for cache ops driven by protocol packets with no
+    /// tenant flow).
+    pub flow: Option<u64>,
+    /// Packet id.
+    pub pkt: Option<u64>,
+    /// Node id where it happened (switch, gateway, or host).
+    pub node: Option<u32>,
+    /// Switch layer ("tor"/"spine"/"core"), switch-side events only.
+    pub layer: Option<LayerName>,
+    /// Cache-lookup outcome.
+    pub hit: Option<bool>,
+    /// Whether the packet was outer-resolved (send events).
+    pub resolved: Option<bool>,
+    /// Virtual address involved in a cache op.
+    pub vip: Option<u32>,
+    /// Physical address involved in a cache op / gateway translation.
+    pub pip: Option<u32>,
+    /// Cache-op name ("insert"/"update"/"evict"/"invalidate"/"spill"/"promote").
+    pub op: Option<&'static str>,
+    /// Drop cause ("queue"/"unroutable"/"blackout"/"loss").
+    pub cause: Option<&'static str>,
+    /// Switch hops traversed (delivery events).
+    pub hops: Option<u16>,
+    /// End-to-end latency, nanoseconds (delivery events).
+    pub latency_ns: Option<u64>,
+}
+
+impl TraceEvent {
+    /// A blank event of `kind` at `t_ns`.
+    pub fn new(t_ns: u64, kind: EventKind) -> Self {
+        TraceEvent {
+            t_ns,
+            kind,
+            flow: None,
+            pkt: None,
+            node: None,
+            layer: None,
+            hit: None,
+            resolved: None,
+            vip: None,
+            pip: None,
+            op: None,
+            cause: None,
+            hops: None,
+            latency_ns: None,
+        }
+    }
+
+    /// Attaches flow/packet identity.
+    pub fn packet(mut self, flow: u64, pkt: u64) -> Self {
+        self.flow = Some(flow);
+        self.pkt = Some(pkt);
+        self
+    }
+
+    /// Attaches the node id.
+    pub fn at_node(mut self, node: u32) -> Self {
+        self.node = Some(node);
+        self
+    }
+
+    /// Renders the event as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObj::new();
+        o.u64("t_ns", self.t_ns).str("kind", self.kind.as_str());
+        if let Some(v) = self.flow {
+            o.u64("flow", v);
+        }
+        if let Some(v) = self.pkt {
+            o.u64("pkt", v);
+        }
+        if let Some(v) = self.node {
+            o.u64("node", v as u64);
+        }
+        if let Some(v) = self.layer {
+            o.str("layer", v);
+        }
+        if let Some(v) = self.hit {
+            o.bool("hit", v);
+        }
+        if let Some(v) = self.resolved {
+            o.bool("resolved", v);
+        }
+        if let Some(v) = self.vip {
+            o.u64("vip", v as u64);
+        }
+        if let Some(v) = self.pip {
+            o.u64("pip", v as u64);
+        }
+        if let Some(v) = self.op {
+            o.str("op", v);
+        }
+        if let Some(v) = self.cause {
+            o.str("cause", v);
+        }
+        if let Some(v) = self.hops {
+            o.u64("hops", v as u64);
+        }
+        if let Some(v) = self.latency_ns {
+            o.u64("latency_ns", v);
+        }
+        o.finish()
+    }
+}
+
+/// One periodic snapshot of simulator state (virtual-time sampler).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Virtual time of the snapshot, nanoseconds.
+    pub t_ns: u64,
+    /// Events executed by the calendar so far.
+    pub events_executed: u64,
+    /// Pending events in the calendar right now.
+    pub pending_events: u64,
+    /// Sum of egress-queue depths over all links, packets.
+    pub queue_pkts_total: u64,
+    /// Deepest single egress queue, packets.
+    pub queue_pkts_max: u64,
+    /// Valid cache entries across ToR switches.
+    pub occ_tor: u64,
+    /// Valid cache entries across spine switches.
+    pub occ_spine: u64,
+    /// Valid cache entries across core switches.
+    pub occ_core: u64,
+    /// Hit rate of the metrics window containing this instant (`None`
+    /// when the window saw no traffic).
+    pub hit_rate_window: Option<f64>,
+    /// Cumulative hit rate since t=0.
+    pub hit_rate_cum: f64,
+    /// Cumulative packets processed by gateways.
+    pub gateway_pkts_cum: u64,
+}
+
+impl Sample {
+    /// Renders the sample as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObj::new();
+        o.u64("t_ns", self.t_ns)
+            .u64("events_executed", self.events_executed)
+            .u64("pending_events", self.pending_events)
+            .u64("queue_pkts_total", self.queue_pkts_total)
+            .u64("queue_pkts_max", self.queue_pkts_max)
+            .u64("occ_tor", self.occ_tor)
+            .u64("occ_spine", self.occ_spine)
+            .u64("occ_core", self.occ_core);
+        match self.hit_rate_window {
+            Some(h) => o.f64("hit_rate_window", h),
+            None => o.str("hit_rate_window", "n/a"),
+        };
+        o.f64("hit_rate_cum", self.hit_rate_cum)
+            .u64("gateway_pkts_cum", self.gateway_pkts_cum);
+        o.finish()
+    }
+}
+
+/// Telemetry knobs, embedded in the simulator's `SimConfig`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TelemetryConfig {
+    /// Master gate. When false the tracer records nothing, the sampler
+    /// schedules no events, and agents skip cache-op bookkeeping — the
+    /// entire layer costs one predictable branch per emission point.
+    pub enabled: bool,
+    /// Ring-buffer capacity in events; the oldest events are overwritten
+    /// once full (the dropped count is kept).
+    pub event_capacity: usize,
+    /// Sampler period in virtual nanoseconds (0 disables sampling even
+    /// when tracing is on).
+    pub sample_every_ns: u64,
+}
+
+impl TelemetryConfig {
+    /// Tracing off (the default for every experiment).
+    pub fn disabled() -> Self {
+        TelemetryConfig {
+            enabled: false,
+            event_capacity: 0,
+            sample_every_ns: 0,
+        }
+    }
+
+    /// Tracing on with a 1 Mi-event ring and 100 µs sampling.
+    pub fn enabled() -> Self {
+        TelemetryConfig {
+            enabled: true,
+            event_capacity: 1 << 20,
+            sample_every_ns: 100_000,
+        }
+    }
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// The event sink: a boolean gate plus a bounded ring buffer.
+///
+/// Callers guard emission with [`Tracer::enabled`] so the disabled path
+/// never constructs a [`TraceEvent`]. When the ring fills, the oldest
+/// events are overwritten; [`Tracer::dropped`] reports how many.
+#[derive(Debug)]
+pub struct Tracer {
+    cfg: TelemetryConfig,
+    /// Ring storage; chronological order is `buf[start..] ++ buf[..start]`.
+    buf: Vec<TraceEvent>,
+    start: usize,
+    total: u64,
+    /// Collected time-series samples, in virtual-time order.
+    pub samples: Vec<Sample>,
+}
+
+impl Tracer {
+    /// A tracer for `cfg` (records nothing unless `cfg.enabled`).
+    pub fn new(cfg: TelemetryConfig) -> Self {
+        Tracer {
+            cfg,
+            buf: Vec::new(),
+            start: 0,
+            total: 0,
+            samples: Vec::new(),
+        }
+    }
+
+    /// A disabled tracer.
+    pub fn off() -> Self {
+        Self::new(TelemetryConfig::disabled())
+    }
+
+    /// True if events should be recorded. `#[inline]` so the guard at each
+    /// emission point compiles to one load+branch.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.cfg.enabled
+    }
+
+    /// The configuration this tracer was built with.
+    pub fn config(&self) -> TelemetryConfig {
+        self.cfg
+    }
+
+    /// Records one event (call only when [`Self::enabled`]).
+    pub fn record(&mut self, ev: TraceEvent) {
+        if !self.cfg.enabled || self.cfg.event_capacity == 0 {
+            return;
+        }
+        self.total += 1;
+        if self.buf.len() < self.cfg.event_capacity {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.start] = ev;
+            self.start = (self.start + 1) % self.buf.len();
+        }
+    }
+
+    /// Total events offered to the tracer.
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// Events lost to ring overwrite.
+    pub fn dropped(&self) -> u64 {
+        self.total - self.buf.len() as u64
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf[self.start..].iter().chain(self.buf[..self.start].iter())
+    }
+
+    /// Renders retained events as JSONL (one event per line, trailing
+    /// newline after each).
+    pub fn render_events_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in self.events() {
+            out.push_str(&ev.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders collected samples as JSONL.
+    pub fn render_samples_jsonl(&self) -> String {
+        let mut out = String::new();
+        for s in &self.samples {
+            out.push_str(&s.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes `<label>.events.jsonl` and `<label>.samples.jsonl` under
+    /// `dir` (created if missing); returns the two paths.
+    pub fn write_to_dir(
+        &self,
+        dir: &std::path::Path,
+        label: &str,
+    ) -> std::io::Result<(std::path::PathBuf, std::path::PathBuf)> {
+        std::fs::create_dir_all(dir)?;
+        let ev_path = dir.join(format!("{label}.events.jsonl"));
+        let sm_path = dir.join(format!("{label}.samples.jsonl"));
+        std::fs::write(&ev_path, self.render_events_jsonl())?;
+        std::fs::write(&sm_path, self.render_samples_jsonl())?;
+        Ok((ev_path, sm_path))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64) -> TraceEvent {
+        TraceEvent::new(t, EventKind::Delivery).packet(1, t)
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = Tracer::off();
+        assert!(!t.enabled());
+        t.record(ev(1));
+        assert_eq!(t.total_recorded(), 0);
+        assert_eq!(t.events().count(), 0);
+        assert!(t.render_events_jsonl().is_empty());
+    }
+
+    #[test]
+    fn ring_overwrites_oldest() {
+        let mut t = Tracer::new(TelemetryConfig {
+            enabled: true,
+            event_capacity: 3,
+            sample_every_ns: 0,
+        });
+        for i in 0..5 {
+            t.record(ev(i));
+        }
+        assert_eq!(t.total_recorded(), 5);
+        assert_eq!(t.dropped(), 2);
+        let ts: Vec<u64> = t.events().map(|e| e.t_ns).collect();
+        assert_eq!(ts, vec![2, 3, 4], "oldest-first after wrap");
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for k in EventKind::ALL {
+            assert_eq!(EventKind::parse(k.as_str()), Some(k));
+        }
+        assert_eq!(EventKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn event_json_has_fixed_field_order() {
+        let mut e = TraceEvent::new(5, EventKind::CacheLookup).packet(7, 9).at_node(3);
+        e.layer = Some("tor");
+        e.hit = Some(true);
+        assert_eq!(
+            e.to_json(),
+            r#"{"t_ns":5,"kind":"cache_lookup","flow":7,"pkt":9,"node":3,"layer":"tor","hit":true}"#
+        );
+    }
+
+    #[test]
+    fn sample_json_renders_missing_window_as_na() {
+        let s = Sample {
+            t_ns: 100,
+            events_executed: 10,
+            pending_events: 2,
+            queue_pkts_total: 0,
+            queue_pkts_max: 0,
+            occ_tor: 1,
+            occ_spine: 2,
+            occ_core: 3,
+            hit_rate_window: None,
+            hit_rate_cum: 0.25,
+            gateway_pkts_cum: 4,
+        };
+        let line = s.to_json();
+        assert!(line.contains(r#""hit_rate_window":"n/a""#), "{line}");
+        assert!(line.contains(r#""hit_rate_cum":0.25"#), "{line}");
+    }
+}

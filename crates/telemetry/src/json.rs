@@ -1,0 +1,265 @@
+//! Deterministic hand-rolled JSON: a writer for flat objects and a parser
+//! for the subset the writer emits.
+//!
+//! The vendored `serde` is a marker-only stub, so every JSONL surface in
+//! the workspace serializes through [`JsonObj`] and parses back through
+//! [`parse_flat`]. Only flat objects of numbers, booleans and
+//! escape-free strings are supported — exactly what traces, samples and
+//! manifests need.
+
+use std::collections::HashMap;
+
+/// Incremental writer for one flat JSON object.
+///
+/// Fields render in call order, so a fixed call sequence yields a
+/// byte-stable line — the property the determinism regression test pins.
+#[derive(Debug)]
+pub struct JsonObj {
+    buf: String,
+    first: bool,
+}
+
+impl Default for JsonObj {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl JsonObj {
+    /// Starts an object.
+    pub fn new() -> Self {
+        JsonObj {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        self.buf.push('"');
+        self.buf.push_str(k);
+        self.buf.push_str("\":");
+    }
+
+    /// Unsigned integer field.
+    pub fn u64(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Float field, rendered with Rust's shortest round-trip formatting
+    /// (deterministic for a given value).
+    pub fn f64(&mut self, k: &str, v: f64) -> &mut Self {
+        self.key(k);
+        if v.is_finite() {
+            // Always keep a decimal point so readers can tell floats from
+            // integers ("3" -> "3.0").
+            let s = format!("{v}");
+            self.buf.push_str(&s);
+            if !s.contains('.') && !s.contains('e') {
+                self.buf.push_str(".0");
+            }
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Boolean field.
+    pub fn bool(&mut self, k: &str, v: bool) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// String field. The value must not need escaping (asserted in debug
+    /// builds); every string this workspace emits is a plain identifier.
+    pub fn str(&mut self, k: &str, v: &str) -> &mut Self {
+        debug_assert!(
+            !v.contains(['"', '\\', '\n', '\r']),
+            "string needs escaping: {v:?}"
+        );
+        self.key(k);
+        self.buf.push('"');
+        self.buf.push_str(v);
+        self.buf.push('"');
+        self
+    }
+
+    /// Closes the object and returns the line (no trailing newline).
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// A parsed JSON scalar.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Float.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Escape-free string.
+    Str(String),
+    /// JSON null.
+    Null,
+}
+
+impl JsonValue {
+    /// The value as u64, if it is an integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as f64 (integers widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::U64(v) => Some(*v as f64),
+            JsonValue::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as &str, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as bool, if it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one flat JSON object of the subset [`JsonObj`] writes.
+/// Returns `None` on any malformed input rather than panicking, so the
+/// inspector can skip foreign lines in a mixed file.
+pub fn parse_flat(line: &str) -> Option<HashMap<String, JsonValue>> {
+    let s = line.trim();
+    let s = s.strip_prefix('{')?.strip_suffix('}')?;
+    let mut out = HashMap::new();
+    let bytes = s.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        // Key.
+        while i < bytes.len() && (bytes[i] == b',' || bytes[i].is_ascii_whitespace()) {
+            i += 1;
+        }
+        if i >= bytes.len() {
+            break;
+        }
+        if bytes[i] != b'"' {
+            return None;
+        }
+        i += 1;
+        let kstart = i;
+        while i < bytes.len() && bytes[i] != b'"' {
+            i += 1;
+        }
+        let key = s.get(kstart..i)?.to_string();
+        i += 1; // closing quote
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i >= bytes.len() || bytes[i] != b':' {
+            return None;
+        }
+        i += 1;
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        // Value.
+        let val = if i < bytes.len() && bytes[i] == b'"' {
+            i += 1;
+            let vstart = i;
+            while i < bytes.len() && bytes[i] != b'"' {
+                if bytes[i] == b'\\' {
+                    return None; // escapes are never emitted
+                }
+                i += 1;
+            }
+            let v = s.get(vstart..i)?.to_string();
+            i += 1;
+            JsonValue::Str(v)
+        } else {
+            let vstart = i;
+            while i < bytes.len() && bytes[i] != b',' {
+                i += 1;
+            }
+            let raw = s.get(vstart..i)?.trim();
+            match raw {
+                "true" => JsonValue::Bool(true),
+                "false" => JsonValue::Bool(false),
+                "null" => JsonValue::Null,
+                _ if raw.contains(['.', 'e', 'E']) => JsonValue::F64(raw.parse().ok()?),
+                _ => JsonValue::U64(raw.parse().ok()?),
+            }
+        };
+        out.insert(key, val);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_round_trips_through_parser() {
+        let mut o = JsonObj::new();
+        o.u64("t_ns", 12345)
+            .str("kind", "delivery")
+            .bool("hit", true)
+            .f64("rate", 0.5)
+            .f64("whole", 3.0);
+        let line = o.finish();
+        assert_eq!(
+            line,
+            r#"{"t_ns":12345,"kind":"delivery","hit":true,"rate":0.5,"whole":3.0}"#
+        );
+        let m = parse_flat(&line).expect("parses");
+        assert_eq!(m["t_ns"], JsonValue::U64(12345));
+        assert_eq!(m["kind"].as_str(), Some("delivery"));
+        assert_eq!(m["hit"].as_bool(), Some(true));
+        assert_eq!(m["rate"].as_f64(), Some(0.5));
+        assert_eq!(m["whole"], JsonValue::F64(3.0));
+    }
+
+    #[test]
+    fn empty_object() {
+        assert_eq!(JsonObj::new().finish(), "{}");
+        assert!(parse_flat("{}").expect("parses").is_empty());
+    }
+
+    #[test]
+    fn non_finite_floats_render_null() {
+        let mut o = JsonObj::new();
+        o.f64("x", f64::NAN);
+        let line = o.finish();
+        assert_eq!(line, r#"{"x":null}"#);
+        assert_eq!(parse_flat(&line).unwrap()["x"], JsonValue::Null);
+    }
+
+    #[test]
+    fn malformed_lines_return_none() {
+        assert!(parse_flat("not json").is_none());
+        assert!(parse_flat(r#"{"k":}"#.trim()).is_none());
+        assert!(parse_flat(r#"{"k":"a\"b"}"#).is_none());
+    }
+}

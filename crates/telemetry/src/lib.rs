@@ -1,0 +1,36 @@
+//! Observability layer for the SwitchV2P reproduction.
+//!
+//! Three machine-readable surfaces, all JSONL (one JSON object per line,
+//! hand-rolled because the vendored `serde` is a marker-only stub):
+//!
+//! * **Traces** — [`TraceEvent`]s recorded by the simulator at every
+//!   packet-lifecycle point (send, switch ingress, cache lookup, gateway
+//!   detour, misdelivery, delivery, drop) and at every cache mutation
+//!   (insert/evict/invalidate/spillover/promotion), keyed by flow id,
+//!   switch id and virtual time. Collected by a [`Tracer`]: a boolean gate
+//!   plus a bounded ring buffer, so a disabled tracer costs one branch per
+//!   emission point and allocates nothing.
+//! * **Samples** — periodic [`Sample`] snapshots of queue depths, per-layer
+//!   cache occupancy, windowed hit rate and gateway load, driven by a
+//!   virtual-time timer inside the simulator (zero events when disabled).
+//! * **Manifests** — one [`RunManifest`] per experiment run, recording what
+//!   ran (strategy, topology, seed, config) and how fast (wall-clock,
+//!   events processed, events/sec, peak calendar-queue size). Wall-clock
+//!   time appears *only* here; traces and samples carry virtual time
+//!   exclusively, which is what makes same-seed runs byte-identical.
+//!
+//! The `sv2p-trace` binary (this crate's `src/bin/`) filters trace files by
+//! flow/switch/kind and reconstructs a packet's hop-by-hop path with
+//! per-hop latency; the reusable logic lives in [`inspect`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod inspect;
+pub mod json;
+pub mod manifest;
+
+pub use event::{EventKind, LayerName, Sample, TelemetryConfig, TraceEvent, Tracer};
+pub use inspect::{parse_events, parse_samples, reconstruct_path, Hop, PathReport};
+pub use manifest::RunManifest;

@@ -51,6 +51,106 @@ pub struct SwitchCtx<'a> {
     /// Resolves a switch tag to that switch's PIP (addressing invalidation
     /// packets).
     pub pip_of_tag: &'a dyn Fn(SwitchTag) -> Pip,
+    /// True when the simulator's telemetry layer wants [`CacheOp`]s
+    /// reported in [`AgentOutput::cache_ops`]. Agents must skip the
+    /// bookkeeping entirely when false so disabled tracing allocates
+    /// nothing on the hot path.
+    pub trace_cache_ops: bool,
+}
+
+/// One cache mutation, reported through [`AgentOutput::cache_ops`] when
+/// [`SwitchCtx::trace_cache_ops`] is set (telemetry only — the simulator's
+/// metrics counters are fed by the dedicated `AgentOutput` flags).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOp {
+    /// A mapping was inserted into an empty line.
+    Insert {
+        /// Virtual address.
+        vip: Vip,
+        /// Physical address it maps to.
+        pip: Pip,
+    },
+    /// An existing line's mapping was refreshed/overwritten in place.
+    Update {
+        /// Virtual address.
+        vip: Vip,
+        /// Physical address it maps to.
+        pip: Pip,
+    },
+    /// A valid mapping was evicted to make room.
+    Evict {
+        /// Virtual address evicted.
+        vip: Vip,
+        /// Physical address it mapped to.
+        pip: Pip,
+    },
+    /// A mapping was invalidated (misdelivery tag or invalidation packet).
+    Invalidate {
+        /// Virtual address invalidated.
+        vip: Vip,
+    },
+    /// A spillover option riding on a packet was accepted here.
+    Spill {
+        /// Virtual address.
+        vip: Vip,
+        /// Physical address it maps to.
+        pip: Pip,
+    },
+    /// A promotion option was accepted into this (core) switch.
+    Promote {
+        /// Virtual address.
+        vip: Vip,
+        /// Physical address it maps to.
+        pip: Pip,
+    },
+    /// A control plane installed the mapping directly (Controller).
+    Install {
+        /// Virtual address.
+        vip: Vip,
+        /// Physical address it maps to.
+        pip: Pip,
+    },
+}
+
+impl CacheOp {
+    /// Stable wire name of the operation.
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheOp::Insert { .. } => "insert",
+            CacheOp::Update { .. } => "update",
+            CacheOp::Evict { .. } => "evict",
+            CacheOp::Invalidate { .. } => "invalidate",
+            CacheOp::Spill { .. } => "spill",
+            CacheOp::Promote { .. } => "promote",
+            CacheOp::Install { .. } => "install",
+        }
+    }
+
+    /// The virtual address the operation touched.
+    pub fn vip(self) -> Vip {
+        match self {
+            CacheOp::Insert { vip, .. }
+            | CacheOp::Update { vip, .. }
+            | CacheOp::Evict { vip, .. }
+            | CacheOp::Invalidate { vip }
+            | CacheOp::Spill { vip, .. }
+            | CacheOp::Promote { vip, .. }
+            | CacheOp::Install { vip, .. } => vip,
+        }
+    }
+
+    /// The physical address involved, when the operation carries one.
+    pub fn pip(self) -> Option<Pip> {
+        match self {
+            CacheOp::Insert { pip, .. }
+            | CacheOp::Update { pip, .. }
+            | CacheOp::Evict { pip, .. }
+            | CacheOp::Spill { pip, .. }
+            | CacheOp::Promote { pip, .. }
+            | CacheOp::Install { pip, .. } => Some(pip),
+            CacheOp::Invalidate { .. } => None,
+        }
+    }
 }
 
 /// What the data plane should do with the processed packet.
@@ -86,6 +186,10 @@ pub struct AgentOutput {
     pub spill_inserted: bool,
     /// True if a promotion option was accepted into this (core) switch.
     pub promotion_inserted: bool,
+    /// Cache mutations performed while processing this packet, reported
+    /// only when [`SwitchCtx::trace_cache_ops`] was set (empty — and
+    /// allocation-free — otherwise).
+    pub cache_ops: Vec<CacheOp>,
 }
 
 impl AgentOutput {
@@ -97,6 +201,7 @@ impl AgentOutput {
             cache_hit: false,
             spill_inserted: false,
             promotion_inserted: false,
+            cache_ops: Vec::new(),
         }
     }
 

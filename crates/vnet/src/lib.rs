@@ -24,8 +24,8 @@ pub mod migration;
 pub mod placement;
 
 pub use agents::{
-    AgentOutput, HostAgent, HostResolution, MisdeliveryPolicy, PacketAction, Strategy,
-    SwitchAgent, SwitchCtx,
+    AgentOutput, CacheOp, HostAgent, HostResolution, MisdeliveryPolicy, PacketAction,
+    Strategy, SwitchAgent, SwitchCtx,
 };
 pub use gateway::{GatewayConfig, GatewayDirectory};
 pub use mapping::MappingDb;

@@ -1,5 +1,7 @@
 #!/bin/sh
 # Regenerates every table and figure (quick scale) into results/.
+# Each binary also leaves a run manifest at results/<bin>.manifest.jsonl.
+set -e
 set -x
 cd "$(dirname "$0")"
 B=./target/release

@@ -16,6 +16,7 @@
 //! * [`metrics`] — measurement and summaries;
 //! * [`packet`] — packet model and wire format;
 //! * [`simcore`] — the discrete-event engine;
+//! * [`telemetry`] — event tracing, sampling, run manifests, `sv2p-trace`;
 //! * [`ilp`] — cache-placement optimization (Controller baseline);
 //! * [`p4model`] — the Tofino resource model (Table 6).
 //!
@@ -30,6 +31,7 @@ pub use sv2p_netsim as netsim;
 pub use sv2p_p4model as p4model;
 pub use sv2p_packet as packet;
 pub use sv2p_simcore as simcore;
+pub use sv2p_telemetry as telemetry;
 pub use sv2p_topology as topology;
 pub use sv2p_traces as traces;
 pub use sv2p_transport as transport;

@@ -104,6 +104,7 @@ fn reassigned_gateway_tor_changes_learning_behavior() {
             base_rtt: SimDuration::from_micros(12),
             pod_of,
             pip_of_tag,
+            trace_cache_ops: false,
         }
     }
     let resolved_pkt = || Packet {
