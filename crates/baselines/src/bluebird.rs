@@ -13,10 +13,8 @@
 //! limited control link, which drops when its backlog exceeds the buffer —
 //! the effect behind Bluebird's poor showing under bursts (§5.1).
 
-use std::collections::HashMap;
-
 use sv2p_packet::{Packet, PacketKind, Pip, SwitchTag, Vip};
-use sv2p_simcore::{SimDuration, SimTime};
+use sv2p_simcore::{FxHashMap, SimDuration, SimTime};
 use sv2p_topology::{NodeId, SwitchRole};
 use sv2p_vnet::agents::NoopSwitchAgent;
 use sv2p_vnet::{
@@ -64,7 +62,7 @@ struct BluebirdTorAgent {
     cache: DirectMappedCache,
     /// Mappings resolved by the SFE, visible in the cache after the
     /// insertion latency.
-    pending: HashMap<Vip, (Pip, SimTime)>,
+    pending: FxHashMap<Vip, (Pip, SimTime)>,
     /// When the control link frees up.
     control_busy_until: SimTime,
     /// Control-plane packet drops.
@@ -192,7 +190,7 @@ impl Strategy for Bluebird {
             Box::new(BluebirdTorAgent {
                 cfg: self.config,
                 cache: DirectMappedCache::new(lines),
-                pending: HashMap::new(),
+                pending: FxHashMap::default(),
                 control_busy_until: SimTime::ZERO,
                 drops: 0,
             })

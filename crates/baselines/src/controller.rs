@@ -8,9 +8,8 @@
 //! caches) and the [`ControllerDriver`] that lowers a traffic matrix to the
 //! `sv2p-ilp` placement problem.
 
-use std::collections::HashMap;
-
 use sv2p_ilp::{Demand, PlacementProblem};
+use sv2p_simcore::FxHashMap;
 use sv2p_packet::{Packet, PacketKind, Pip, SwitchTag, Vip};
 use sv2p_topology::{NodeId, Routing, SwitchRole, Topology};
 use sv2p_vnet::{
@@ -26,7 +25,7 @@ pub struct Controller;
 #[derive(Debug, Default)]
 struct InstalledCacheAgent {
     capacity: usize,
-    entries: HashMap<Vip, Pip>,
+    entries: FxHashMap<Vip, Pip>,
     /// Installed-entry hits (diagnostics).
     hits: u64,
 }
@@ -132,10 +131,10 @@ impl ControllerDriver {
         routing: &Routing,
         dir: &GatewayDirectory,
         placement: &VmPlacement,
-        traffic: &HashMap<(u32, u32), u64>,
+        traffic: &FxHashMap<(u32, u32), u64>,
         switch_nodes: &[NodeId],
     ) -> Vec<(NodeId, Vec<(Vip, Pip)>)> {
-        let tag_of: HashMap<NodeId, usize> = switch_nodes
+        let tag_of: FxHashMap<NodeId, usize> = switch_nodes
             .iter()
             .enumerate()
             .map(|(i, &n)| (n, i))
@@ -286,7 +285,7 @@ mod tests {
 
         // Everyone talks to VM 7 (incast): the planner should cache VM 7's
         // mapping somewhere useful.
-        let mut traffic = HashMap::new();
+        let mut traffic = FxHashMap::default();
         for src in [1u32, 50, 100, 150, 200] {
             traffic.insert((src, 7u32), 100u64);
         }
@@ -330,7 +329,7 @@ mod tests {
             &routing,
             &dir,
             &placement,
-            &HashMap::new(),
+            &FxHashMap::default(),
             &switch_nodes,
         );
         assert!(plan.is_empty());

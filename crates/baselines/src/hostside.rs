@@ -2,14 +2,12 @@
 //! via the gateway, then immediate host-rule offload).
 
 use sv2p_packet::{Pip, SwitchTag, Vip};
-use sv2p_simcore::SimTime;
+use sv2p_simcore::{FxHashMap, SimTime};
 use sv2p_topology::{NodeId, SwitchRole};
 use sv2p_vnet::agents::NoopSwitchAgent;
 use sv2p_vnet::{
     HostAgent, HostResolution, MappingDb, MisdeliveryPolicy, Strategy, SwitchAgent,
 };
-use std::collections::HashMap;
-
 /// Direct — pure host-driven: every host is preprogrammed with all mappings
 /// (the paper's best-network-performance reference; it "ignores the
 /// overheads of mapping updates", §5).
@@ -82,7 +80,7 @@ pub struct OnDemand;
 /// Host agent with an unbounded first-miss-filled cache.
 #[derive(Debug, Default)]
 struct OnDemandHostAgent {
-    cache: HashMap<Vip, Pip>,
+    cache: FxHashMap<Vip, Pip>,
 }
 
 impl HostAgent for OnDemandHostAgent {

@@ -144,17 +144,11 @@ fn bench_end_to_end(c: &mut Criterion) {
     ] {
         group.bench_function(strategy.name(), |b| {
             b.iter(|| {
-                let spec = ExperimentSpec {
-                    topology: FatTreeConfig::scaled_ft8(2),
-                    vms_per_server: 2,
-                    flows: flows.clone(),
-                    strategy,
-                    cache_entries: 128,
-                    migrations: vec![],
-                    end_of_time_us: None,
-                    seed: 1,
-                    label: String::new(),
-                };
+                let spec = ExperimentSpec::builder(FatTreeConfig::scaled_ft8(2), strategy)
+                    .vms_per_server(2)
+                    .flows(flows.clone())
+                    .cache_entries(128)
+                    .build();
                 black_box(run_spec(&spec))
             })
         });

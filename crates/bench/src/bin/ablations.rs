@@ -40,17 +40,12 @@ fn main() {
             "variant", "hit rate", "avg FCT us", "first pkt us", "learn pkts", "spills"
         );
         for (name, cfg) in &variants {
-            let spec = ExperimentSpec {
-                topology: scale.ft8(),
-                vms_per_server: 80,
-                flows: flows.clone(),
-                strategy: StrategyKind::SwitchV2PWith(*cfg),
-                cache_entries: scale.analysis_cache_entries(""),
-                migrations: vec![],
-                end_of_time_us: None,
-                seed: args.seed(),
-                label: format!("{dataset}:{name}"),
-            };
+            let spec = ExperimentSpec::builder(scale.ft8(), StrategyKind::SwitchV2PWith(*cfg))
+                .flows(flows.clone())
+                .cache_entries(scale.analysis_cache_entries(""))
+                .seed(args.seed())
+                .label(format!("{dataset}:{name}"))
+                .build();
             let s = run_spec(&spec);
             println!(
                 "{:<22} {:>9.1}% {:>12.1} {:>14.1} {:>10} {:>10}",

@@ -130,17 +130,14 @@ fn main() {
             );
         }
         // Data-plane comparison point.
-        let spec = ExperimentSpec {
-            topology: scale.ft8(),
-            vms_per_server: 80,
-            flows: websearch(&scale.websearch()),
-            strategy: StrategyKind::SwitchV2P,
-            cache_entries: ((frac * scale.active_addresses("websearch") as f64) as usize).max(1),
-            migrations: vec![],
-            end_of_time_us: None,
-            seed: args.seed(),
-            label: format!("c{}", (frac * 100.0) as u32),
-        };
+        let spec = ExperimentSpec::builder(scale.ft8(), StrategyKind::SwitchV2P)
+            .flows(websearch(&scale.websearch()))
+            .cache_entries(
+                ((frac * scale.active_addresses("websearch") as f64) as usize).max(1),
+            )
+            .seed(args.seed())
+            .label(format!("c{}", (frac * 100.0) as u32))
+            .build();
         let s = run_spec(&spec);
         println!(
             "{:<22} {:>6}% {:>9.1}% {:>12.1} {:>14.1}",

@@ -35,17 +35,13 @@ fn steady_flows(n: usize, horizon_us: u64, bytes: u64) -> Vec<TraceFlow> {
 }
 
 fn base_spec(strategy: StrategyKind, scenario: &str) -> ExperimentSpec {
-    ExperimentSpec {
-        topology: FatTreeConfig::scaled_ft8(2),
-        vms_per_server: 16,
-        flows: steady_flows(300, 3_000, 30_000),
-        strategy,
-        cache_entries: 96,
-        migrations: vec![],
-        end_of_time_us: None,
-        seed: cli::args().seed(),
-        label: scenario.to_string(),
-    }
+    ExperimentSpec::builder(FatTreeConfig::scaled_ft8(2), strategy)
+        .vms_per_server(16)
+        .flows(steady_flows(300, 3_000, 30_000))
+        .cache_entries(96)
+        .seed(cli::args().seed())
+        .label(scenario)
+        .build()
 }
 
 /// Builds the scenario's fault plan against a concrete simulation instance

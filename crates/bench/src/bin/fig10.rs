@@ -30,17 +30,12 @@ fn main() {
         for pods in [1u16, 2, 4, 8, 16, 32] {
             let topology = FatTreeConfig::scaled_ft8(pods);
             let switches = topology.characteristics().total_switches;
-            let spec = ExperimentSpec {
-                topology,
-                vms_per_server: 80,
-                flows: flows.clone(),
-                strategy: s,
-                cache_entries: cache,
-                migrations: vec![],
-                end_of_time_us: None,
-                seed: args.seed(),
-                label: format!("pods{pods}"),
-            };
+            let spec = ExperimentSpec::builder(topology, s)
+                .flows(flows.clone())
+                .cache_entries(cache)
+                .seed(args.seed())
+                .label(format!("pods{pods}"))
+                .build();
             let r = run_spec(&spec);
             println!(
                 "{:<14} {:>5} {:>10} {:>12.1} {:>14.1} {:>9.1}%",

@@ -31,25 +31,19 @@ fn run_dataset(name: &str, scale: Scale, seed: u64) {
         "websearch" => "Figure 5c (WebSearch)",
         _ => "Figure 5d (Video)",
     };
-    let base = ExperimentSpec {
-        topology: scale.ft8(),
-        vms_per_server: 80,
-        flows,
-        strategy: StrategyKind::NoCache,
-        cache_entries: 0,
-        migrations: vec![],
-        end_of_time_us: None,
-        seed,
-        label: name.to_string(),
-    };
+    let base = ExperimentSpec::builder(scale.ft8(), StrategyKind::NoCache)
+        .flows(flows)
+        .seed(seed)
+        .label(name)
+        .build();
     let fracs = scale.cache_fracs();
-    let rows = sweep(
+    let table = sweep(
         &base,
         &StrategyKind::figure5_set(),
         &fracs,
         scale.active_addresses(name),
     );
-    print_figure5_panels(figure, &rows, &fracs);
+    print_figure5_panels(figure, &table, &fracs);
 }
 
 fn main() {

@@ -14,24 +14,19 @@ fn main() {
     let scale = args.scale;
     let (topology, ali_cfg, vms_per_server) = scale.alibaba();
     let flows = alibaba(&ali_cfg);
-    let base = ExperimentSpec {
-        topology,
-        vms_per_server,
-        flows,
-        strategy: StrategyKind::NoCache,
-        cache_entries: 0,
-        migrations: vec![],
-        end_of_time_us: None,
-        seed: args.seed(),
-        label: "alibaba".into(),
-    };
+    let base = ExperimentSpec::builder(topology, StrategyKind::NoCache)
+        .vms_per_server(vms_per_server)
+        .flows(flows)
+        .seed(args.seed())
+        .label("alibaba")
+        .build();
     let fracs = scale.cache_fracs();
-    let rows = sweep(
+    let table = sweep(
         &base,
         &StrategyKind::figure5_set(),
         &fracs,
         scale.active_addresses("alibaba"),
     );
-    print_figure5_panels("Figure 6 (Alibaba, FT16-400K)", &rows, &fracs);
+    print_figure5_panels("Figure 6 (Alibaba, FT16-400K)", &table, &fracs);
     cli::finish();
 }

@@ -32,17 +32,12 @@ fn main() {
     let mut pod8: Vec<(&str, Vec<(String, u64)>)> = Vec::new();
 
     for s in systems {
-        let spec = ExperimentSpec {
-            topology: scale.ft8(),
-            vms_per_server: 80,
-            flows: flows.clone(),
-            strategy: s,
-            cache_entries: if s.cache_sensitive() { cache } else { 0 },
-            migrations: vec![],
-            end_of_time_us: None,
-            seed: args.seed(),
-            label: "hadoop".into(),
-        };
+        let spec = ExperimentSpec::builder(scale.ft8(), s)
+            .flows(flows.clone())
+            .cache_entries(if s.cache_sensitive() { cache } else { 0 })
+            .seed(args.seed())
+            .label("hadoop")
+            .build();
         let mut sim = spec.build();
         let start = std::time::Instant::now();
         sim.run();

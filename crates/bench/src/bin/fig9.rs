@@ -29,18 +29,14 @@ fn main() {
     );
     for s in systems {
         for &gws in &gateway_counts {
-            let spec = ExperimentSpec {
-                topology: scale.ft8().with_total_gateways(gws),
-                vms_per_server: 80,
-                flows: flows.clone(),
-                strategy: s,
-                cache_entries: if s.cache_sensitive() { cache } else { 0 },
-                migrations: vec![],
+            let spec = ExperimentSpec::builder(scale.ft8().with_total_gateways(gws), s)
+                .flows(flows.clone())
+                .cache_entries(if s.cache_sensitive() { cache } else { 0 })
                 // Under-provisioned gateway fleets melt down; cap the run.
-                end_of_time_us: Some(100_000),
-                seed: args.seed(),
-                label: format!("gw{gws}"),
-            };
+                .end_of_time_us(100_000)
+                .seed(args.seed())
+                .label(format!("gw{gws}"))
+                .build();
             let r = run_spec(&spec);
             println!(
                 "{:<14} {:>5} {:>12.1} {:>14.1} {:>9.1}% {:>8}",

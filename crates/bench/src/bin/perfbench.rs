@@ -1,0 +1,154 @@
+//! Tracked performance baseline: a small sweep of end-to-end simulator
+//! throughput across {FT8 seed-scale, FT16 seed-scale} topologies and
+//! {NoCache, SwitchV2P, Bluebird} translation schemes.
+//!
+//! Each cell runs the full simulation once and reports events/sec,
+//! wall-clock, peak calendar-queue length and peak packet-arena occupancy
+//! (the allocations proxy), all lifted from the same run-manifest plumbing
+//! every other bench binary uses. The sweep is written to
+//! `BENCH_netsim.json` — committed at the repo root so the perf trajectory
+//! of the reproduction is diffable across commits, and consumed by the CI
+//! perf-smoke job which fails the build if throughput regresses below 50%
+//! of the committed baseline.
+//!
+//! ```sh
+//! cargo run --release -p sv2p-bench --bin sv2p-perfbench [-- --seed N] [-- --full]
+//! ```
+//!
+//! Quick (seed) scale finishes in seconds and is what CI runs; `--full`
+//! sweeps the paper-scale workloads.
+
+use sv2p_bench::cli;
+use sv2p_bench::harness::{ExperimentSpec, StrategyKind};
+use sv2p_telemetry::json::JsonObj;
+use sv2p_traces::{alibaba, hadoop};
+
+struct Cell {
+    workload: &'static str,
+    topology: String,
+    strategy: &'static str,
+    events: u64,
+    wall_clock_s: f64,
+    events_per_sec: f64,
+    peak_queue: u64,
+    peak_arena: u64,
+    hit_rate: f64,
+}
+
+fn run_cell(spec: &ExperimentSpec, workload: &'static str, topology: &'static str) -> Cell {
+    let mut sim = spec.build();
+    let start = std::time::Instant::now();
+    sim.run();
+    let wall = start.elapsed().as_secs_f64();
+    let s = sim.summary();
+    cli::record_run(spec, &sim, &s, wall);
+    let events = sim.events_executed();
+    let eps = events as f64 / wall.max(1e-9);
+    println!(
+        "  {:<12} {:<14} {:>12} events {:>12.0} ev/s  wall {:>7.3}s  peak-q {:>7}  peak-arena {:>6}",
+        workload,
+        spec.strategy.name(),
+        events,
+        eps,
+        wall,
+        sim.peak_queue(),
+        sim.peak_arena(),
+    );
+    Cell {
+        workload,
+        topology: topology.to_string(),
+        strategy: spec.strategy.name(),
+        events,
+        wall_clock_s: wall,
+        events_per_sec: eps,
+        peak_queue: sim.peak_queue() as u64,
+        peak_arena: sim.peak_arena() as u64,
+        hit_rate: s.hit_rate,
+    }
+}
+
+fn main() {
+    let args = cli::init("perfbench");
+    let scale = args.scale;
+    let strategies = [
+        StrategyKind::NoCache,
+        StrategyKind::SwitchV2P,
+        StrategyKind::Bluebird,
+    ];
+
+    println!(
+        "Perf baseline sweep ({} scale, seed {})\n",
+        cli::scale_str(),
+        args.seed()
+    );
+
+    let mut cells: Vec<Cell> = Vec::new();
+
+    // FT8 seed-scale: the Hadoop workload on the 8-ary fat-tree.
+    let ft8 = scale.ft8();
+    let ft8_flows = hadoop(&scale.hadoop());
+    for &strategy in &strategies {
+        let cache = if strategy.cache_sensitive() {
+            scale.analysis_cache_entries("")
+        } else {
+            0
+        };
+        let spec = ExperimentSpec::builder(ft8.clone(), strategy)
+            .flows(ft8_flows.clone())
+            .cache_entries(cache)
+            .seed(args.seed())
+            .label(format!("ft8-hadoop.{}", strategy.name()))
+            .build();
+        cells.push(run_cell(&spec, "ft8-hadoop", "ft8-10k"));
+    }
+
+    // FT16 seed-scale: the Alibaba trace on the 16-ary fat-tree.
+    let (ft16, ali_cfg, vms_per_server) = scale.alibaba();
+    let ft16_flows = alibaba(&ali_cfg);
+    let active = scale.active_addresses("alibaba");
+    for &strategy in &strategies {
+        let cache = if strategy.cache_sensitive() {
+            ((0.5 * active as f64) as usize).max(1)
+        } else {
+            0
+        };
+        let spec = ExperimentSpec::builder(ft16.clone(), strategy)
+            .vms_per_server(vms_per_server)
+            .flows(ft16_flows.clone())
+            .cache_entries(cache)
+            .seed(args.seed())
+            .label(format!("ft16-alibaba.{}", strategy.name()))
+            .build();
+        cells.push(run_cell(&spec, "ft16-alibaba", "ft16-400k"));
+    }
+
+    // Compose the baseline file by hand: a header object plus one flat
+    // JSON object per cell (the vendored serde is a stub; JsonObj is the
+    // workspace-wide serializer).
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"sv2p-perfbench/v1\",\n");
+    out.push_str(&format!("  \"scale\": \"{}\",\n", cli::scale_str()));
+    out.push_str(&format!("  \"seed\": {},\n", args.seed()));
+    out.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let mut obj = JsonObj::new();
+        obj.str("workload", c.workload)
+            .str("topology", &c.topology)
+            .str("strategy", c.strategy)
+            .u64("events_processed", c.events)
+            .f64("wall_clock_s", c.wall_clock_s)
+            .f64("events_per_sec", c.events_per_sec)
+            .u64("peak_queue", c.peak_queue)
+            .u64("peak_arena", c.peak_arena)
+            .f64("hit_rate", c.hit_rate);
+        out.push_str("    ");
+        out.push_str(&obj.finish());
+        out.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+
+    let path = "BENCH_netsim.json";
+    std::fs::write(path, &out).expect("write BENCH_netsim.json");
+    println!("\n[perfbench] wrote {} cell(s) -> {path}", cells.len());
+    cli::finish();
+}

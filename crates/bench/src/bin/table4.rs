@@ -47,17 +47,13 @@ fn main() {
     );
     let mut base: Option<(f64, u64)> = None;
     for (name, strategy, cache_entries) in variants {
-        let spec = ExperimentSpec {
-            topology: scale.ft8(),
-            vms_per_server: 80,
-            flows: flows.clone(),
-            strategy,
-            cache_entries,
-            migrations: vec![(dst_vm, 500)],
-            end_of_time_us: None,
-            seed: args.seed(),
-            label: name.to_string(),
-        };
+        let spec = ExperimentSpec::builder(scale.ft8(), strategy)
+            .flows(flows.clone())
+            .cache_entries(cache_entries)
+            .migrations(vec![(dst_vm, 500)])
+            .seed(args.seed())
+            .label(name)
+            .build();
         let s = run_spec(&spec);
         let (base_lat, base_misdel) =
             *base.get_or_insert((s.avg_packet_latency_us, s.misdelivered_packets.max(1)));

@@ -30,17 +30,12 @@ fn main() {
             "Microbursts" => "microbursts",
             _ => "other",
         });
-        let spec = ExperimentSpec {
-            topology: scale.ft8(),
-            vms_per_server: 80,
-            flows,
-            strategy: StrategyKind::SwitchV2P,
-            cache_entries: scale.analysis_cache_entries(""),
-            migrations: vec![],
-            end_of_time_us: None,
-            seed: args.seed(),
-            label: name.to_lowercase(),
-        };
+        let spec = ExperimentSpec::builder(scale.ft8(), StrategyKind::SwitchV2P)
+            .flows(flows)
+            .cache_entries(scale.analysis_cache_entries(""))
+            .seed(args.seed())
+            .label(name.to_lowercase())
+            .build();
         let s = run_spec(&spec);
         println!(
             "{:<12} | {:>6.1}% {:>6.1}% {:>6.1}% | {:>6.1}% {:>6.1}% {:>6.1}%",

@@ -169,6 +169,7 @@ pub fn manifest_for_sim(
         events_processed: events,
         events_per_sec: events as f64 / wall_clock_s.max(1e-9),
         peak_queue: sim.peak_queue() as u64,
+        peak_arena: sim.peak_arena() as u64,
         telemetry_enabled: sim.tracer().enabled(),
     }
 }
@@ -273,6 +274,7 @@ pub fn analytic_manifest(config: &str, wall_clock_s: f64) -> RunManifest {
         events_processed: 0,
         events_per_sec: 0.0,
         peak_queue: 0,
+        peak_arena: 0,
         telemetry_enabled: false,
     }
 }

@@ -2,12 +2,12 @@
 
 use sv2p_metrics::RunSummary;
 use sv2p_netsim::{FlowKind, FlowSpec, SimConfig, Simulation};
-use sv2p_simcore::{SimDuration, SimTime};
+use sv2p_simcore::{FxHashMap, SimDuration, SimTime};
 use sv2p_topology::FatTreeConfig;
 use sv2p_traces::{FlowProfile, TraceFlow};
 use sv2p_transport::UdpSchedule;
 use sv2p_vnet::{Migration, Strategy};
-use switchv2p::{SwitchV2P, SwitchV2PConfig};
+use switchv2p::{InvalidationMode, SwitchV2P, SwitchV2PConfig};
 
 use sv2p_baselines::{Bluebird, Controller, Direct, GwCache, LocalLearning, NoCache, OnDemand};
 
@@ -85,6 +85,84 @@ impl StrategyKind {
             StrategyKind::SwitchV2P,
         ]
     }
+
+    /// The scheme's unique identity in sweep outputs. Unlike [`Self::name`]
+    /// (which every `SwitchV2PWith` variant shares, by design — manifests
+    /// and trace labels group by display name), the id carries a variant
+    /// discriminator so two differently-configured SwitchV2P jobs in one
+    /// sweep never collide.
+    pub fn id(&self) -> StrategyId {
+        let variant = match self {
+            StrategyKind::SwitchV2PWith(cfg) => switchv2p_variant(cfg),
+            _ => String::new(),
+        };
+        StrategyId {
+            name: self.name(),
+            variant,
+        }
+    }
+}
+
+/// The knobs of `cfg` that differ from the paper's default configuration,
+/// as a compact comma-joined label ("" for the default itself).
+fn switchv2p_variant(cfg: &SwitchV2PConfig) -> String {
+    let d = SwitchV2PConfig::default();
+    let mut parts: Vec<String> = Vec::new();
+    if cfg.p_learn != d.p_learn {
+        parts.push(format!("p-learn={}", cfg.p_learn));
+    }
+    if cfg.learning_packets != d.learning_packets {
+        parts.push("no-learning".into());
+    }
+    if cfg.spillover != d.spillover {
+        parts.push("no-spillover".into());
+    }
+    if cfg.spill_only_active != d.spill_only_active {
+        parts.push("spill-active-only".into());
+    }
+    if cfg.promotion != d.promotion {
+        parts.push("no-promotion".into());
+    }
+    if cfg.invalidation != d.invalidation {
+        parts.push(
+            match cfg.invalidation {
+                InvalidationMode::None => "no-invalidations",
+                InvalidationMode::NoTimestampVector => "no-ts-vector",
+                InvalidationMode::TimestampVector => "ts-vector",
+            }
+            .into(),
+        );
+    }
+    if cfg.tor_only != d.tor_only {
+        parts.push("tor-only".into());
+    }
+    if cfg.layer_weights != d.layer_weights {
+        let (t, s, c) = cfg.layer_weights;
+        parts.push(format!("weights={t}-{s}-{c}"));
+    }
+    parts.join(",")
+}
+
+/// Unique identity of a scheme within a sweep: display name plus a variant
+/// discriminator for non-default `SwitchV2PWith` configurations. This is
+/// the key [`FigureTable`] joins rows on — name-based joins aliased every
+/// SwitchV2P variant onto one row.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StrategyId {
+    /// Display name shared by all variants of a scheme.
+    pub name: &'static str,
+    /// Non-default knobs, or "" for a default configuration.
+    pub variant: String,
+}
+
+impl std::fmt::Display for StrategyId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.variant.is_empty() {
+            write!(f, "{}", self.name)
+        } else {
+            write!(f, "{}[{}]", self.name, self.variant)
+        }
+    }
 }
 
 /// One experiment to run.
@@ -113,6 +191,27 @@ pub struct ExperimentSpec {
 }
 
 impl ExperimentSpec {
+    /// Starts a spec from its two mandatory inputs; everything else has the
+    /// historical defaults (80 VMs/server, no flows, no cache, no
+    /// migrations, no time limit, seed 1, empty label). This is the only
+    /// way bench bins construct specs — field-struct updates on a cloned
+    /// base silently kept stale labels and seeds when new fields grew in.
+    pub fn builder(topology: FatTreeConfig, strategy: StrategyKind) -> ExperimentSpecBuilder {
+        ExperimentSpecBuilder {
+            spec: ExperimentSpec {
+                topology,
+                vms_per_server: 80,
+                flows: Vec::new(),
+                strategy,
+                cache_entries: 0,
+                migrations: Vec::new(),
+                end_of_time_us: None,
+                seed: 1,
+                label: String::new(),
+            },
+        }
+    }
+
     /// Builds the simulator and loads the workload. Tracing is enabled when
     /// the process was started with `--telemetry DIR` (see [`crate::cli`]).
     pub fn build(&self) -> Simulation {
@@ -153,6 +252,69 @@ impl ExperimentSpec {
             ));
         }
         sim
+    }
+}
+
+/// Builder returned by [`ExperimentSpec::builder`]; finish with
+/// [`Self::build`].
+#[derive(Debug, Clone)]
+pub struct ExperimentSpecBuilder {
+    spec: ExperimentSpec,
+}
+
+impl ExperimentSpecBuilder {
+    /// VMs per server (default 80, the paper's FT8-10K density).
+    pub fn vms_per_server(mut self, n: u32) -> Self {
+        self.spec.vms_per_server = n;
+        self
+    }
+
+    /// The workload.
+    pub fn flows(mut self, flows: Vec<TraceFlow>) -> Self {
+        self.spec.flows = flows;
+        self
+    }
+
+    /// Scheme under test (overrides the one given to `builder`; sweeps use
+    /// this to stamp per-job strategies onto a shared base).
+    pub fn strategy(mut self, s: StrategyKind) -> Self {
+        self.spec.strategy = s;
+        self
+    }
+
+    /// Aggregate cache entries across all caching switches.
+    pub fn cache_entries(mut self, n: usize) -> Self {
+        self.spec.cache_entries = n;
+        self
+    }
+
+    /// Migrations to apply (VM index, time µs, "move to last server").
+    pub fn migrations(mut self, m: Vec<(usize, u64)>) -> Self {
+        self.spec.migrations = m;
+        self
+    }
+
+    /// Hard simulation-time stop in µs.
+    pub fn end_of_time_us(mut self, us: u64) -> Self {
+        self.spec.end_of_time_us = Some(us);
+        self
+    }
+
+    /// RNG seed (default 1).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.spec.seed = seed;
+        self
+    }
+
+    /// Short run label for manifests and trace files.
+    pub fn label(mut self, l: impl Into<String>) -> Self {
+        self.spec.label = l.into();
+        self
+    }
+
+    /// Finishes the spec.
+    pub fn build(self) -> ExperimentSpec {
+        self.spec
     }
 }
 
@@ -213,12 +375,56 @@ pub fn run_spec(spec: &ExperimentSpec) -> RunSummary {
 /// (hit rate, FCT improvement, first-packet improvement vs NoCache).
 #[derive(Debug, Clone)]
 pub struct Row {
-    /// Scheme name.
-    pub scheme: &'static str,
+    /// Unique scheme identity (variant-aware; see [`StrategyId`]).
+    pub strategy: StrategyId,
     /// Cache size as a fraction of the active address space.
     pub cache_frac: f64,
     /// The run's summary.
     pub summary: RunSummary,
+}
+
+/// The result of a [`sweep`]: rows in job order, plus an O(1) join index
+/// keyed by `(StrategyId, cache_frac)` — by identity, never by display
+/// name, so `SwitchV2P` and `SwitchV2PWith(..)` variants stay distinct.
+#[derive(Debug, Clone)]
+pub struct FigureTable {
+    rows: Vec<Row>,
+    index: FxHashMap<(StrategyId, u64), usize>,
+}
+
+impl FigureTable {
+    /// Indexes `rows`. Later duplicates of a `(strategy, frac)` key win,
+    /// but sweeps never produce duplicates.
+    pub fn from_rows(rows: Vec<Row>) -> Self {
+        let mut index = FxHashMap::default();
+        for (i, r) in rows.iter().enumerate() {
+            index.insert((r.strategy.clone(), r.cache_frac.to_bits()), i);
+        }
+        FigureTable { rows, index }
+    }
+
+    /// The row for `strategy` at cache fraction `frac`, if that cell ran.
+    pub fn cell(&self, strategy: &StrategyId, frac: f64) -> Option<&Row> {
+        self.index
+            .get(&(strategy.clone(), frac.to_bits()))
+            .map(|&i| &self.rows[i])
+    }
+
+    /// All rows, in job order.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Distinct strategies in first-appearance order.
+    pub fn strategies(&self) -> Vec<StrategyId> {
+        let mut out: Vec<StrategyId> = Vec::new();
+        for r in &self.rows {
+            if !out.contains(&r.strategy) {
+                out.push(r.strategy.clone());
+            }
+        }
+        out
+    }
 }
 
 /// Runs the Figure-5-style sweep: `strategies × cache_fracs`, reusing a
@@ -230,7 +436,7 @@ pub fn sweep(
     strategies: &[StrategyKind],
     cache_fracs: &[f64],
     active_addresses: usize,
-) -> Vec<Row> {
+) -> FigureTable {
     // Materialize the distinct (strategy, frac, entries) jobs.
     let mut jobs: Vec<(StrategyKind, f64, usize)> = Vec::new();
     for &s in strategies {
@@ -260,14 +466,12 @@ pub fn sweep(
                     break;
                 }
                 let (strategy, frac, entries) = jobs[i];
-                let spec = ExperimentSpec {
-                    strategy,
-                    cache_entries: entries,
-                    ..base.clone()
-                };
+                let mut spec = base.clone();
+                spec.strategy = strategy;
+                spec.cache_entries = entries;
                 let summary = run_spec(&spec);
                 *results[i].lock().expect("sweep lock") = Some(Row {
-                    scheme: strategy.name(),
+                    strategy: strategy.id(),
                     cache_frac: frac,
                     summary,
                 });
@@ -281,14 +485,10 @@ pub fn sweep(
         .collect();
 
     // Expand cache-insensitive runs to every requested fraction so tables
-    // are rectangular.
+    // are rectangular. Each row is paired with the job that produced it —
+    // re-finding the kind by display name aliased SwitchV2P variants.
     let mut expanded = Vec::new();
-    for row in rows {
-        let kind = strategies
-            .iter()
-            .copied()
-            .find(|s| s.name() == row.scheme)
-            .expect("known scheme");
+    for (row, &(kind, _, _)) in rows.into_iter().zip(jobs.iter()) {
         if kind.cache_sensitive() {
             expanded.push(row);
         } else {
@@ -300,30 +500,21 @@ pub fn sweep(
             }
         }
     }
-    expanded
+    FigureTable::from_rows(expanded)
 }
 
 /// Prints the three Figure-5 panels (hit rate, FCT improvement ×,
 /// first-packet improvement ×) normalized by NoCache.
-pub fn print_figure5_panels(title: &str, rows: &[Row], cache_fracs: &[f64]) {
-    let nocache = rows
+pub fn print_figure5_panels(title: &str, table: &FigureTable, cache_fracs: &[f64]) {
+    let nocache = table
+        .rows()
         .iter()
-        .find(|r| r.scheme == "NoCache")
+        .find(|r| r.strategy.name == "NoCache")
         .expect("NoCache row present");
     let base_fct = nocache.summary.avg_fct_us;
     let base_first = nocache.summary.avg_first_packet_latency_us;
 
-    let mut schemes: Vec<&'static str> = Vec::new();
-    for r in rows {
-        if !schemes.contains(&r.scheme) {
-            schemes.push(r.scheme);
-        }
-    }
-
-    let cell = |scheme: &str, frac: f64| -> Option<&Row> {
-        rows.iter()
-            .find(|r| r.scheme == scheme && (r.cache_frac - frac).abs() < 1e-12)
-    };
+    let schemes = table.strategies();
 
     for (panel, f) in [
         (
@@ -352,9 +543,9 @@ pub fn print_figure5_panels(title: &str, rows: &[Row], cache_fracs: &[f64]) {
         }
         println!();
         for scheme in &schemes {
-            print!("{scheme:<14}");
+            print!("{:<14}", scheme.to_string());
             for &frac in cache_fracs {
-                match cell(scheme, frac) {
+                match table.cell(scheme, frac) {
                     Some(r) => print!("{:>10}", f(r)),
                     None => print!("{:>10}", "-"),
                 }
@@ -365,13 +556,13 @@ pub fn print_figure5_panels(title: &str, rows: &[Row], cache_fracs: &[f64]) {
 
     // Per-cause drop accounting, so congestion losses are never confused
     // with injected faults when a figure is run under a fault plan.
-    let any_drops = rows.iter().any(|r| r.summary.packets_dropped > 0);
+    let any_drops = table.rows().iter().any(|r| r.summary.packets_dropped > 0);
     if any_drops {
         println!("\n{title} — data-packet drops by cause");
-        for r in rows {
+        for r in table.rows() {
             println!(
                 "{:<14} {:>6}% cache  {}",
-                r.scheme,
+                r.strategy.to_string(),
                 (r.cache_frac * 100.0).round(),
                 drop_breakdown(&r.summary)
             );
@@ -393,22 +584,29 @@ mod tests {
     use sv2p_traces::{hadoop, HadoopConfig};
 
     fn tiny_spec(strategy: StrategyKind, cache: usize) -> ExperimentSpec {
-        ExperimentSpec {
-            topology: FatTreeConfig::scaled_ft8(2),
-            vms_per_server: 2,
-            flows: hadoop(&HadoopConfig {
+        ExperimentSpec::builder(FatTreeConfig::scaled_ft8(2), strategy)
+            .vms_per_server(2)
+            .flows(hadoop(&HadoopConfig {
                 vms: 256,
                 flows: 200,
                 hosts: 128,
                 ..Default::default()
-            }),
-            strategy,
-            cache_entries: cache,
-            migrations: vec![],
-            end_of_time_us: None,
-            seed: 1,
-            label: "unit".into(),
-        }
+            }))
+            .cache_entries(cache)
+            .label("unit")
+            .build()
+    }
+
+    #[test]
+    fn builder_defaults_match_historical_spec() {
+        let s = ExperimentSpec::builder(FatTreeConfig::scaled_ft8(2), StrategyKind::NoCache)
+            .build();
+        assert_eq!(s.vms_per_server, 80);
+        assert!(s.flows.is_empty() && s.migrations.is_empty());
+        assert_eq!(s.cache_entries, 0);
+        assert_eq!(s.end_of_time_us, None);
+        assert_eq!(s.seed, 1);
+        assert!(s.label.is_empty());
     }
 
     #[test]
@@ -422,7 +620,7 @@ mod tests {
     fn sweep_is_rectangular_and_reuses_baselines() {
         let base = tiny_spec(StrategyKind::NoCache, 0);
         let fracs = [0.1, 0.5];
-        let rows = sweep(
+        let table = sweep(
             &base,
             &[
                 StrategyKind::NoCache,
@@ -432,14 +630,74 @@ mod tests {
             &fracs,
             256,
         );
-        assert_eq!(rows.len(), 3 * fracs.len());
+        assert_eq!(table.rows().len(), 3 * fracs.len());
         // NoCache rows are the same run duplicated across fractions.
-        let nc: Vec<&Row> = rows.iter().filter(|r| r.scheme == "NoCache").collect();
+        let nc: Vec<&Row> = table
+            .rows()
+            .iter()
+            .filter(|r| r.strategy.name == "NoCache")
+            .collect();
         assert_eq!(nc.len(), 2);
         assert_eq!(nc[0].summary.avg_fct_us, nc[1].summary.avg_fct_us);
         // SwitchV2P rows differ by cache size.
-        let sv: Vec<&Row> = rows.iter().filter(|r| r.scheme == "SwitchV2P").collect();
+        let sv: Vec<&Row> = table
+            .rows()
+            .iter()
+            .filter(|r| r.strategy.name == "SwitchV2P")
+            .collect();
         assert_eq!(sv.len(), 2);
+        // The join index agrees with the rows.
+        let id = StrategyKind::SwitchV2P.id();
+        for &f in &fracs {
+            assert!(table.cell(&id, f).is_some());
+        }
+    }
+
+    #[test]
+    fn sweep_keeps_switchv2p_variants_distinct() {
+        // The regression this table exists for: a default SwitchV2P and a
+        // configured variant share the display name, so a name-keyed join
+        // collapsed them onto one row.
+        let base = tiny_spec(StrategyKind::NoCache, 0);
+        let variant = StrategyKind::SwitchV2PWith(SwitchV2PConfig::without_spillover());
+        let fracs = [0.25];
+        let table = sweep(
+            &base,
+            &[StrategyKind::SwitchV2P, variant],
+            &fracs,
+            256,
+        );
+        assert_eq!(table.rows().len(), 2);
+        let ids = table.strategies();
+        assert_eq!(ids.len(), 2, "variants must not alias: {ids:?}");
+        assert_eq!(ids[0].to_string(), "SwitchV2P");
+        assert_eq!(ids[1].to_string(), "SwitchV2P[no-spillover]");
+        let a = table.cell(&StrategyKind::SwitchV2P.id(), 0.25).expect("default cell");
+        let b = table.cell(&variant.id(), 0.25).expect("variant cell");
+        assert_eq!(a.strategy.variant, "");
+        assert_eq!(b.strategy.variant, "no-spillover");
+    }
+
+    #[test]
+    fn strategy_ids_describe_ablations() {
+        assert_eq!(StrategyKind::NoCache.id().to_string(), "NoCache");
+        assert_eq!(
+            StrategyKind::SwitchV2PWith(SwitchV2PConfig::default()).id(),
+            StrategyKind::SwitchV2P.id(),
+            "a default config is the same identity as the plain scheme"
+        );
+        assert_eq!(
+            StrategyKind::SwitchV2PWith(SwitchV2PConfig::without_invalidations())
+                .id()
+                .to_string(),
+            "SwitchV2P[no-invalidations]"
+        );
+        assert_eq!(
+            StrategyKind::SwitchV2PWith(SwitchV2PConfig::tor_heavy())
+                .id()
+                .to_string(),
+            "SwitchV2P[weights=4-1-1]"
+        );
     }
 
     #[test]

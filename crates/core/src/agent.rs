@@ -27,14 +27,12 @@
 //!    learn only from promotions. Insertions that evict a live entry attach
 //!    it as spillover.
 
-use std::collections::HashMap;
-
 use sv2p_packet::packet::Protocol;
 use sv2p_packet::{
     InnerHeader, MappingOption, MisdeliveryTag, OuterHeader, Packet, PacketId, PacketKind, Pip,
     SwitchTag, TcpFlags, TunnelOptions, Vip,
 };
-use sv2p_simcore::SimTime;
+use sv2p_simcore::{FxHashMap, SimTime};
 use sv2p_topology::SwitchRole;
 use sv2p_vnet::{AgentOutput, CacheOp, SwitchAgent, SwitchCtx};
 
@@ -49,7 +47,7 @@ pub struct SwitchV2PAgent {
     /// The in-switch mapping cache.
     pub cache: DirectMappedCache,
     /// ToRs' timestamp vector: last invalidation-packet send per target.
-    ts_vector: HashMap<SwitchTag, SimTime>,
+    ts_vector: FxHashMap<SwitchTag, SimTime>,
     /// Learning packets generated (gateway ToRs).
     pub learning_packets_sent: u64,
     /// Invalidation packets generated (ToRs).
@@ -65,7 +63,7 @@ impl SwitchV2PAgent {
             role,
             cfg,
             cache: DirectMappedCache::new(lines),
-            ts_vector: HashMap::new(),
+            ts_vector: FxHashMap::default(),
             learning_packets_sent: 0,
             invalidations_sent: 0,
             invalidations_suppressed: 0,

@@ -15,9 +15,8 @@
 //! cache must be isolated to avoid performance interference between the
 //! tenants").
 
-use std::collections::HashMap;
-
 use sv2p_packet::{Pip, Vip};
+use sv2p_simcore::FxHashMap;
 
 use crate::cache::{Admission, DirectMappedCache, InsertOutcome};
 
@@ -50,9 +49,9 @@ pub struct PartitionedCache {
     /// Maximum number of partitions the memory budget allows.
     max_partitions: usize,
     policy: AdmissionPolicy,
-    partitions: HashMap<VpcId, DirectMappedCache>,
+    partitions: FxHashMap<VpcId, DirectMappedCache>,
     /// Per-VPC gateway-load observations (for the threshold policy).
-    gateway_load: HashMap<VpcId, u64>,
+    gateway_load: FxHashMap<VpcId, u64>,
 }
 
 impl PartitionedCache {
@@ -63,8 +62,8 @@ impl PartitionedCache {
             partition_lines: total_lines / max_partitions,
             max_partitions,
             policy,
-            partitions: HashMap::new(),
-            gateway_load: HashMap::new(),
+            partitions: FxHashMap::default(),
+            gateway_load: FxHashMap::default(),
         }
     }
 

@@ -13,12 +13,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::HashMap;
-
 use serde::Serialize;
 use sv2p_packet::{FlowId, SwitchTag};
 use sv2p_simcore::stats::{Percentiles, Running};
-use sv2p_simcore::SimTime;
+use sv2p_simcore::{FxHashMap, SimTime};
 
 /// Default recovery-series window: 100 µs of virtual time.
 pub const DEFAULT_WINDOW_NS: u64 = 100_000;
@@ -133,7 +131,7 @@ pub struct Metrics {
     /// Bytes processed per switch (a packet counts at every switch it
     /// traverses, matching Figure 7's counting rule).
     pub bytes_by_switch: Vec<u64>,
-    flows: HashMap<FlowId, FlowRecord>,
+    flows: FxHashMap<FlowId, FlowRecord>,
 
     /// Tenant data packets handed to the network by senders.
     pub data_packets_sent: u64,
@@ -154,9 +152,9 @@ pub struct Metrics {
     /// Tenant data packets that a switch cache resolved.
     pub cache_hits: u64,
     /// Cache hits by switch layer.
-    pub hits_by_layer: HashMap<Layer, u64>,
+    pub hits_by_layer: FxHashMap<Layer, u64>,
     /// Cache hits of flow-first packets, by layer.
-    pub first_hits_by_layer: HashMap<Layer, u64>,
+    pub first_hits_by_layer: FxHashMap<Layer, u64>,
     /// First packets sent (denominator for first-packet hit shares).
     pub first_packets_sent: u64,
 
@@ -439,7 +437,7 @@ impl Metrics {
 
     /// Derives the serializable summary.
     pub fn summary(&mut self, name: &str) -> RunSummary {
-        let layer_share = |map: &HashMap<Layer, u64>| {
+        let layer_share = |map: &FxHashMap<Layer, u64>| {
             let total: u64 = map.values().sum();
             let pct = |l: Layer| {
                 if total == 0 {

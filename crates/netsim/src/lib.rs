@@ -20,12 +20,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod config;
 pub mod faults;
 pub mod flows;
 pub mod link;
 pub mod sim;
 
+pub use arena::{PacketArena, PacketRef};
 pub use config::SimConfig;
 pub use faults::{FaultEvent, FaultPlan};
 pub use flows::{FlowKind, FlowSpec};

@@ -4,11 +4,18 @@
 //! occupies the transmitter for its serialization time and arrives at the
 //! receiver one propagation delay after transmission completes — the classic
 //! output-queued switch model NS3's point-to-point devices use.
+//!
+//! Links queue [`PacketRef`] handles, not packets: the packet body stays in
+//! the simulation's [`crate::arena::PacketArena`]. The wire size is sampled
+//! once at enqueue (it cannot change while queued — only node logic rewrites
+//! headers, and a queued packet is owned by the link) and carried next to
+//! the handle so serialization math never touches the arena.
 
 use std::collections::VecDeque;
 
-use sv2p_packet::Packet;
 use sv2p_simcore::{SimDuration, SimTime};
+
+use crate::arena::PacketRef;
 
 /// Runtime state of one directed link.
 #[derive(Debug)]
@@ -19,8 +26,9 @@ pub struct LinkState {
     pub delay: SimDuration,
     /// Buffer limit in bytes (drop-tail beyond it).
     pub buffer_bytes: u64,
-    /// Queued packets awaiting transmission (excludes the one on the wire).
-    queue: VecDeque<Packet>,
+    /// Queued `(packet, wire bytes)` awaiting transmission (the head entry
+    /// is the one on the wire).
+    queue: VecDeque<(PacketRef, u32)>,
     /// Bytes currently queued.
     queued_bytes: u64,
     /// True while a packet is being serialized.
@@ -44,10 +52,10 @@ pub enum EnqueueOutcome {
     /// The packet joined the queue; transmission will start when the wire
     /// frees up.
     Queued,
-    /// Buffer full; the packet was dropped.
+    /// Buffer full; the packet was dropped (the caller frees it).
     Dropped,
     /// The packet was discarded by injected stochastic loss before reaching
-    /// the queue.
+    /// the queue (the caller frees it).
     Lost,
 }
 
@@ -67,9 +75,9 @@ impl LinkState {
         }
     }
 
-    /// Serialization time of `pkt` on this link.
-    pub fn ser_time(&self, pkt: &Packet) -> SimDuration {
-        SimDuration::serialization(pkt.wire_size(), self.bandwidth_bps)
+    /// Serialization time of `wire_bytes` on this link.
+    pub fn ser_time(&self, wire_bytes: u32) -> SimDuration {
+        SimDuration::serialization(wire_bytes, self.bandwidth_bps)
     }
 
     /// Offers a packet to the egress port, first exposing it to the link's
@@ -77,24 +85,30 @@ impl LinkState {
     /// simulation's dedicated fault RNG stream; a draw below the active
     /// loss rate discards the packet before it reaches the queue (the
     /// corruption/loss point of a real wire).
-    pub fn enqueue_with_loss(&mut self, pkt: Packet, draw: f64) -> EnqueueOutcome {
+    pub fn enqueue_with_loss(
+        &mut self,
+        pkt: PacketRef,
+        wire_bytes: u32,
+        draw: f64,
+    ) -> EnqueueOutcome {
         if self.loss_rate > 0.0 && draw < self.loss_rate {
             self.losses += 1;
             return EnqueueOutcome::Lost;
         }
-        self.enqueue(pkt)
+        self.enqueue(pkt, wire_bytes)
     }
 
     /// Offers a packet to the egress port.
-    pub fn enqueue(&mut self, pkt: Packet) -> EnqueueOutcome {
+    pub fn enqueue(&mut self, pkt: PacketRef, wire_bytes: u32) -> EnqueueOutcome {
         if !self.busy {
             self.busy = true;
-            let ser = self.ser_time(&pkt);
-            self.queue.push_front(pkt); // the in-flight packet sits at the head
+            let ser = self.ser_time(wire_bytes);
+            // The in-flight packet sits at the head.
+            self.queue.push_front((pkt, wire_bytes));
             EnqueueOutcome::StartTx(ser)
-        } else if self.queued_bytes + pkt.wire_size() as u64 <= self.buffer_bytes {
-            self.queued_bytes += pkt.wire_size() as u64;
-            self.queue.push_back(pkt);
+        } else if self.queued_bytes + wire_bytes as u64 <= self.buffer_bytes {
+            self.queued_bytes += wire_bytes as u64;
+            self.queue.push_back((pkt, wire_bytes));
             EnqueueOutcome::Queued
         } else {
             self.drops += 1;
@@ -105,13 +119,13 @@ impl LinkState {
     /// Transmission of the head packet finished: returns the transmitted
     /// packet (to schedule its arrival) and, if more are queued, the
     /// serialization time of the next one (to schedule the next tx-done).
-    pub fn tx_done(&mut self) -> (Packet, Option<SimDuration>) {
+    pub fn tx_done(&mut self) -> (PacketRef, Option<SimDuration>) {
         debug_assert!(self.busy, "tx_done on idle link");
-        let sent = self.queue.pop_front().expect("tx_done with empty queue");
+        let (sent, _) = self.queue.pop_front().expect("tx_done with empty queue");
         match self.queue.front() {
-            Some(next) => {
-                self.queued_bytes -= next.wire_size() as u64;
-                let ser = self.ser_time(next);
+            Some(&(_, wire)) => {
+                self.queued_bytes -= wire as u64;
+                let ser = self.ser_time(wire);
                 (sent, Some(ser))
             }
             None => {
@@ -141,53 +155,24 @@ impl LinkState {
 mod tests {
     use super::*;
     use sv2p_packet::packet::MSS;
-    use sv2p_packet::{
-        FlowId, InnerHeader, OuterHeader, Packet, PacketId, PacketKind, Pip, TcpFlags,
-        TunnelOptions, Vip,
-    };
 
-    fn pkt(payload: u32) -> Packet {
-        Packet {
-            id: PacketId(0),
-            flow: FlowId(0),
-            kind: PacketKind::Data,
-            outer: OuterHeader {
-                src_pip: Pip(1),
-                dst_pip: Pip(2),
-                resolved: true,
-            },
-            inner: InnerHeader {
-                src_vip: Vip(1),
-                dst_vip: Vip(2),
-                src_port: 1,
-                dst_port: 2,
-                protocol: sv2p_packet::packet::Protocol::Udp,
-                seq: 0,
-                ack: 0,
-                flags: TcpFlags::default(),
-            },
-            opts: TunnelOptions::default(),
-            payload,
-            switch_hops: 0,
-            sent_ns: 0,
-            first_of_flow: false,
-            visited_gateway: false,
-        }
-    }
+    /// Wire size of an MSS data packet with default tunnel options
+    /// (60 bytes of headers).
+    const MSS_WIRE: u32 = MSS + 60;
 
     fn link() -> LinkState {
         // 100G, 1us, room for exactly two MSS packets in the queue.
         LinkState::new(
             100_000_000_000,
             SimDuration::from_micros(1),
-            2 * (MSS as u64 + 60),
+            2 * MSS_WIRE as u64,
         )
     }
 
     #[test]
     fn idle_link_starts_immediately() {
         let mut l = link();
-        match l.enqueue(pkt(MSS)) {
+        match l.enqueue(PacketRef(0), MSS_WIRE) {
             EnqueueOutcome::StartTx(ser) => {
                 // 1060 B at 100G = 84.8 -> 85 ns.
                 assert_eq!(ser.as_nanos(), 85);
@@ -200,10 +185,13 @@ mod tests {
     #[test]
     fn busy_link_queues_then_drops() {
         let mut l = link();
-        assert!(matches!(l.enqueue(pkt(MSS)), EnqueueOutcome::StartTx(_)));
-        assert_eq!(l.enqueue(pkt(MSS)), EnqueueOutcome::Queued);
-        assert_eq!(l.enqueue(pkt(MSS)), EnqueueOutcome::Queued);
-        assert_eq!(l.enqueue(pkt(MSS)), EnqueueOutcome::Dropped);
+        assert!(matches!(
+            l.enqueue(PacketRef(0), MSS_WIRE),
+            EnqueueOutcome::StartTx(_)
+        ));
+        assert_eq!(l.enqueue(PacketRef(1), MSS_WIRE), EnqueueOutcome::Queued);
+        assert_eq!(l.enqueue(PacketRef(2), MSS_WIRE), EnqueueOutcome::Queued);
+        assert_eq!(l.enqueue(PacketRef(3), MSS_WIRE), EnqueueOutcome::Dropped);
         assert_eq!(l.drops, 1);
         assert_eq!(l.queue_len(), 2);
     }
@@ -211,22 +199,21 @@ mod tests {
     #[test]
     fn tx_done_drains_fifo() {
         let mut l = link();
-        let mut a = pkt(MSS);
-        a.id = PacketId(1);
-        let mut b = pkt(100);
-        b.id = PacketId(2);
-        l.enqueue(a);
-        l.enqueue(b);
+        l.enqueue(PacketRef(1), MSS_WIRE);
+        l.enqueue(PacketRef(2), 100 + 60);
         let (sent, next) = l.tx_done();
-        assert_eq!(sent.id, PacketId(1));
+        assert_eq!(sent, PacketRef(1));
         let ser_b = next.expect("second packet pending");
         // 160 B at 100G = 12.8 -> 13 ns.
         assert_eq!(ser_b.as_nanos(), 13);
         let (sent2, next2) = l.tx_done();
-        assert_eq!(sent2.id, PacketId(2));
+        assert_eq!(sent2, PacketRef(2));
         assert!(next2.is_none());
         // Link is idle again.
-        assert!(matches!(l.enqueue(pkt(1)), EnqueueOutcome::StartTx(_)));
+        assert!(matches!(
+            l.enqueue(PacketRef(3), 61),
+            EnqueueOutcome::StartTx(_)
+        ));
     }
 
     #[test]
@@ -234,15 +221,18 @@ mod tests {
         let mut l = link();
         // Healthy link: the draw is irrelevant.
         assert!(matches!(
-            l.enqueue_with_loss(pkt(MSS), 0.0),
+            l.enqueue_with_loss(PacketRef(0), MSS_WIRE, 0.0),
             EnqueueOutcome::StartTx(_)
         ));
         l.tx_done();
         l.loss_rate = 0.01;
-        assert_eq!(l.enqueue_with_loss(pkt(MSS), 0.005), EnqueueOutcome::Lost);
+        assert_eq!(
+            l.enqueue_with_loss(PacketRef(1), MSS_WIRE, 0.005),
+            EnqueueOutcome::Lost
+        );
         assert_eq!(l.losses, 1);
         assert!(matches!(
-            l.enqueue_with_loss(pkt(MSS), 0.5),
+            l.enqueue_with_loss(PacketRef(2), MSS_WIRE, 0.5),
             EnqueueOutcome::StartTx(_)
         ));
         // Loss drops never consume buffer space.
@@ -252,11 +242,11 @@ mod tests {
     #[test]
     fn freed_buffer_accepts_again() {
         let mut l = link();
-        l.enqueue(pkt(MSS));
-        l.enqueue(pkt(MSS));
-        l.enqueue(pkt(MSS));
-        assert_eq!(l.enqueue(pkt(MSS)), EnqueueOutcome::Dropped);
+        l.enqueue(PacketRef(0), MSS_WIRE);
+        l.enqueue(PacketRef(1), MSS_WIRE);
+        l.enqueue(PacketRef(2), MSS_WIRE);
+        assert_eq!(l.enqueue(PacketRef(3), MSS_WIRE), EnqueueOutcome::Dropped);
         l.tx_done(); // frees one queue slot
-        assert_eq!(l.enqueue(pkt(MSS)), EnqueueOutcome::Queued);
+        assert_eq!(l.enqueue(PacketRef(4), MSS_WIRE), EnqueueOutcome::Queued);
     }
 }

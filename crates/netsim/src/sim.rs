@@ -1,7 +1,5 @@
 //! The simulation driver: event dispatch, node logic, flow driving.
 
-use std::collections::{HashMap, HashSet};
-
 use sv2p_metrics::{DropCause, Layer, Metrics, SwitchInfo};
 use sv2p_packet::packet::Protocol;
 use sv2p_packet::{
@@ -9,7 +7,9 @@ use sv2p_packet::{
     TunnelOptions, Vip,
 };
 use sv2p_simcore::timer::TimerToken;
-use sv2p_simcore::{EventQueue, SimDuration, SimRng, SimTime, TimerWheel};
+use sv2p_simcore::{
+    EventQueue, FxHashMap, FxHashSet, SimDuration, SimRng, SimTime, TimerWheel,
+};
 use sv2p_telemetry::{EventKind, LayerName, Sample, TraceEvent, Tracer};
 use sv2p_topology::{
     FatTreeConfig, LinkId, NodeId, NodeKind, RoleMap, Routing, Topology,
@@ -20,22 +20,24 @@ use sv2p_vnet::{
     MisdeliveryPolicy, PacketAction, Placement, Strategy, SwitchAgent, SwitchCtx,
 };
 
+use crate::arena::{PacketArena, PacketRef};
 use crate::config::SimConfig;
 use crate::faults::{FaultEvent, FaultPlan};
 use crate::flows::{FlowKind, FlowSpec, FlowState};
 use crate::link::{EnqueueOutcome, LinkState};
 
-/// Simulator events.
+/// Simulator events. Packet-carrying events hold an arena handle, so an
+/// event is a few machine words no matter how fat `TunnelOptions` get.
 #[derive(Debug)]
 enum Event {
     FlowStart(usize),
     UdpSend { flow: usize, idx: usize },
     LinkFree(LinkId),
-    LinkArrival { link: LinkId, pkt: Packet },
+    LinkArrival { link: LinkId, pkt: PacketRef },
     RtoTimer { flow: usize, token: TimerToken },
-    GatewayDone { node: NodeId, pkt: Packet },
-    ReInject { node: NodeId, pkt: Packet },
-    HostForward { node: NodeId, pkt: Packet },
+    GatewayDone { node: NodeId, pkt: PacketRef },
+    ReInject { node: NodeId, pkt: PacketRef },
+    HostForward { node: NodeId, pkt: PacketRef },
     Migrate(usize),
     FaultStart(usize),
     FaultEnd(usize),
@@ -56,9 +58,9 @@ pub struct Simulation {
     /// VM placement (kept in sync with `db` across migrations).
     pub placement: Placement,
     /// VIPs currently hosted at each server node.
-    hosted: HashMap<NodeId, HashSet<Vip>>,
+    hosted: FxHashMap<NodeId, FxHashSet<Vip>>,
     /// Follow-me rules at old hosts: (old node, vip) -> new pip.
-    follow_me: HashMap<(NodeId, Vip), Pip>,
+    follow_me: FxHashMap<(NodeId, Vip), Pip>,
     agents: Vec<Option<Box<dyn SwitchAgent>>>,
     agent_rngs: Vec<SimRng>,
     host_agents: Vec<Option<Box<dyn HostAgent>>>,
@@ -66,6 +68,10 @@ pub struct Simulation {
     tags: Vec<Option<SwitchTag>>,
     tag_pips: Vec<Pip>,
     links: Vec<LinkState>,
+    /// In-flight packet bodies; events and link queues hold handles.
+    arena: PacketArena,
+    /// Reusable ECMP candidate buffer (avoids a per-hop allocation).
+    route_scratch: Vec<LinkId>,
     events: EventQueue<Event>,
     timers: TimerWheel,
     flows: Vec<FlowState>,
@@ -87,7 +93,7 @@ pub struct Simulation {
     /// `CacheLookup` trace events, so non-caching switches stay silent).
     caching: Vec<bool>,
     next_pkt_id: u64,
-    traffic_matrix: HashMap<(u32, u32), u64>,
+    traffic_matrix: FxHashMap<(u32, u32), u64>,
     misdelivery_policy: MisdeliveryPolicy,
     finalized: bool,
     strategy_name: String,
@@ -111,7 +117,7 @@ impl Simulation {
         let db = placement.seed_db();
         let dir = GatewayDirectory::from_topology(&topo);
 
-        let mut hosted: HashMap<NodeId, HashSet<Vip>> = HashMap::new();
+        let mut hosted: FxHashMap<NodeId, FxHashSet<Vip>> = FxHashMap::default();
         for i in 0..placement.len() {
             hosted
                 .entry(placement.node_of(i))
@@ -215,13 +221,15 @@ impl Simulation {
             dir,
             placement,
             hosted,
-            follow_me: HashMap::new(),
+            follow_me: FxHashMap::default(),
             agents,
             agent_rngs,
             host_agents,
             tags,
             tag_pips,
             links,
+            arena: PacketArena::new(),
+            route_scratch: Vec::new(),
             events: EventQueue::with_capacity(1 << 16),
             timers: TimerWheel::new(),
             flows: Vec::new(),
@@ -234,7 +242,7 @@ impl Simulation {
             tracer,
             caching,
             next_pkt_id: 0,
-            traffic_matrix: HashMap::new(),
+            traffic_matrix: FxHashMap::default(),
             misdelivery_policy: strategy.misdelivery_policy(),
             finalized: false,
             strategy_name: strategy.name().to_string(),
@@ -260,6 +268,13 @@ impl Simulation {
     /// The calendar's pending-event high-water mark (run manifests).
     pub fn peak_queue(&self) -> usize {
         self.events.peak_len()
+    }
+
+    /// The packet arena's in-flight high-water mark — a proxy for what the
+    /// run would have allocated per-packet without the arena (run
+    /// manifests).
+    pub fn peak_arena(&self) -> usize {
+        self.arena.peak()
     }
 
     /// The telemetry tracer (read events/samples after a run).
@@ -333,7 +348,7 @@ impl Simulation {
     /// Per-(src_vm, dst_vm) data-packet counts since the last
     /// [`Self::clear_traffic_matrix`] (requires
     /// `SimConfig::record_traffic_matrix`).
-    pub fn traffic_matrix(&self) -> &HashMap<(u32, u32), u64> {
+    pub fn traffic_matrix(&self) -> &FxHashMap<(u32, u32), u64> {
         &self.traffic_matrix
     }
 
@@ -523,17 +538,30 @@ impl Simulation {
     // Telemetry
     // ------------------------------------------------------------------
 
-    /// Records a data-packet drop trace event (no-op when tracing is off;
-    /// callers record the metrics counter themselves).
-    #[inline]
-    fn trace_drop(&mut self, pkt: &Packet, node: NodeId, cause: &'static str) {
-        if self.tracer.enabled() {
-            self.trace_drop_ids(pkt.flow.0, pkt.id.0, node, cause);
+    /// Ends a packet's life as a drop: records the metrics counter and a
+    /// trace event (data packets only — protocol packets vanish silently,
+    /// as before) and frees the arena slot.
+    fn drop_packet(
+        &mut self,
+        h: PacketRef,
+        node: NodeId,
+        cause: DropCause,
+        label: &'static str,
+    ) {
+        let (is_data, flow, id) = {
+            let p = self.arena.get(h);
+            (matches!(p.kind, PacketKind::Data), p.flow.0, p.id.0)
+        };
+        if is_data {
+            self.metrics.record_drop(cause);
+            if self.tracer.enabled() {
+                self.trace_drop_ids(flow, id, node, label);
+            }
         }
+        self.arena.free(h);
     }
 
-    /// Drop tracing for call sites where the packet has already been moved
-    /// (its ids were captured beforehand).
+    /// Drop tracing from already-captured packet ids.
     fn trace_drop_ids(&mut self, flow: u64, pkt: u64, node: NodeId, cause: &'static str) {
         let mut ev = TraceEvent::new(self.events.now().as_nanos(), EventKind::Drop)
             .packet(flow, pkt)
@@ -817,7 +845,8 @@ impl Simulation {
                 .entry((src_vm as u32, dst_vm as u32))
                 .or_insert(0) += 1;
         }
-        self.transmit_from_host(src_node, pkt);
+        let h = self.arena.alloc(pkt);
+        self.transmit_from_host(src_node, h);
     }
 
     fn alloc_pkt_id(&mut self) -> PacketId {
@@ -826,37 +855,31 @@ impl Simulation {
         id
     }
 
-    /// Sends `pkt` out of host `node`'s NIC.
-    fn transmit_from_host(&mut self, node: NodeId, pkt: Packet) {
+    /// Sends the packet out of host `node`'s NIC.
+    fn transmit_from_host(&mut self, node: NodeId, pkt: PacketRef) {
         let uplink = self.topo.out_links[node.0 as usize]
             .first()
             .copied()
             .expect("host has an uplink");
         if !self.link_up[uplink.0 as usize] {
             // The host's only uplink is down: nowhere to go.
-            if matches!(pkt.kind, PacketKind::Data) {
-                self.metrics.record_drop(DropCause::Unroutable);
-                self.trace_drop(&pkt, node, "unroutable");
-            }
+            self.drop_packet(pkt, node, DropCause::Unroutable, "unroutable");
             return;
         }
         self.enqueue_on_link(uplink, pkt);
     }
 
-    fn enqueue_on_link(&mut self, link: LinkId, pkt: Packet) {
-        let is_data = matches!(pkt.kind, PacketKind::Data);
-        // Ids captured up front: the packet is moved into the link below, but
-        // a Dropped/Lost outcome still needs them for the trace event.
-        let trace_ids = (is_data && self.tracer.enabled()).then_some((pkt.flow.0, pkt.id.0));
+    fn enqueue_on_link(&mut self, link: LinkId, pkt: PacketRef) {
+        let wire = self.arena.get(pkt).wire_size();
         let from_node = self.topo.link(link).from;
         let l = &mut self.links[link.0 as usize];
         // Draw from the dedicated fault stream only while loss is active, so
         // a healthy run consumes no fault randomness at all.
         let outcome = if l.loss_rate > 0.0 {
             let draw = self.fault_rng.uniform();
-            l.enqueue_with_loss(pkt, draw)
+            l.enqueue_with_loss(pkt, wire, draw)
         } else {
-            l.enqueue(pkt)
+            l.enqueue(pkt, wire)
         };
         match outcome {
             EnqueueOutcome::StartTx(ser) => {
@@ -864,20 +887,10 @@ impl Simulation {
             }
             EnqueueOutcome::Queued => {}
             EnqueueOutcome::Dropped => {
-                if is_data {
-                    self.metrics.record_drop(DropCause::Queue);
-                    if let Some((f, p)) = trace_ids {
-                        self.trace_drop_ids(f, p, from_node, "queue");
-                    }
-                }
+                self.drop_packet(pkt, from_node, DropCause::Queue, "queue");
             }
             EnqueueOutcome::Lost => {
-                if is_data {
-                    self.metrics.record_drop(DropCause::Loss);
-                    if let Some((f, p)) = trace_ids {
-                        self.trace_drop_ids(f, p, from_node, "loss");
-                    }
-                }
+                self.drop_packet(pkt, from_node, DropCause::Loss, "loss");
             }
         }
     }
@@ -893,7 +906,7 @@ impl Simulation {
             .schedule_in(delay, Event::LinkArrival { link, pkt: sent });
     }
 
-    fn on_link_arrival(&mut self, link: LinkId, pkt: Packet) {
+    fn on_link_arrival(&mut self, link: LinkId, pkt: PacketRef) {
         let dl = self.topo.link(link);
         let node = dl.to;
         let from = dl.from;
@@ -918,7 +931,7 @@ impl Simulation {
     fn handle_at_switch(
         &mut self,
         node: NodeId,
-        mut pkt: Packet,
+        pkt: PacketRef,
         ingress: Option<Pip>,
         count: bool,
     ) {
@@ -926,17 +939,27 @@ impl Simulation {
         let now = self.events.now();
         if self.blackout[idx] {
             // A rebooting switch drops everything that traverses it.
-            if matches!(pkt.kind, PacketKind::Data) {
-                self.metrics.record_drop(DropCause::Blackout);
-                self.trace_drop(&pkt, node, "blackout");
-            }
+            self.drop_packet(pkt, node, DropCause::Blackout, "blackout");
             return;
         }
         let tag = self.tags[idx].expect("switch tag");
-        let is_data = matches!(pkt.kind, PacketKind::Data);
+        let (is_data, wire, flow_id, pkt_id, was_unresolved, first_of_flow, dst_pip) = {
+            let p = self.arena.get_mut(pkt);
+            if count {
+                p.switch_hops = p.switch_hops.saturating_add(1);
+            }
+            (
+                matches!(p.kind, PacketKind::Data),
+                p.wire_size(),
+                p.flow.0,
+                p.id.0,
+                !p.outer.resolved,
+                p.first_of_flow,
+                p.outer.dst_pip,
+            )
+        };
         if count {
-            self.metrics.record_switch_bytes(tag, pkt.wire_size());
-            pkt.switch_hops = pkt.switch_hops.saturating_add(1);
+            self.metrics.record_switch_bytes(tag, wire);
         }
         let trace = self.tracer.enabled();
         // Protocol packets carry the default FlowId(0); tracing them would
@@ -944,32 +967,19 @@ impl Simulation {
         if trace && count && is_data {
             self.tracer.record(
                 TraceEvent::new(now.as_nanos(), EventKind::SwitchIngress)
-                    .packet(pkt.flow.0, pkt.id.0)
+                    .packet(flow_id, pkt_id)
                     .at_node(node.0),
             );
         }
-        let was_unresolved = is_data && !pkt.outer.resolved;
+        let was_unresolved = is_data && was_unresolved;
         let role = self.roles.role(node).expect("switch role");
-        let dst_attached = self.dst_attached(node, pkt.outer.dst_pip);
-        let first_of_flow = pkt.first_of_flow;
+        let dst_attached = self.dst_attached(node, dst_pip);
 
         let output = {
             let topo = &self.topo;
-            let routing = &self.routing;
             let tag_pips = &self.tag_pips;
-            let pod_of = move |pip: Pip| -> Option<u16> {
-                topo.node_by_pip(pip).and_then(|n| {
-                    let kind = topo.node(n).kind;
-                    if kind.is_host() {
-                        // Hosts report their ToR's pod (same thing) — but a
-                        // host's own pod is already correct.
-                        kind.pod()
-                    } else {
-                        kind.pod()
-                    }
-                })
-            };
-            let _ = routing;
+            let pod_of =
+                move |pip: Pip| -> Option<u16> { topo.node_by_pip(pip).and_then(|n| topo.node(n).kind.pod()) };
             let pip_of_tag = move |t: SwitchTag| tag_pips[t.0 as usize];
             let node_info = topo.node(node);
             let mut ctx = SwitchCtx {
@@ -989,7 +999,7 @@ impl Simulation {
                 trace_cache_ops: trace,
             };
             match self.agents[idx].as_mut() {
-                Some(agent) => agent.on_packet(&mut ctx, &mut pkt),
+                Some(agent) => agent.on_packet(&mut ctx, self.arena.get_mut(pkt)),
                 None => AgentOutput::forward(),
             }
         };
@@ -1008,7 +1018,7 @@ impl Simulation {
             // lines probed that cache; the agent reported hit/miss.
             if was_unresolved && self.caching[idx] {
                 let mut ev = TraceEvent::new(now.as_nanos(), EventKind::CacheLookup)
-                    .packet(pkt.flow.0, pkt.id.0)
+                    .packet(flow_id, pkt_id)
                     .at_node(node.0);
                 ev.hit = Some(output.cache_hit);
                 ev.layer = Some(self.layer_name(node));
@@ -1020,7 +1030,7 @@ impl Simulation {
                     let mut ev = TraceEvent::new(now.as_nanos(), EventKind::CacheOp)
                         .at_node(node.0);
                     if is_data {
-                        ev = ev.packet(pkt.flow.0, pkt.id.0);
+                        ev = ev.packet(flow_id, pkt_id);
                     }
                     ev.op = Some(op.name());
                     ev.vip = Some(op.vip().0);
@@ -1038,7 +1048,8 @@ impl Simulation {
                 PacketKind::Invalidation(_) => self.metrics.invalidation_packets += 1,
                 PacketKind::Data => {}
             }
-            self.route_from_switch(node, extra);
+            let eh = self.arena.alloc(extra);
+            self.route_from_switch(node, eh);
         }
         match output.action {
             PacketAction::Forward => self.route_from_switch(node, pkt),
@@ -1046,43 +1057,46 @@ impl Simulation {
                 self.events.schedule_in(d, Event::ReInject { node, pkt });
             }
             PacketAction::Drop => {
-                if matches!(pkt.kind, PacketKind::Data) {
-                    self.metrics.record_drop(DropCause::Queue);
-                    self.trace_drop(&pkt, node, "queue");
-                }
+                self.drop_packet(pkt, node, DropCause::Queue, "queue");
             }
-            PacketAction::Consume => {}
+            PacketAction::Consume => {
+                self.arena.free(pkt);
+            }
         }
     }
 
-    fn route_from_switch(&mut self, node: NodeId, pkt: Packet) {
-        let Some(dst_node) = self.topo.node_by_pip(pkt.outer.dst_pip) else {
+    fn route_from_switch(&mut self, node: NodeId, pkt: PacketRef) {
+        let (dst_pip, key) = {
+            let p = self.arena.get(pkt);
+            (p.outer.dst_pip, p.ecmp_key())
+        };
+        let Some(dst_node) = self.topo.node_by_pip(dst_pip) else {
             // Unroutable (e.g. a Bluebird packet no ToR translated): drop.
-            if matches!(pkt.kind, PacketKind::Data) {
-                self.metrics.record_drop(DropCause::Unroutable);
-                self.trace_drop(&pkt, node, "unroutable");
-            }
+            self.drop_packet(pkt, node, DropCause::Unroutable, "unroutable");
             return;
         };
         if dst_node == node {
             // Addressed to this switch but the agent chose not to consume it.
+            self.arena.free(pkt);
             return;
         }
-        let key = pkt.ecmp_key();
         let next = {
             let link_up = &self.link_up;
             let usable = |l: LinkId| link_up[l.0 as usize];
-            self.routing
-                .next_link_filtered(&self.topo, node, dst_node, key, &usable)
+            self.routing.next_link_filtered_into(
+                &self.topo,
+                node,
+                dst_node,
+                key,
+                &usable,
+                &mut self.route_scratch,
+            )
         };
         match next {
             Some(link) => self.enqueue_on_link(link, pkt),
             None => {
                 // No route, or every candidate port is down.
-                if matches!(pkt.kind, PacketKind::Data) {
-                    self.metrics.record_drop(DropCause::Unroutable);
-                    self.trace_drop(&pkt, node, "unroutable");
-                }
+                self.drop_packet(pkt, node, DropCause::Unroutable, "unroutable");
             }
         }
     }
@@ -1100,71 +1114,73 @@ impl Simulation {
     // Gateway logic
     // ------------------------------------------------------------------
 
-    fn handle_at_gateway(&mut self, node: NodeId, pkt: Packet) {
+    fn handle_at_gateway(&mut self, node: NodeId, pkt: PacketRef) {
         let now = self.now();
         if self.blackout[node.0 as usize] {
             // An out gateway answers nothing; senders ride their RTO.
-            if matches!(pkt.kind, PacketKind::Data) {
-                self.metrics.record_drop(DropCause::Blackout);
-                self.trace_drop(&pkt, node, "blackout");
-            }
+            self.drop_packet(pkt, node, DropCause::Blackout, "blackout");
             return;
         }
-        match pkt.kind {
-            PacketKind::Data if !pkt.outer.resolved => {
-                self.metrics.record_gateway_packet(now);
-                if self.tracer.enabled() {
-                    self.tracer.record(
-                        TraceEvent::new(now.as_nanos(), EventKind::GatewayIngress)
-                            .packet(pkt.flow.0, pkt.id.0)
-                            .at_node(node.0),
-                    );
-                }
-                let delay = self.cfg.gateway.processing();
-                self.events
-                    .schedule_in(delay, Event::GatewayDone { node, pkt });
+        let translatable = {
+            let p = self.arena.get(pkt);
+            matches!(p.kind, PacketKind::Data) && !p.outer.resolved
+        };
+        if translatable {
+            self.metrics.record_gateway_packet(now);
+            if self.tracer.enabled() {
+                let (flow, id) = {
+                    let p = self.arena.get(pkt);
+                    (p.flow.0, p.id.0)
+                };
+                self.tracer.record(
+                    TraceEvent::new(now.as_nanos(), EventKind::GatewayIngress)
+                        .packet(flow, id)
+                        .at_node(node.0),
+                );
             }
-            _ => {
-                // Resolved tenant traffic or protocol packets have no
-                // business at a gateway.
-                if matches!(pkt.kind, PacketKind::Data) {
-                    self.metrics.record_drop(DropCause::Unroutable);
-                    self.trace_drop(&pkt, node, "unroutable");
-                }
-            }
+            let delay = self.cfg.gateway.processing();
+            self.events
+                .schedule_in(delay, Event::GatewayDone { node, pkt });
+        } else {
+            // Resolved tenant traffic or protocol packets have no business
+            // at a gateway.
+            self.drop_packet(pkt, node, DropCause::Unroutable, "unroutable");
         }
     }
 
-    fn on_gateway_done(&mut self, node: NodeId, mut pkt: Packet) {
+    fn on_gateway_done(&mut self, node: NodeId, pkt: PacketRef) {
         if self.blackout[node.0 as usize] {
             // The outage began while this packet was in processing.
-            self.metrics.record_drop(DropCause::Blackout);
-            self.trace_drop(&pkt, node, "blackout");
+            self.drop_packet(pkt, node, DropCause::Blackout, "blackout");
             return;
         }
-        match self.db.lookup(pkt.inner.dst_vip) {
+        let dst_vip = self.arena.get(pkt).inner.dst_vip;
+        match self.db.lookup(dst_vip) {
             Some(pip) => {
-                pkt.outer.dst_pip = pip;
-                pkt.outer.resolved = true;
-                pkt.visited_gateway = true;
-                // The gateway translated from ground truth; any stale-route
-                // markings are now moot.
-                pkt.opts.misdelivery = None;
-                pkt.opts.hit_switch = None;
+                let (flow, id) = {
+                    let p = self.arena.get_mut(pkt);
+                    p.outer.dst_pip = pip;
+                    p.outer.resolved = true;
+                    p.visited_gateway = true;
+                    // The gateway translated from ground truth; any
+                    // stale-route markings are now moot.
+                    p.opts.misdelivery = None;
+                    p.opts.hit_switch = None;
+                    (p.flow.0, p.id.0)
+                };
                 if self.tracer.enabled() {
                     let mut ev =
                         TraceEvent::new(self.now().as_nanos(), EventKind::GatewayDone)
-                            .packet(pkt.flow.0, pkt.id.0)
+                            .packet(flow, id)
                             .at_node(node.0);
-                    ev.vip = Some(pkt.inner.dst_vip.0);
+                    ev.vip = Some(dst_vip.0);
                     ev.pip = Some(pip.0);
                     self.tracer.record(ev);
                 }
                 self.transmit_from_host(node, pkt);
             }
             None => {
-                self.metrics.record_drop(DropCause::Unroutable);
-                self.trace_drop(&pkt, node, "unroutable");
+                self.drop_packet(pkt, node, DropCause::Unroutable, "unroutable");
             }
         }
     }
@@ -1173,12 +1189,13 @@ impl Simulation {
     // Server logic
     // ------------------------------------------------------------------
 
-    fn handle_at_server(&mut self, node: NodeId, pkt: Packet) {
-        if !matches!(pkt.kind, PacketKind::Data) {
+    fn handle_at_server(&mut self, node: NodeId, pkt: PacketRef) {
+        if !matches!(self.arena.get(pkt).kind, PacketKind::Data) {
             // A learning packet that no ToR consumed: harmlessly absorbed.
+            self.arena.free(pkt);
             return;
         }
-        let vip = pkt.inner.dst_vip;
+        let vip = self.arena.get(pkt).inner.dst_vip;
         let is_hosted = self
             .hosted
             .get(&node)
@@ -1188,14 +1205,33 @@ impl Simulation {
             return;
         }
 
+        // The packet's life ends here: capture everything delivery needs,
+        // then release the slot before the transport reacts (its reaction
+        // may allocate ACKs or retransmits into the arena).
+        let (flow_id, pkt_id, is_ack, ack_no, seq, payload, sent_ns, hops, first) = {
+            let p = self.arena.get(pkt);
+            (
+                p.flow,
+                p.id.0,
+                p.inner.flags.ack,
+                p.inner.ack,
+                p.inner.seq,
+                p.payload,
+                p.sent_ns,
+                p.switch_hops,
+                p.first_of_flow,
+            )
+        };
+        self.arena.free(pkt);
+
         let now = self.now();
-        let flow = pkt.flow.0 as usize;
+        let flow = flow_id.0 as usize;
         debug_assert!(flow < self.flows.len(), "unknown flow id");
 
-        if pkt.inner.flags.ack {
+        if is_ack {
             // ACK back at the sender.
             let ops = match self.flows[flow].tcp_tx.as_mut() {
-                Some(tx) => tx.on_ack(now, pkt.inner.ack as u64),
+                Some(tx) => tx.on_ack(now, ack_no as u64),
                 None => return,
             };
             self.apply_sender_ops(flow, ops);
@@ -1203,23 +1239,21 @@ impl Simulation {
         }
 
         // Forward-direction data.
-        let sent_at = SimTime::from_nanos(pkt.sent_ns);
-        self.metrics.record_delivery(sent_at, now, pkt.switch_hops);
+        let sent_at = SimTime::from_nanos(sent_ns);
+        self.metrics.record_delivery(sent_at, now, hops);
         if self.tracer.enabled() {
             let mut ev = TraceEvent::new(now.as_nanos(), EventKind::Delivery)
-                .packet(pkt.flow.0, pkt.id.0)
+                .packet(flow_id.0, pkt_id)
                 .at_node(node.0);
-            ev.hops = Some(pkt.switch_hops);
-            ev.latency_ns = Some(now.as_nanos().saturating_sub(pkt.sent_ns));
+            ev.hops = Some(hops);
+            ev.latency_ns = Some(now.as_nanos().saturating_sub(sent_ns));
             self.tracer.record(ev);
         }
-        if pkt.first_of_flow {
-            self.metrics.first_packet_delivered(pkt.flow, now);
+        if first {
+            self.metrics.first_packet_delivered(flow_id, now);
         }
         if self.flows[flow].is_tcp() {
-            let ack = self.flows[flow]
-                .tcp_rx
-                .on_data(pkt.inner.seq as u64, pkt.payload);
+            let ack = self.flows[flow].tcp_rx.on_data(seq as u64, payload);
             // Emit a pure ACK back to the sender.
             self.send_flow_packet(
                 flow,
@@ -1243,13 +1277,17 @@ impl Simulation {
         }
     }
 
-    fn on_misdelivery(&mut self, node: NodeId, pkt: Packet) {
+    fn on_misdelivery(&mut self, node: NodeId, pkt: PacketRef) {
         let now = self.now();
         self.metrics.record_misdelivery(now);
         if self.tracer.enabled() {
+            let (flow, id) = {
+                let p = self.arena.get(pkt);
+                (p.flow.0, p.id.0)
+            };
             self.tracer.record(
                 TraceEvent::new(now.as_nanos(), EventKind::Misdelivery)
-                    .packet(pkt.flow.0, pkt.id.0)
+                    .packet(flow, id)
                     .at_node(node.0),
             );
         }
@@ -1259,29 +1297,31 @@ impl Simulation {
         );
     }
 
-    fn on_host_forward(&mut self, node: NodeId, mut pkt: Packet) {
-        let vip = pkt.inner.dst_vip;
+    fn on_host_forward(&mut self, node: NodeId, pkt: PacketRef) {
+        let vip = self.arena.get(pkt).inner.dst_vip;
         match self.misdelivery_policy {
             MisdeliveryPolicy::FollowMe => {
                 match self.follow_me.get(&(node, vip)) {
                     Some(&new_pip) => {
-                        pkt.outer.dst_pip = new_pip;
-                        pkt.outer.resolved = true;
+                        let p = self.arena.get_mut(pkt);
+                        p.outer.dst_pip = new_pip;
+                        p.outer.resolved = true;
                     }
                     None => {
                         // No rule: the VM is simply gone; drop.
-                        self.metrics.record_drop(DropCause::Unroutable);
-                        self.trace_drop(&pkt, node, "unroutable");
+                        self.drop_packet(pkt, node, DropCause::Unroutable, "unroutable");
                         return;
                     }
                 }
             }
             MisdeliveryPolicy::ToGateway => {
+                let gw = self.dir.pick(self.arena.get(pkt).flow.0 * 2);
                 // Keep the original outer source so the ToR can recognize
                 // the forward as a misdelivery and tag it (§3.3), and keep
                 // the hit-switch option so it can target invalidations.
-                pkt.outer.dst_pip = self.dir.pick(pkt.flow.0 * 2);
-                pkt.outer.resolved = false;
+                let p = self.arena.get_mut(pkt);
+                p.outer.dst_pip = gw;
+                p.outer.resolved = false;
             }
         }
         self.transmit_from_host(node, pkt);

@@ -1,11 +1,43 @@
-//! The event calendar: a binary-heap priority queue with deterministic
+//! The event calendar: a timing-wheel (calendar queue) with deterministic
 //! tie-breaking.
 //!
 //! Two events scheduled for the same instant pop in the order they were
 //! pushed (FIFO), which makes whole simulations reproducible regardless of
-//! heap internals. The payload type is generic so unit tests can drive the
-//! queue with plain integers while the network simulator uses its own event
-//! enum.
+//! calendar internals. The payload type is generic so unit tests can drive
+//! the queue with plain integers while the network simulator uses its own
+//! event enum.
+//!
+//! # Structure
+//!
+//! A binary heap pays `O(log n)` per operation with `n` = *every* pending
+//! event; at FT16-400K scale the calendar holds tens of thousands of events
+//! and those comparisons (each moving a full event payload) dominate the
+//! scheduler. The calendar queue exploits the fact that simulation events
+//! are overwhelmingly near-future (link serializations, per-hop delays) and
+//! sorts only what is about to execute:
+//!
+//! * **ready** — a small binary heap holding just the events in the current
+//!   128 ns slot. Only these are ever compared, so the total `(time, seq)`
+//!   order among them is exact — this is what keeps pop order byte-identical
+//!   to the old global heap.
+//! * **wheel** — 8192 slots of 128 ns (≈1 ms horizon), each an *unsorted*
+//!   bucket, indexed by absolute slot number modulo the wheel size, with a
+//!   bitmap for O(words) next-occupied-slot scans. Scheduling is O(1).
+//! * **overflow** — a binary heap for the rare events beyond the horizon
+//!   (RTO-scale timers, pre-scheduled flow starts). Each migrates into the
+//!   wheel when the cursor comes within one rotation of it.
+//!
+//! Pop drains the ready heap; when it empties, the cursor jumps to the next
+//! occupied slot (or the earliest overflow event, whichever is sooner), any
+//! overflow events now within the horizon drop into the wheel, and the new
+//! slot's bucket is dumped into the ready heap. Because an event is only
+//! ever bucketed by a slot ≥ the cursor (scheduling into the past is
+//! clamped), every event is heapified exactly once, in its final slot.
+//!
+//! The old single-heap implementation survives as a `#[cfg(test)]` oracle;
+//! an equivalence proptest checks the two produce identical `(time, seq,
+//! payload)` pop sequences on random schedules, including same-timestamp
+//! ties and far-future overflow events.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -47,6 +79,19 @@ impl<E> Ord for ScheduledEvent<E> {
     }
 }
 
+/// log2 of the slot width: 128 ns per slot, finer than any link delay in
+/// the fat-tree configs (1 µs) so back-to-back hops land in distinct slots.
+const SLOT_NS_SHIFT: u64 = 7;
+/// log2 of the slot count: 8192 slots × 128 ns ≈ 1.05 ms horizon, wide
+/// enough that only RTO-scale timers and pre-scheduled flow starts overflow.
+const SLOT_BITS: u64 = 13;
+/// Number of wheel slots (power of two so modulo is a mask).
+const NSLOTS: u64 = 1 << SLOT_BITS;
+/// Ring-index mask.
+const SLOT_MASK: u64 = NSLOTS - 1;
+/// Bitmap words covering the wheel.
+const BITMAP_WORDS: usize = (NSLOTS / 64) as usize;
+
 /// A deterministic discrete-event calendar.
 ///
 /// Invariants:
@@ -56,7 +101,18 @@ impl<E> Ord for ScheduledEvent<E> {
 ///   (in release it clamps to "now", which keeps long batch sweeps alive).
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<ScheduledEvent<E>>,
+    /// Events in the current slot, fully ordered by `(time, seq)`.
+    ready: BinaryHeap<ScheduledEvent<E>>,
+    /// Unsorted near-future buckets; index = absolute slot & `SLOT_MASK`.
+    slots: Vec<Vec<ScheduledEvent<E>>>,
+    /// One bit per wheel slot: bucket non-empty.
+    occupied: [u64; BITMAP_WORDS],
+    /// Events at least one rotation ahead of the cursor.
+    overflow: BinaryHeap<ScheduledEvent<E>>,
+    /// Absolute slot number of `now` (not wrapped).
+    cursor: u64,
+    /// Pending events across ready + wheel + overflow.
+    pending: usize,
     next_seq: u64,
     now: SimTime,
     popped: u64,
@@ -72,19 +128,19 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty calendar positioned at t = 0.
     pub fn new() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
-            now: SimTime::ZERO,
-            popped: 0,
-            peak_len: 0,
-        }
+        Self::with_capacity(0)
     }
 
-    /// Creates an empty calendar with pre-allocated capacity.
+    /// Creates an empty calendar with pre-allocated capacity (spread over
+    /// the ready and overflow heaps; wheel buckets grow on demand).
     pub fn with_capacity(cap: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::with_capacity(cap),
+            ready: BinaryHeap::with_capacity(cap / 2),
+            slots: (0..NSLOTS).map(|_| Vec::new()).collect(),
+            occupied: [0u64; BITMAP_WORDS],
+            overflow: BinaryHeap::with_capacity(cap / 2),
+            cursor: 0,
+            pending: 0,
             next_seq: 0,
             now: SimTime::ZERO,
             popped: 0,
@@ -99,12 +155,12 @@ impl<E> EventQueue<E> {
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.pending
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.pending == 0
     }
 
     /// Total number of events executed so far.
@@ -116,6 +172,26 @@ impl<E> EventQueue<E> {
     /// calendar's memory high-water mark, reported by run manifests).
     pub fn peak_len(&self) -> usize {
         self.peak_len
+    }
+
+    #[inline]
+    fn slot_of(t: SimTime) -> u64 {
+        t.as_nanos() >> SLOT_NS_SHIFT
+    }
+
+    #[inline]
+    fn bit_is_set(&self, ring: usize) -> bool {
+        self.occupied[ring / 64] & (1u64 << (ring % 64)) != 0
+    }
+
+    #[inline]
+    fn set_bit(&mut self, ring: usize) {
+        self.occupied[ring / 64] |= 1u64 << (ring % 64);
+    }
+
+    #[inline]
+    fn clear_bit(&mut self, ring: usize) {
+        self.occupied[ring / 64] &= !(1u64 << (ring % 64));
     }
 
     /// Schedules `payload` at absolute time `at`.
@@ -131,12 +207,22 @@ impl<E> EventQueue<E> {
         let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(ScheduledEvent {
+        let ev = ScheduledEvent {
             time: at,
             seq,
             payload,
-        });
-        self.peak_len = self.peak_len.max(self.heap.len());
+        };
+        let slot = Self::slot_of(at);
+        debug_assert!(slot >= self.cursor, "slot behind the cursor");
+        if slot == self.cursor {
+            self.ready.push(ev);
+        } else if slot - self.cursor < NSLOTS {
+            self.put_in_wheel(slot, ev);
+        } else {
+            self.overflow.push(ev);
+        }
+        self.pending += 1;
+        self.peak_len = self.peak_len.max(self.pending);
         seq
     }
 
@@ -145,25 +231,196 @@ impl<E> EventQueue<E> {
         self.schedule_at(self.now + delay, payload)
     }
 
+    #[inline]
+    fn put_in_wheel(&mut self, slot: u64, ev: ScheduledEvent<E>) {
+        let ring = (slot & SLOT_MASK) as usize;
+        self.slots[ring].push(ev);
+        self.set_bit(ring);
+    }
+
     /// Pops the next event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
-        let ev = self.heap.pop()?;
-        debug_assert!(ev.time >= self.now, "heap produced an out-of-order event");
+        if self.ready.is_empty() {
+            if self.pending == 0 {
+                return None;
+            }
+            self.advance();
+        }
+        let ev = self.ready.pop().expect("advance refilled the ready heap");
+        debug_assert!(ev.time >= self.now, "calendar produced an out-of-order event");
+        self.pending -= 1;
         self.now = ev.time;
         self.popped += 1;
         Some(ev)
     }
 
+    /// Jumps the cursor to the next slot holding events and refills the
+    /// ready heap from it. Precondition: ready empty, `pending > 0`.
+    fn advance(&mut self) {
+        let next_wheel = self.next_occupied_after(self.cursor);
+        let next_over = self.overflow.peek().map(|e| Self::slot_of(e.time));
+        let target = match (next_wheel, next_over) {
+            (Some(w), Some(o)) => w.min(o),
+            (Some(w), None) => w,
+            (None, Some(o)) => o,
+            (None, None) => unreachable!("pending > 0 but no occupied slot"),
+        };
+        self.cursor = target;
+        // Overflow events now within one rotation drop into the wheel (or
+        // straight into ready, for the slot being opened).
+        while let Some(top) = self.overflow.peek() {
+            let slot = Self::slot_of(top.time);
+            if slot >= target + NSLOTS {
+                break;
+            }
+            let ev = self.overflow.pop().expect("peeked");
+            if slot == target {
+                self.ready.push(ev);
+            } else {
+                self.put_in_wheel(slot, ev);
+            }
+        }
+        // Dump the target bucket; the bucket keeps its allocation for reuse.
+        let ring = (target & SLOT_MASK) as usize;
+        if self.bit_is_set(ring) {
+            self.clear_bit(ring);
+            let mut bucket = std::mem::take(&mut self.slots[ring]);
+            for ev in bucket.drain(..) {
+                self.ready.push(ev);
+            }
+            self.slots[ring] = bucket;
+        }
+        debug_assert!(!self.ready.is_empty(), "advance chose an empty slot");
+    }
+
+    /// The next occupied wheel slot strictly after `cur`, as an absolute
+    /// slot number. The cursor's own bit is always clear (its bucket lives
+    /// in the ready heap), so a full circular scan is safe.
+    fn next_occupied_after(&self, cur: u64) -> Option<u64> {
+        let cur_ring = (cur & SLOT_MASK) as usize;
+        let ring = self
+            .scan_bits(cur_ring + 1, NSLOTS as usize)
+            .or_else(|| self.scan_bits(0, cur_ring))?;
+        let dist = if ring > cur_ring {
+            (ring - cur_ring) as u64
+        } else {
+            ring as u64 + NSLOTS - cur_ring as u64
+        };
+        Some(cur + dist)
+    }
+
+    /// First set bit with ring index in `[lo, hi)`.
+    fn scan_bits(&self, lo: usize, hi: usize) -> Option<usize> {
+        if lo >= hi {
+            return None;
+        }
+        let mut w = lo / 64;
+        let last_w = (hi - 1) / 64;
+        let mut word = self.occupied[w] & (!0u64 << (lo % 64));
+        loop {
+            if w == last_w {
+                let keep = hi - w * 64; // 1..=64
+                if keep < 64 {
+                    word &= (1u64 << keep) - 1;
+                }
+            }
+            if word != 0 {
+                return Some(w * 64 + word.trailing_zeros() as usize);
+            }
+            if w == last_w {
+                return None;
+            }
+            w += 1;
+            word = self.occupied[w];
+        }
+    }
+
     /// The timestamp of the next pending event without popping it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        if let Some(e) = self.ready.peek() {
+            return Some(e.time);
+        }
+        if self.pending == 0 {
+            return None;
+        }
+        let over = self.overflow.peek().map(|e| e.time);
+        match self.next_occupied_after(self.cursor) {
+            Some(w) if over.is_none_or(|t| Self::slot_of(t) >= w) => {
+                // Earliest event is in wheel slot `w` (an overflow event in
+                // the same slot may still be sooner — compare times).
+                let ring = (w & SLOT_MASK) as usize;
+                let bucket_min = self.slots[ring]
+                    .iter()
+                    .map(|e| e.time)
+                    .min()
+                    .expect("occupied bit set on an empty bucket");
+                match over {
+                    Some(t) if Self::slot_of(t) == w => Some(bucket_min.min(t)),
+                    _ => Some(bucket_min),
+                }
+            }
+            _ => over,
+        }
+    }
+}
+
+/// The original single-binary-heap calendar, kept as a test oracle: the
+/// timing wheel must reproduce its pop order event-for-event.
+#[cfg(test)]
+pub(crate) mod oracle {
+    use super::*;
+
+    /// Reference implementation with the same scheduling semantics.
+    #[derive(Debug, Default)]
+    pub struct HeapQueue<E> {
+        heap: BinaryHeap<ScheduledEvent<E>>,
+        next_seq: u64,
+        now: SimTime,
+    }
+
+    impl<E> HeapQueue<E> {
+        pub fn new() -> Self {
+            HeapQueue {
+                heap: BinaryHeap::new(),
+                next_seq: 0,
+                now: SimTime::ZERO,
+            }
+        }
+
+        pub fn schedule_at(&mut self, at: SimTime, payload: E) -> u64 {
+            let at = at.max(self.now);
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.heap.push(ScheduledEvent {
+                time: at,
+                seq,
+                payload,
+            });
+            seq
+        }
+
+        pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+            let ev = self.heap.pop()?;
+            self.now = ev.time;
+            Some(ev)
+        }
+
+        pub fn peek_time(&self) -> Option<SimTime> {
+            self.heap.peek().map(|e| e.time)
+        }
+
+        pub fn now(&self) -> SimTime {
+            self.now
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::oracle::HeapQueue;
     use super::*;
     use crate::time::SimDuration;
+    use proptest::prelude::*;
 
     #[test]
     fn pops_in_time_order() {
@@ -242,5 +499,101 @@ mod tests {
         q.schedule_at(SimTime::from_nanos(10), ());
         assert_eq!(q.peek_time(), Some(SimTime::from_nanos(10)));
         assert_eq!(q.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn events_beyond_the_wheel_horizon_pop_in_order() {
+        // > 1 ms deltas force the overflow path; interleave with near events.
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_millis(50), "far");
+        q.schedule_at(SimTime::from_nanos(10), "near");
+        q.schedule_at(SimTime::from_millis(3), "mid");
+        q.schedule_at(SimTime::from_millis(50), "far2"); // same-time tie
+        assert_eq!(q.pop().unwrap().payload, "near");
+        q.schedule_at(SimTime::from_millis(2), "mid0");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec!["mid0", "mid", "far", "far2"]);
+        assert_eq!(q.now(), SimTime::from_millis(50));
+    }
+
+    #[test]
+    fn wheel_wraps_across_many_rotations() {
+        // March the cursor across >> NSLOTS slots with a sparse event train.
+        let mut q = EventQueue::new();
+        let step = SimDuration::from_nanos(900_000); // ~0.9 ms, near-horizon
+        let mut expect = Vec::new();
+        q.schedule_at(SimTime::ZERO, 0u32);
+        for i in 1..40 {
+            let at = SimTime::from_nanos(i as u64 * step.as_nanos());
+            q.schedule_at(at, i);
+        }
+        for i in 0..40u32 {
+            expect.push(i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, expect);
+    }
+
+    /// Replays one op tape against both calendars and compares every
+    /// observable: peek, pop sequence (time, seq, payload), now.
+    fn check_equivalence(ops: &[(u16, u8)]) {
+        let mut wheel = EventQueue::new();
+        let mut heap = HeapQueue::new();
+        let mut next_payload = 0u32;
+        for &(offset, op) in ops {
+            if op % 4 == 0 {
+                // Pop from both; compare the full event identity.
+                let a = wheel.pop();
+                let b = heap.pop();
+                match (a, b) {
+                    (None, None) => {}
+                    (Some(x), Some(y)) => {
+                        assert_eq!((x.time, x.seq, x.payload), (y.time, y.seq, y.payload));
+                        assert_eq!(wheel.now(), heap.now());
+                    }
+                    (a, b) => panic!("pop divergence: {a:?} vs {b:?}"),
+                }
+            } else {
+                // Shifted offsets reach from same-slot ties (shift 0) to far
+                // past the wheel horizon (65535 << 11 ≈ 134 ms).
+                let delta = (offset as u64) << (op % 12);
+                let at = SimTime::from_nanos(wheel.now().as_nanos() + delta);
+                let sa = wheel.schedule_at(at, next_payload);
+                let sb = heap.schedule_at(at, next_payload);
+                assert_eq!(sa, sb);
+                next_payload += 1;
+            }
+            assert_eq!(wheel.peek_time(), heap.peek_time());
+        }
+        // Drain both to the end.
+        loop {
+            match (wheel.pop(), heap.pop()) {
+                (None, None) => break,
+                (Some(x), Some(y)) => {
+                    assert_eq!((x.time, x.seq, x.payload), (y.time, y.seq, y.payload))
+                }
+                (a, b) => panic!("drain divergence: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn equivalence_on_dense_ties() {
+        // Many zero and tiny offsets: every tie-breaking path.
+        let ops: Vec<(u16, u8)> = (0..400)
+            .map(|i| ((i % 3) as u16, (i % 7) as u8))
+            .collect();
+        check_equivalence(&ops);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn wheel_matches_heap_oracle(
+            ops in proptest::collection::vec((any::<u16>(), any::<u8>()), 0..300)
+        ) {
+            check_equivalence(&ops);
+        }
     }
 }

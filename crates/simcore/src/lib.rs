@@ -4,8 +4,11 @@
 //! small, deterministic, single-threaded event engine:
 //!
 //! * [`SimTime`] / [`SimDuration`] — virtual time with nanosecond resolution.
-//! * [`EventQueue`] — a calendar built on a binary heap with stable FIFO
-//!   ordering among simultaneous events, so runs are bit-for-bit repeatable.
+//! * [`EventQueue`] — a timing-wheel calendar with stable FIFO ordering
+//!   among simultaneous events, so runs are bit-for-bit repeatable.
+//! * [`FxHashMap`] / [`FxHashSet`] — seedless deterministic fast hashing
+//!   for hot per-packet maps (std's SipHash + random seed is the wrong
+//!   trade inside a simulator).
 //! * [`TimerWheel`] — cancellable timers layered on top of the calendar
 //!   (used by TCP retransmission and the control plane).
 //! * [`SimRng`] — a seedable, splittable pseudo-random stream so that every
@@ -31,12 +34,14 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod hash;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod timer;
 
 pub use event::{EventQueue, ScheduledEvent};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
 pub use timer::{TimerHandle, TimerWheel};

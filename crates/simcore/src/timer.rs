@@ -6,8 +6,7 @@
 //! generation is stale is a no-op. This is the classic approach used by
 //! production event loops — O(1) cancel, no heap surgery.
 
-use std::collections::HashMap;
-
+use crate::hash::FxHashMap;
 use crate::time::SimTime;
 
 /// Identifies one logical timer that may be armed, rearmed and cancelled.
@@ -35,7 +34,7 @@ struct TimerState {
 /// simulator store timer tokens inside its own event enum.
 #[derive(Debug, Default)]
 pub struct TimerWheel {
-    timers: HashMap<TimerHandle, TimerState>,
+    timers: FxHashMap<TimerHandle, TimerState>,
     next_id: u32,
 }
 

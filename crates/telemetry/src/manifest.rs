@@ -44,6 +44,9 @@ pub struct RunManifest {
     pub events_per_sec: f64,
     /// Peak calendar-queue length during the run.
     pub peak_queue: u64,
+    /// Peak in-flight packets in the arena — the allocations the run
+    /// avoided by reusing slots (0 for analytic steps).
+    pub peak_arena: u64,
     /// Whether event tracing was on (overhead context for events/sec).
     pub telemetry_enabled: bool,
 }
@@ -66,6 +69,7 @@ impl RunManifest {
             .u64("events_processed", self.events_processed)
             .f64("events_per_sec", self.events_per_sec)
             .u64("peak_queue", self.peak_queue)
+            .u64("peak_arena", self.peak_arena)
             .bool("telemetry_enabled", self.telemetry_enabled);
         o.finish()
     }
@@ -117,6 +121,7 @@ mod tests {
             events_processed: 1000,
             events_per_sec: 4000.0,
             peak_queue: 42,
+            peak_arena: 7,
             telemetry_enabled: false,
         }
     }

@@ -1,8 +1,7 @@
 //! Nodes, directed links, and the topology container.
 
-use std::collections::HashMap;
-
 use serde::{Deserialize, Serialize};
+use sv2p_simcore::FxHashMap;
 use sv2p_packet::Pip;
 
 /// Index of a node (server, gateway, or switch) in the topology.
@@ -123,8 +122,8 @@ pub struct Topology {
     pub links: Vec<DirectedLink>,
     /// Egress ports of each node.
     pub out_links: Vec<Vec<LinkId>>,
-    adjacency: HashMap<(NodeId, NodeId), LinkId>,
-    pip_to_node: HashMap<Pip, NodeId>,
+    adjacency: FxHashMap<(NodeId, NodeId), LinkId>,
+    pip_to_node: FxHashMap<Pip, NodeId>,
 }
 
 impl Topology {

@@ -11,7 +11,7 @@
 //! addressed to a switch, §3.3), which adds a few down-then-up cases that
 //! plain host-to-host routing never exercises.
 
-use std::collections::HashMap;
+use sv2p_simcore::FxHashMap;
 
 use crate::fattree::FatTreeConfig;
 use crate::graph::{LinkId, NodeId, NodeKind, Topology};
@@ -20,7 +20,7 @@ use crate::graph::{LinkId, NodeId, NodeKind, Topology};
 #[derive(Debug, Clone)]
 pub struct Routing {
     /// ToR of each (pod, rack).
-    tor: HashMap<(u16, u16), NodeId>,
+    tor: FxHashMap<(u16, u16), NodeId>,
     /// Spines of each pod, by index.
     spines: Vec<Vec<NodeId>>,
     /// Core switches by index.
@@ -33,7 +33,7 @@ pub struct Routing {
 impl Routing {
     /// Builds the router for `topo` produced by `config.build()`.
     pub fn new(config: &FatTreeConfig, topo: &Topology) -> Self {
-        let mut tor = HashMap::new();
+        let mut tor = FxHashMap::default();
         let mut spines = vec![Vec::new(); config.pods as usize];
         let mut cores = vec![NodeId(0); config.cores as usize];
         for n in &topo.nodes {
@@ -75,15 +75,31 @@ impl Routing {
     /// The equal-cost egress links from `at` toward `dst` (empty iff
     /// `at == dst`).
     pub fn candidates(&self, topo: &Topology, at: NodeId, dst: NodeId) -> Vec<LinkId> {
+        let mut out = Vec::new();
+        self.candidates_into(topo, at, dst, &mut out);
+        out
+    }
+
+    /// [`Self::candidates`] into a caller-owned buffer — the hot path's
+    /// variant. Clears `out` first; a reused scratch `Vec` makes per-hop
+    /// routing allocation-free after warm-up.
+    pub fn candidates_into(
+        &self,
+        topo: &Topology,
+        at: NodeId,
+        dst: NodeId,
+        out: &mut Vec<LinkId>,
+    ) {
+        out.clear();
         if at == dst {
-            return Vec::new();
+            return;
         }
         let at_kind = topo.node(at).kind;
         let dst_kind = topo.node(dst).kind;
         match at_kind {
             NodeKind::Server { .. } | NodeKind::Gateway { .. } => {
                 let tor = self.tor_of(topo, at);
-                vec![topo.link_between(at, tor).expect("host uplink")]
+                out.push(topo.link_between(at, tor).expect("host uplink"));
             }
             NodeKind::Tor { pod, rack } => {
                 // Directly attached host?
@@ -91,28 +107,33 @@ impl Routing {
                     NodeKind::Server {
                         pod: dp, rack: dr, ..
                     } if dp == pod && dr == rack => {
-                        return vec![topo.link_between(at, dst).expect("rack downlink")];
+                        out.push(topo.link_between(at, dst).expect("rack downlink"));
+                        return;
                     }
                     NodeKind::Gateway { pod: dp, .. }
                         if dp == pod && rack == self.racks_per_pod - 1 =>
                     {
-                        return vec![topo.link_between(at, dst).expect("gateway downlink")];
+                        out.push(topo.link_between(at, dst).expect("gateway downlink"));
+                        return;
                     }
                     NodeKind::Spine { pod: dp, .. } if dp == pod => {
-                        return vec![topo.link_between(at, dst).expect("pod spine uplink")];
+                        out.push(topo.link_between(at, dst).expect("pod spine uplink"));
+                        return;
                     }
                     NodeKind::Core { idx } => {
                         // Only the spine of group idx/m reaches that core.
                         let sp = self.spines[pod as usize][(idx / self.m) as usize];
-                        return vec![topo.link_between(at, sp).expect("spine uplink")];
+                        out.push(topo.link_between(at, sp).expect("spine uplink"));
+                        return;
                     }
                     _ => {}
                 }
                 // Anywhere else: up to any spine of the pod.
-                self.spines[pod as usize]
-                    .iter()
-                    .map(|&sp| topo.link_between(at, sp).expect("spine uplink"))
-                    .collect()
+                out.extend(
+                    self.spines[pod as usize]
+                        .iter()
+                        .map(|&sp| topo.link_between(at, sp).expect("spine uplink")),
+                );
             }
             NodeKind::Spine { pod, idx } => {
                 match dst_kind {
@@ -121,43 +142,42 @@ impl Routing {
                         pod: dp, rack: dr, ..
                     } if dp == pod => {
                         let tor = self.tor[&(dp, dr)];
-                        vec![topo.link_between(at, tor).expect("tor downlink")]
+                        out.push(topo.link_between(at, tor).expect("tor downlink"));
                     }
                     NodeKind::Gateway { pod: dp, .. } if dp == pod => {
                         let tor = self.tor[&(dp, self.racks_per_pod - 1)];
-                        vec![topo.link_between(at, tor).expect("tor downlink")]
+                        out.push(topo.link_between(at, tor).expect("tor downlink"));
                     }
                     NodeKind::Tor { pod: dp, rack: dr } if dp == pod => {
-                        vec![topo.link_between(at, self.tor[&(dp, dr)]).expect("tor link")]
+                        out.push(
+                            topo.link_between(at, self.tor[&(dp, dr)]).expect("tor link"),
+                        );
                     }
                     // A sibling spine: bounce through any ToR below.
-                    NodeKind::Spine { pod: dp, .. } if dp == pod => (0..self.racks_per_pod)
-                        .map(|r| {
+                    NodeKind::Spine { pod: dp, .. } if dp == pod => out.extend(
+                        (0..self.racks_per_pod).map(|r| {
                             topo.link_between(at, self.tor[&(pod, r)]).expect("tor link")
-                        })
-                        .collect(),
+                        }),
+                    ),
                     // A core I connect to directly; otherwise bounce down.
                     NodeKind::Core { idx: c } => {
                         if c / self.m == idx {
-                            vec![topo
-                                .link_between(at, self.cores[c as usize])
-                                .expect("core uplink")]
+                            out.push(
+                                topo.link_between(at, self.cores[c as usize])
+                                    .expect("core uplink"),
+                            );
                         } else {
-                            (0..self.racks_per_pod)
-                                .map(|r| {
-                                    topo.link_between(at, self.tor[&(pod, r)])
-                                        .expect("tor link")
-                                })
-                                .collect()
+                            out.extend((0..self.racks_per_pod).map(|r| {
+                                topo.link_between(at, self.tor[&(pod, r)])
+                                    .expect("tor link")
+                            }));
                         }
                     }
                     // Another pod: up to my core group.
-                    _ => (0..self.m)
-                        .map(|j| {
-                            let c = self.cores[(idx * self.m + j) as usize];
-                            topo.link_between(at, c).expect("core uplink")
-                        })
-                        .collect(),
+                    _ => out.extend((0..self.m).map(|j| {
+                        let c = self.cores[(idx * self.m + j) as usize];
+                        topo.link_between(at, c).expect("core uplink")
+                    })),
                 }
             }
             NodeKind::Core { idx } => {
@@ -166,19 +186,16 @@ impl Routing {
                 match dst_kind.pod() {
                     Some(p) => {
                         let sp = self.spines[p as usize][group as usize];
-                        vec![topo.link_between(at, sp).expect("spine downlink")]
+                        out.push(topo.link_between(at, sp).expect("spine downlink"));
                     }
                     None => {
                         // Core-to-core: descend into some pod and re-ascend.
                         // Rare (only mis-addressed control traffic); pick every
                         // pod's group spine as candidates.
-                        self.spines
-                            .iter()
-                            .map(|pod_spines| {
-                                topo.link_between(at, pod_spines[group as usize])
-                                    .expect("spine downlink")
-                            })
-                            .collect()
+                        out.extend(self.spines.iter().map(|pod_spines| {
+                            topo.link_between(at, pod_spines[group as usize])
+                                .expect("spine downlink")
+                        }));
                     }
                 }
             }
@@ -209,9 +226,25 @@ impl Routing {
         key: u64,
         usable: &dyn Fn(LinkId) -> bool,
     ) -> Option<LinkId> {
-        let mut c = self.candidates(topo, at, dst);
-        c.retain(|&l| usable(l));
-        if c.is_empty() {
+        let mut scratch = Vec::new();
+        self.next_link_filtered_into(topo, at, dst, key, usable, &mut scratch)
+    }
+
+    /// [`Self::next_link_filtered`] using a caller-owned candidate buffer,
+    /// so the per-hop ECMP decision allocates nothing once the scratch has
+    /// grown to the widest group.
+    pub fn next_link_filtered_into(
+        &self,
+        topo: &Topology,
+        at: NodeId,
+        dst: NodeId,
+        key: u64,
+        usable: &dyn Fn(LinkId) -> bool,
+        scratch: &mut Vec<LinkId>,
+    ) -> Option<LinkId> {
+        self.candidates_into(topo, at, dst, scratch);
+        scratch.retain(|&l| usable(l));
+        if scratch.is_empty() {
             None
         } else {
             // Mix the switch id into the hash, as real ASICs seed their ECMP
@@ -222,7 +255,7 @@ impl Routing {
             h ^= h >> 33;
             h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
             h ^= h >> 33;
-            Some(c[(h % c.len() as u64) as usize])
+            Some(scratch[(h % scratch.len() as u64) as usize])
         }
     }
 

@@ -4,14 +4,13 @@
 //! read it on every translation. In-network caches are *not* kept coherent
 //! with it — that is the whole point of the paper's lazy invalidation design.
 
-use std::collections::HashMap;
-
 use sv2p_packet::{Pip, Vip};
+use sv2p_simcore::FxHashMap;
 
 /// The authoritative virtual-to-physical mapping table.
 #[derive(Debug, Clone, Default)]
 pub struct MappingDb {
-    map: HashMap<Vip, Pip>,
+    map: FxHashMap<Vip, Pip>,
     /// Bumped on every update; lets tests and metrics distinguish
     /// reads-after-write from stale cache serving.
     epoch: u64,

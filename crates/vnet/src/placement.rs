@@ -7,9 +7,8 @@
 //! `i / vms_per_server` — uniform draws over VIPs then spread uniformly over
 //! servers and racks.
 
-use std::collections::HashMap;
-
 use sv2p_packet::{Pip, Vip};
+use sv2p_simcore::FxHashMap;
 use sv2p_topology::{NodeId, Topology};
 
 /// Where every VM lives.
@@ -21,7 +20,7 @@ pub struct Placement {
     pub pips: Vec<Pip>,
     /// Host node of each VM, parallel to `vips`.
     pub nodes: Vec<NodeId>,
-    vip_index: HashMap<Vip, usize>,
+    vip_index: FxHashMap<Vip, usize>,
 }
 
 /// Base of the VIP number space (dotted "20.0.0.0"); VM *i* is `VIP_BASE + i`.
@@ -35,7 +34,7 @@ impl Placement {
         let mut vips = Vec::new();
         let mut pips = Vec::new();
         let mut nodes = Vec::new();
-        let mut vip_index = HashMap::new();
+        let mut vip_index = FxHashMap::default();
         for server in topo.servers() {
             for _ in 0..vms_per_server {
                 let vip = Vip(VIP_BASE + vips.len() as u32);

@@ -1,13 +1,20 @@
 #!/bin/sh
+# Re-runs the subset of experiments that are sensitive to tuning changes.
+#
+# Extra arguments are forwarded verbatim to every binary through the
+# shared bench CLI (crates/bench/src/cli.rs) — the same `--seed N`,
+# `--full` and `--telemetry DIR` flags run_all.sh takes:
+#
+#   ./rerun_tuned.sh --seed 7 --telemetry results/telemetry
 set -x
 cd "$(dirname "$0")"
 B=./target/release
-$B/fig5 microbursts > results/fig5b_microbursts.txt 2>&1
-$B/table4 > results/table4.txt 2>&1
-$B/table5 > results/table5.txt 2>&1
-$B/fig7 > results/fig7_fig8.txt 2>&1
-$B/fig9 > results/fig9.txt 2>&1
-$B/fig10 > results/fig10.txt 2>&1
-$B/ablations > results/ablations.txt 2>&1
-$B/tracegen all > results/trace_characteristics.txt 2>&1
+$B/fig5 microbursts "$@" > results/fig5b_microbursts.txt 2>&1
+$B/table4 "$@" > results/table4.txt 2>&1
+$B/table5 "$@" > results/table5.txt 2>&1
+$B/fig7 "$@" > results/fig7_fig8.txt 2>&1
+$B/fig9 "$@" > results/fig9.txt 2>&1
+$B/fig10 "$@" > results/fig10.txt 2>&1
+$B/ablations "$@" > results/ablations.txt 2>&1
+$B/tracegen all "$@" > results/trace_characteristics.txt 2>&1
 echo RERUN_DONE

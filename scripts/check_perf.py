@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the CI perf-smoke job.
+
+Usage: check_perf.py COMMITTED.json FRESH.json [MIN_RATIO]
+
+Both files are `sv2p-perfbench/v1` baselines (see EXPERIMENTS.md for the
+schema). For every (workload, strategy) cell present in both, the fresh
+run must reach at least MIN_RATIO (default 0.5) of the committed
+events/sec; otherwise the script prints the offending cells and exits 1.
+
+The 0.5 floor is deliberately loose: CI runners are noisy and shared, so
+the gate only catches order-of-magnitude regressions (an accidental debug
+build, a hot-path data structure going quadratic), not few-percent drift.
+"""
+
+import json
+import sys
+
+
+def cells(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "sv2p-perfbench/v1":
+        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return {(c["workload"], c["strategy"]): c for c in doc["cells"]}
+
+
+def main():
+    if len(sys.argv) not in (3, 4):
+        sys.exit(__doc__)
+    committed = cells(sys.argv[1])
+    fresh = cells(sys.argv[2])
+    min_ratio = float(sys.argv[3]) if len(sys.argv) == 4 else 0.5
+
+    compared = 0
+    failures = []
+    for key, base in sorted(committed.items()):
+        now = fresh.get(key)
+        if now is None:
+            failures.append(f"{key}: missing from fresh run")
+            continue
+        compared += 1
+        ratio = now["events_per_sec"] / max(base["events_per_sec"], 1e-9)
+        status = "ok" if ratio >= min_ratio else "FAIL"
+        print(
+            f"{status:4} {key[0]:<14} {key[1]:<10} "
+            f"{base['events_per_sec']:>12.0f} -> {now['events_per_sec']:>12.0f} ev/s "
+            f"({ratio:.2f}x, floor {min_ratio:.2f}x)"
+        )
+        if ratio < min_ratio:
+            failures.append(
+                f"{key}: {now['events_per_sec']:.0f} ev/s is below "
+                f"{min_ratio:.2f}x of committed {base['events_per_sec']:.0f} ev/s"
+            )
+
+    if compared == 0:
+        failures.append("no comparable cells between the two baselines")
+    if failures:
+        print("\nperf-smoke failed:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        sys.exit(1)
+    print(f"\nperf-smoke ok: {compared} cell(s) within budget")
+
+
+if __name__ == "__main__":
+    main()
