@@ -14,7 +14,7 @@ use sv2p_baselines::{Controller, ControllerDriver};
 use sv2p_bench::cli;
 use sv2p_bench::harness::{run_spec, to_flow_specs, ExperimentSpec, StrategyKind};
 use sv2p_bench::Scale;
-use sv2p_netsim::{SimConfig, Simulation};
+use sv2p_netsim::{Engine, SimConfig};
 use sv2p_simcore::{SimDuration, SimTime};
 use sv2p_topology::NodeId;
 use sv2p_traces::websearch;
@@ -38,8 +38,8 @@ fn run_controller(
         telemetry: cli::telemetry_cfg(),
         ..SimConfig::default()
     };
-    let mut sim = Simulation::new(cfg, &ft, &strategy, total_entries, 80);
-    let n_vms = sim.placement.len();
+    let mut sim = Engine::new(cfg, &ft, &strategy, total_entries, 80, cli::args().shards());
+    let n_vms = sim.placement().len();
     let specs = to_flow_specs(&websearch(&scale.websearch()), n_vms);
     let expected_flows = specs.len();
     sim.add_flows(specs);
@@ -57,16 +57,16 @@ fn run_controller(
     loop {
         t += period;
         sim.run_until(t);
-        if sim.metrics.flows_completed() >= expected_flows {
+        if sim.metrics().flows_completed() >= expected_flows {
             break;
         }
         let plan = {
-            let tm = sim.traffic_matrix().clone();
+            let tm = sim.traffic_matrix();
             driver.plan(
                 sim.topology(),
                 sim.routing(),
                 &dir,
-                &sim.placement,
+                sim.placement(),
                 &tm,
                 &switch_nodes,
             )

@@ -13,7 +13,7 @@
 use sv2p_bench::cli;
 use sv2p_bench::harness::{drop_breakdown, ExperimentSpec, StrategyKind};
 use sv2p_netsim::faults::{FaultEvent, FaultPlan};
-use sv2p_netsim::Simulation;
+use sv2p_netsim::Engine;
 use sv2p_simcore::{SimDuration, SimTime};
 use sv2p_topology::{FatTreeConfig, LinkId, SwitchRole};
 use sv2p_traces::{FlowProfile, TraceFlow};
@@ -46,7 +46,7 @@ fn base_spec(strategy: StrategyKind, scenario: &str) -> ExperimentSpec {
 
 /// Builds the scenario's fault plan against a concrete simulation instance
 /// (node/link ids are topology-dependent).
-fn plan_for(scenario: &str, sim: &Simulation) -> FaultPlan {
+fn plan_for(scenario: &str, sim: &Engine) -> FaultPlan {
     let at = SimTime::from_micros(FAULT_AT_US);
     let end = SimTime::from_micros(FAULT_END_US);
     match scenario {
@@ -135,7 +135,7 @@ fn run_scenario(scenario: &str, strategy: StrategyKind) {
     let s = sim.summary();
     cli::record_run(&spec, &sim, &s, wall);
     let r = sim
-        .metrics
+        .metrics()
         .recovery_report(
             SimTime::from_micros(FAULT_AT_US),
             SimTime::from_micros(FAULT_END_US),

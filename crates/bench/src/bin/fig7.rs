@@ -42,7 +42,10 @@ fn main() {
         let start = std::time::Instant::now();
         sim.run();
         let wall = start.elapsed().as_secs_f64();
-        let pods: Vec<u64> = (0..8).map(|p| sim.metrics.pod_bytes(p)).collect();
+        // Summarize first: the sharded engine folds shard-local byte
+        // counters into the master metrics during finalization.
+        let summary = sim.summary();
+        let pods: Vec<u64> = (0..8).map(|p| sim.metrics().pod_bytes(p)).collect();
         // Pod 8 (index 7) per switch: spines then ToRs then the gateway ToR,
         // matching Figure 8's switch numbering.
         let mut spines = Vec::new();
@@ -63,7 +66,6 @@ fn main() {
         }
         spines.sort();
         tors.sort();
-        let summary = sim.summary();
         cli::record_run(&spec, &sim, &summary, wall);
         per_pod.push((
             s.name(),

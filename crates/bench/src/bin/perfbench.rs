@@ -2,9 +2,12 @@
 //! throughput across {FT8 seed-scale, FT16 seed-scale} topologies and
 //! {NoCache, SwitchV2P, Bluebird} translation schemes.
 //!
-//! Each cell runs the full simulation once and reports events/sec,
-//! wall-clock, peak calendar-queue length and peak packet-arena occupancy
-//! (the allocations proxy), all lifted from the same run-manifest plumbing
+//! Each cell runs the full simulation once per shard count — always on the
+//! single-threaded engine (`shards=1`), and additionally on the pod-sharded
+//! multi-core engine when `--shards N` (N > 1) is given — and reports
+//! events/sec, wall-clock, speedup over the single-threaded run of the same
+//! cell, peak calendar-queue length and peak packet-arena occupancy (summed
+//! across shard arenas), all lifted from the same run-manifest plumbing
 //! every other bench binary uses. The sweep is written to
 //! `BENCH_netsim.json` — committed at the repo root so the perf trajectory
 //! of the reproduction is diffable across commits, and consumed by the CI
@@ -12,7 +15,7 @@
 //! of the committed baseline.
 //!
 //! ```sh
-//! cargo run --release -p sv2p-bench --bin sv2p-perfbench [-- --seed N] [-- --full]
+//! cargo run --release -p sv2p-bench --bin sv2p-perfbench [-- --seed N] [-- --full] [-- --shards N]
 //! ```
 //!
 //! Quick (seed) scale finishes in seconds and is what CI runs; `--full`
@@ -27,15 +30,22 @@ struct Cell {
     workload: &'static str,
     topology: String,
     strategy: &'static str,
+    shards: u64,
     events: u64,
     wall_clock_s: f64,
     events_per_sec: f64,
+    speedup: f64,
     peak_queue: u64,
     peak_arena: u64,
     hit_rate: f64,
 }
 
-fn run_cell(spec: &ExperimentSpec, workload: &'static str, topology: &'static str) -> Cell {
+fn run_cell(
+    spec: &ExperimentSpec,
+    workload: &'static str,
+    topology: &'static str,
+    baseline_eps: Option<f64>,
+) -> Cell {
     let mut sim = spec.build();
     let start = std::time::Instant::now();
     sim.run();
@@ -44,12 +54,16 @@ fn run_cell(spec: &ExperimentSpec, workload: &'static str, topology: &'static st
     cli::record_run(spec, &sim, &s, wall);
     let events = sim.events_executed();
     let eps = events as f64 / wall.max(1e-9);
+    let shards = sim.shards() as u64;
+    let speedup = baseline_eps.map_or(1.0, |base| eps / base.max(1e-9));
     println!(
-        "  {:<12} {:<14} {:>12} events {:>12.0} ev/s  wall {:>7.3}s  peak-q {:>7}  peak-arena {:>6}",
+        "  {:<12} {:<14} x{:<2} {:>12} events {:>12.0} ev/s  speedup {:>5.2}x  wall {:>7.3}s  peak-q {:>7}  peak-arena {:>6}",
         workload,
         spec.strategy.name(),
+        shards,
         events,
         eps,
+        speedup,
         wall,
         sim.peak_queue(),
         sim.peak_arena(),
@@ -58,12 +72,38 @@ fn run_cell(spec: &ExperimentSpec, workload: &'static str, topology: &'static st
         workload,
         topology: topology.to_string(),
         strategy: spec.strategy.name(),
+        shards,
         events,
         wall_clock_s: wall,
         events_per_sec: eps,
+        speedup,
         peak_queue: sim.peak_queue() as u64,
         peak_arena: sim.peak_arena() as u64,
         hit_rate: s.hit_rate,
+    }
+}
+
+/// Runs one (workload, strategy) cell across every shard count and appends
+/// the rows: shards=1 first (the speedup baseline), then the sharded run.
+fn run_shard_rows(
+    cells: &mut Vec<Cell>,
+    spec: &ExperimentSpec,
+    workload: &'static str,
+    topology: &'static str,
+    shard_counts: &[u16],
+) {
+    let mut baseline_eps = None;
+    for &n in shard_counts {
+        let spec = {
+            let mut s = spec.clone();
+            s.shards = n;
+            s
+        };
+        let cell = run_cell(&spec, workload, topology, baseline_eps);
+        if n == 1 {
+            baseline_eps = Some(cell.events_per_sec);
+        }
+        cells.push(cell);
     }
 }
 
@@ -75,11 +115,21 @@ fn main() {
         StrategyKind::SwitchV2P,
         StrategyKind::Bluebird,
     ];
+    // Always measure the single-threaded baseline; add the sharded engine
+    // when --shards N > 1 was given (speedups are relative to shards=1 on
+    // the same host in the same process).
+    let shard_counts: Vec<u16> = if args.shards() > 1 {
+        vec![1, args.shards()]
+    } else {
+        vec![1]
+    };
 
     println!(
-        "Perf baseline sweep ({} scale, seed {})\n",
+        "Perf baseline sweep ({} scale, seed {}, shard counts {:?}, {} host cores)\n",
         cli::scale_str(),
-        args.seed()
+        args.seed(),
+        shard_counts,
+        cli::host_cores(),
     );
 
     let mut cells: Vec<Cell> = Vec::new();
@@ -99,7 +149,7 @@ fn main() {
             .seed(args.seed())
             .label(format!("ft8-hadoop.{}", strategy.name()))
             .build();
-        cells.push(run_cell(&spec, "ft8-hadoop", "ft8-10k"));
+        run_shard_rows(&mut cells, &spec, "ft8-hadoop", "ft8-10k", &shard_counts);
     }
 
     // FT16 seed-scale: the Alibaba trace on the 16-ary fat-tree.
@@ -119,25 +169,28 @@ fn main() {
             .seed(args.seed())
             .label(format!("ft16-alibaba.{}", strategy.name()))
             .build();
-        cells.push(run_cell(&spec, "ft16-alibaba", "ft16-400k"));
+        run_shard_rows(&mut cells, &spec, "ft16-alibaba", "ft16-400k", &shard_counts);
     }
 
     // Compose the baseline file by hand: a header object plus one flat
     // JSON object per cell (the vendored serde is a stub; JsonObj is the
     // workspace-wide serializer).
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"sv2p-perfbench/v1\",\n");
+    out.push_str("{\n  \"schema\": \"sv2p-perfbench/v2\",\n");
     out.push_str(&format!("  \"scale\": \"{}\",\n", cli::scale_str()));
     out.push_str(&format!("  \"seed\": {},\n", args.seed()));
+    out.push_str(&format!("  \"host_cores\": {},\n", cli::host_cores()));
     out.push_str("  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
         let mut obj = JsonObj::new();
         obj.str("workload", c.workload)
             .str("topology", &c.topology)
             .str("strategy", c.strategy)
+            .u64("shards", c.shards)
             .u64("events_processed", c.events)
             .f64("wall_clock_s", c.wall_clock_s)
             .f64("events_per_sec", c.events_per_sec)
+            .f64("speedup", c.speedup)
             .u64("peak_queue", c.peak_queue)
             .u64("peak_arena", c.peak_arena)
             .f64("hit_rate", c.hit_rate);

@@ -11,6 +11,9 @@
 //!
 //! * `--full` — paper-scale parameters (default: quick);
 //! * `--seed N` — RNG seed override (default: 1);
+//! * `--shards N` — run every simulation on the pod-sharded multi-core
+//!   engine with N shards (default: 1, the single-threaded engine; results
+//!   are byte-identical either way);
 //! * `--telemetry DIR` — enable structured tracing and write
 //!   `<label>.events.jsonl` / `<label>.samples.jsonl` per run into DIR.
 //!
@@ -21,7 +24,7 @@ use std::path::{Path, PathBuf};
 use std::sync::{Mutex, OnceLock};
 
 use sv2p_metrics::RunSummary;
-use sv2p_netsim::Simulation;
+use sv2p_netsim::Engine;
 use sv2p_telemetry::manifest::write_manifests;
 use sv2p_telemetry::RunManifest;
 use sv2p_topology::FatTreeConfig;
@@ -38,6 +41,8 @@ pub struct BenchArgs {
     pub dataset: Option<String>,
     /// `--seed N` override.
     pub seed: Option<u64>,
+    /// `--shards N`: run simulations on the sharded engine.
+    pub shards: Option<u16>,
     /// `--telemetry DIR`: trace every run into DIR.
     pub telemetry: Option<PathBuf>,
 }
@@ -48,6 +53,7 @@ impl BenchArgs {
             scale: Scale::Quick,
             dataset: None,
             seed: None,
+            shards: None,
             telemetry: None,
         };
         let mut it = argv.peekable();
@@ -58,6 +64,11 @@ impl BenchArgs {
                     let v = it.next().unwrap_or_else(|| die("--seed needs a value"));
                     out.seed =
                         Some(v.parse().unwrap_or_else(|_| die("--seed needs an integer")));
+                }
+                "--shards" => {
+                    let v = it.next().unwrap_or_else(|| die("--shards needs a value"));
+                    out.shards =
+                        Some(v.parse().unwrap_or_else(|_| die("--shards needs an integer")));
                 }
                 "--telemetry" => {
                     let v = it
@@ -78,6 +89,12 @@ impl BenchArgs {
     /// default every bin hard-coded).
     pub fn seed(&self) -> u64 {
         self.seed.unwrap_or(1)
+    }
+
+    /// The requested shard count: `--shards N` if given, else 1 (the
+    /// single-threaded engine).
+    pub fn shards(&self) -> u16 {
+        self.shards.unwrap_or(1)
     }
 
     /// The dataset selector, defaulting to `fallback`.
@@ -141,6 +158,13 @@ pub fn topology_label(ft: &FatTreeConfig) -> String {
     format!("ft{}p{}r{}s", ft.pods, ft.racks_per_pod, ft.servers_per_rack)
 }
 
+/// Logical cores on this host (manifest context for sharded runs).
+pub fn host_cores() -> u64 {
+    std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(0)
+}
+
 /// Builds a manifest row for a hand-driven simulation.
 #[allow(clippy::too_many_arguments)]
 pub fn manifest_for_sim(
@@ -149,7 +173,7 @@ pub fn manifest_for_sim(
     config: &str,
     seed: u64,
     cache_entries: u64,
-    sim: &Simulation,
+    sim: &Engine,
     summary: &RunSummary,
     wall_clock_s: f64,
 ) -> RunManifest {
@@ -171,12 +195,14 @@ pub fn manifest_for_sim(
         peak_queue: sim.peak_queue() as u64,
         peak_arena: sim.peak_arena() as u64,
         telemetry_enabled: sim.tracer().enabled(),
+        host_cores: host_cores(),
+        shards: sim.shards() as u64,
     }
 }
 
 /// Writes the sim's trace/sample files into the `--telemetry` directory
 /// under `label` (no-op when tracing is off or no directory was given).
-pub fn write_traces(sim: &Simulation, label: &str) {
+pub fn write_traces(sim: &Engine, label: &str) {
     let Some(dir) = telemetry_dir() else { return };
     if !sim.tracer().enabled() {
         return;
@@ -198,7 +224,7 @@ pub fn write_traces(sim: &Simulation, label: &str) {
 /// bins that drive a [`Simulation`] by hand.
 pub fn record_run(
     spec: &ExperimentSpec,
-    sim: &Simulation,
+    sim: &Engine,
     summary: &RunSummary,
     wall_clock_s: f64,
 ) {
@@ -276,6 +302,8 @@ pub fn analytic_manifest(config: &str, wall_clock_s: f64) -> RunManifest {
         peak_queue: 0,
         peak_arena: 0,
         telemetry_enabled: false,
+        host_cores: host_cores(),
+        shards: 1,
     }
 }
 
@@ -289,10 +317,20 @@ mod tests {
 
     #[test]
     fn parses_flags_in_any_order() {
-        let a = parse(&["--telemetry", "out", "hadoop", "--seed", "7", "--full"]);
+        let a = parse(&[
+            "--telemetry",
+            "out",
+            "hadoop",
+            "--seed",
+            "7",
+            "--full",
+            "--shards",
+            "4",
+        ]);
         assert_eq!(a.scale, Scale::Full);
         assert_eq!(a.dataset.as_deref(), Some("hadoop"));
         assert_eq!(a.seed(), 7);
+        assert_eq!(a.shards(), 4);
         assert_eq!(a.telemetry.as_deref(), Some(Path::new("out")));
     }
 
@@ -301,6 +339,7 @@ mod tests {
         let a = parse(&[]);
         assert_eq!(a.scale, Scale::Quick);
         assert_eq!(a.seed(), 1);
+        assert_eq!(a.shards(), 1);
         assert!(a.dataset.is_none());
         assert!(a.telemetry.is_none());
         assert_eq!(a.dataset_or("all"), "all");

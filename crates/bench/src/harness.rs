@@ -1,7 +1,7 @@
 //! Shared experiment machinery.
 
 use sv2p_metrics::RunSummary;
-use sv2p_netsim::{FlowKind, FlowSpec, SimConfig, Simulation};
+use sv2p_netsim::{Engine, FlowKind, FlowSpec, SimConfig};
 use sv2p_simcore::{FxHashMap, SimDuration, SimTime};
 use sv2p_topology::FatTreeConfig;
 use sv2p_traces::{FlowProfile, TraceFlow};
@@ -185,6 +185,9 @@ pub struct ExperimentSpec {
     pub end_of_time_us: Option<u64>,
     /// RNG seed.
     pub seed: u64,
+    /// Shards for the multi-core engine (1 = single-threaded; results are
+    /// byte-identical either way).
+    pub shards: u16,
     /// Short run label (dataset, variant, sweep point); names the run in
     /// manifests and trace files. May be empty.
     pub label: String,
@@ -193,9 +196,10 @@ pub struct ExperimentSpec {
 impl ExperimentSpec {
     /// Starts a spec from its two mandatory inputs; everything else has the
     /// historical defaults (80 VMs/server, no flows, no cache, no
-    /// migrations, no time limit, seed 1, empty label). This is the only
-    /// way bench bins construct specs — field-struct updates on a cloned
-    /// base silently kept stale labels and seeds when new fields grew in.
+    /// migrations, no time limit, seed 1, empty label, and the process-wide
+    /// `--shards` setting). This is the only way bench bins construct specs
+    /// — field-struct updates on a cloned base silently kept stale labels
+    /// and seeds when new fields grew in.
     pub fn builder(topology: FatTreeConfig, strategy: StrategyKind) -> ExperimentSpecBuilder {
         ExperimentSpecBuilder {
             spec: ExperimentSpec {
@@ -207,14 +211,16 @@ impl ExperimentSpec {
                 migrations: Vec::new(),
                 end_of_time_us: None,
                 seed: 1,
+                shards: crate::cli::args().shards(),
                 label: String::new(),
             },
         }
     }
 
-    /// Builds the simulator and loads the workload. Tracing is enabled when
-    /// the process was started with `--telemetry DIR` (see [`crate::cli`]).
-    pub fn build(&self) -> Simulation {
+    /// Builds the engine (single-threaded or sharded, per the spec) and
+    /// loads the workload. Tracing is enabled when the process was started
+    /// with `--telemetry DIR` (see [`crate::cli`]).
+    pub fn build(&self) -> Engine {
         let strategy = self.strategy.build();
         let telemetry = if crate::cli::telemetry_dir().is_some() {
             sv2p_telemetry::TelemetryConfig::enabled()
@@ -227,17 +233,18 @@ impl ExperimentSpec {
             telemetry,
             ..SimConfig::default()
         };
-        let mut sim = Simulation::new(
+        let mut sim = Engine::new(
             cfg,
             &self.topology,
             strategy.as_ref(),
             self.cache_entries,
             self.vms_per_server,
+            self.shards,
         );
-        let n_vms = sim.placement.len();
+        let n_vms = sim.placement().len();
         sim.add_flows(to_flow_specs(&self.flows, n_vms));
         for &(vm, at_us) in &self.migrations {
-            let vip = sim.placement.vips[vm];
+            let vip = sim.placement().vips[vm];
             let target = sim
                 .topology()
                 .servers()
@@ -303,6 +310,13 @@ impl ExperimentSpecBuilder {
     /// RNG seed (default 1).
     pub fn seed(mut self, seed: u64) -> Self {
         self.spec.seed = seed;
+        self
+    }
+
+    /// Shard count for the multi-core engine (default: the process-wide
+    /// `--shards` flag, which itself defaults to 1).
+    pub fn shards(mut self, shards: u16) -> Self {
+        self.spec.shards = shards;
         self
     }
 
@@ -606,6 +620,7 @@ mod tests {
         assert_eq!(s.cache_entries, 0);
         assert_eq!(s.end_of_time_us, None);
         assert_eq!(s.seed, 1);
+        assert_eq!(s.shards, 1, "no --shards flag means single-threaded");
         assert!(s.label.is_empty());
     }
 

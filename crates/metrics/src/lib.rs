@@ -406,6 +406,53 @@ impl Metrics {
         });
     }
 
+    /// Folds a shard-local recorder into this master recorder.
+    ///
+    /// The sharded engine splits metrics in two: order-sensitive streams
+    /// (deliveries, flow lifecycle, faults) replay on the master in exact
+    /// global order, while order-free counters accumulate shard-locally
+    /// and are summed here at finalization. This method therefore touches
+    /// **only** commutative fields; everything order-sensitive on `other`
+    /// (the flows map, latency/stretch accumulators, fct windows, fault
+    /// annotations) is intentionally ignored — the master already holds
+    /// the authoritative copy.
+    pub fn absorb_shard(&mut self, other: &Metrics) {
+        for (b, &o) in self.bytes_by_switch.iter_mut().zip(&other.bytes_by_switch) {
+            *b += o;
+        }
+        self.data_packets_sent += other.data_packets_sent;
+        self.packets_dropped += other.packets_dropped;
+        self.drops_queue += other.drops_queue;
+        self.drops_unroutable += other.drops_unroutable;
+        self.drops_blackout += other.drops_blackout;
+        self.drops_loss += other.drops_loss;
+        self.gateway_packets += other.gateway_packets;
+        self.cache_hits += other.cache_hits;
+        for (&l, &n) in &other.hits_by_layer {
+            *self.hits_by_layer.entry(l).or_insert(0) += n;
+        }
+        for (&l, &n) in &other.first_hits_by_layer {
+            *self.first_hits_by_layer.entry(l).or_insert(0) += n;
+        }
+        self.misdelivered_packets += other.misdelivered_packets;
+        self.last_misdelivery = match (self.last_misdelivery, other.last_misdelivery) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        self.invalidation_packets += other.invalidation_packets;
+        self.learning_packets += other.learning_packets;
+        self.spillover_inserts += other.spillover_inserts;
+        self.promotion_inserts += other.promotion_inserts;
+        if other.windows.len() > self.windows.len() {
+            self.windows
+                .resize(other.windows.len(), WindowStat::default());
+        }
+        for (w, o) in self.windows.iter_mut().zip(&other.windows) {
+            w.data_sent += o.data_sent;
+            w.gateway += o.gateway;
+        }
+    }
+
     /// Fraction of data packets that avoided the gateways ("the fraction of
     /// all sent packets that do not reach the gateways", §5.1).
     pub fn hit_rate(&self) -> f64 {

@@ -22,13 +22,18 @@
 
 pub mod arena;
 pub mod config;
+pub mod engine;
 pub mod faults;
 pub mod flows;
 pub mod link;
+pub mod sharded;
 pub mod sim;
+mod wire;
 
 pub use arena::{PacketArena, PacketRef};
 pub use config::SimConfig;
+pub use engine::Engine;
 pub use faults::{FaultEvent, FaultPlan};
 pub use flows::{FlowKind, FlowSpec};
+pub use sharded::ShardedSimulation;
 pub use sim::Simulation;

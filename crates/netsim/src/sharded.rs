@@ -1,0 +1,621 @@
+//! The deterministic multi-core engine: a pod-partitioned simulation that
+//! reproduces the single-threaded execution bit-for-bit.
+//!
+//! # Architecture
+//!
+//! A [`ShardedSimulation`] holds one **driver** [`Simulation`] plus one
+//! **worker** replica per shard of a [`PodPartition`] (each pod group is a
+//! shard; core switches share a shard). The driver's calendar is the
+//! single source of global `(time, seq)` order — every event that has ever
+//! been "in the future" lives there. The run proceeds in conservative
+//! lookahead windows:
+//!
+//! 1. The driver pops the window's events in global order and hands each
+//!    shard its slice (packets travel by value as wire events).
+//! 2. Workers execute their slices in parallel on scoped threads. A
+//!    follow-up event that the same shard owns and that lands inside the
+//!    window executes locally; everything else — cross-shard link
+//!    arrivals, post-window timers — returns to the driver. The window
+//!    length never exceeds the partition's lookahead (the minimum
+//!    inter-shard link latency), so no cross-shard event can land inside
+//!    the window of another shard: shards never need to communicate
+//!    mid-window.
+//! 3. Workers journal every order-sensitive side effect (schedulings,
+//!    flow-lifecycle metrics, trace events, packet-id allocations). The
+//!    driver k-way-merges the journals back into global order and replays
+//!    them onto the master metrics, tracer and calendar — so summaries and
+//!    telemetry are byte-identical to a single-threaded run regardless of
+//!    shard count.
+//! 4. Global events (faults, telemetry samples) pause the windowing: the
+//!    driver executes them itself at their exact global position and
+//!    broadcasts state changes to every worker.
+//!
+//! # Limitations
+//!
+//! VM migrations move a flow endpoint between shards mid-run, which would
+//! require transferring live transport state across workers. Registering a
+//! migration therefore drops the engine into single-threaded fallback (the
+//! driver is a complete oracle simulation and simply runs everything
+//! itself). The same fallback covers degenerate partitions (one shard, or
+//! zero lookahead).
+
+use std::sync::mpsc;
+
+use sv2p_metrics::Metrics;
+use sv2p_packet::{FlowId, Pip, SwitchTag, Vip};
+use sv2p_simcore::{merge_journals, FxHashMap, SimDuration, SimTime};
+use sv2p_telemetry::{Sample, Tracer};
+use sv2p_topology::{FatTreeConfig, NodeId, NodeKind, PodPartition, RoleMap, Routing, Topology};
+use sv2p_vnet::{GatewayDirectory, MappingDb, Migration, Placement, Strategy};
+
+use crate::config::SimConfig;
+use crate::faults::FaultPlan;
+use crate::flows::FlowSpec;
+use crate::sim::{Event, Simulation};
+use crate::wire::{ExecBlock, GlobalEvent, JournalOp, MetricOp, ShardSnapshot, WireEvent};
+
+/// Driver → worker commands. The channel is bounded: the protocol is
+/// strict request/response per window, so a small depth suffices.
+enum ToWorker {
+    Window {
+        batch: Vec<(SimTime, u64, WireEvent)>,
+        end: SimTime,
+    },
+    Global(GlobalEvent),
+    Snapshot {
+        widx: usize,
+    },
+    Finish,
+}
+
+/// Worker → driver responses.
+enum FromWorker {
+    Journal(Vec<ExecBlock>),
+    Snapshot(ShardSnapshot),
+}
+
+/// A pod-sharded, multi-threaded simulation whose observable results are
+/// byte-identical to [`Simulation`] run single-threaded.
+pub struct ShardedSimulation {
+    driver: Simulation,
+    replicas: Vec<Simulation>,
+    partition: PodPartition,
+    /// Oracle-equivalent executed-event count (replayed journal blocks
+    /// plus driver-executed global events).
+    exec_count: u64,
+    /// Time of the last replayed journal block; the driver's calendar
+    /// clock can lag it (locally executed children never pop there).
+    last_block_time: SimTime,
+    /// Provisional → global packet-id map (tracing only).
+    pkt_map: FxHashMap<u64, u64>,
+    /// Run the driver alone, single-threaded (migrations registered, or a
+    /// degenerate partition).
+    fallback: bool,
+    /// Shard-local counters have been folded into the master metrics.
+    folded: bool,
+}
+
+impl ShardedSimulation {
+    /// Builds a sharded experiment over at most `shards` shards (clamped
+    /// by the partitioner to what the topology supports). All replicas are
+    /// constructed identically from the same seed, so per-node RNG streams
+    /// agree across the fleet.
+    pub fn new(
+        cfg: SimConfig,
+        ft: &FatTreeConfig,
+        strategy: &dyn Strategy,
+        total_cache_entries: usize,
+        vms_per_server: u32,
+        shards: u16,
+    ) -> Self {
+        let driver = Simulation::new(cfg, ft, strategy, total_cache_entries, vms_per_server);
+        let partition = PodPartition::new(driver.topology(), shards);
+        let fallback = partition.shards() < 2 || partition.lookahead_ns() == 0;
+        let mut replicas = Vec::new();
+        if !fallback {
+            for s in 0..partition.shards() {
+                let mut rep =
+                    Simulation::new(cfg, ft, strategy, total_cache_entries, vms_per_server);
+                rep.attach_worker(s, partition.shard_map().to_vec());
+                replicas.push(rep);
+            }
+        }
+        ShardedSimulation {
+            driver,
+            replicas,
+            partition,
+            exec_count: 0,
+            last_block_time: SimTime::ZERO,
+            pkt_map: FxHashMap::default(),
+            fallback,
+            folded: false,
+        }
+    }
+
+    /// The partition in use.
+    pub fn partition(&self) -> &PodPartition {
+        &self.partition
+    }
+
+    /// True when the engine runs the driver alone (migrations registered
+    /// or a degenerate partition).
+    pub fn is_fallback(&self) -> bool {
+        self.fallback
+    }
+
+    /// Registers the workload on the driver's calendar and mirrors the
+    /// flow table into every worker replica.
+    pub fn add_flows(&mut self, specs: impl IntoIterator<Item = FlowSpec>) {
+        let specs: Vec<FlowSpec> = specs.into_iter().collect();
+        for rep in &mut self.replicas {
+            rep.register_flows(specs.iter().cloned());
+        }
+        self.driver.add_flows(specs);
+    }
+
+    /// Registers a VM migration. Migrations move transport state across
+    /// shards, which the windowed engine does not support: the run drops
+    /// to single-threaded fallback.
+    pub fn add_migration(&mut self, m: Migration) {
+        assert_eq!(
+            self.exec_count, 0,
+            "migrations must be registered before the run starts"
+        );
+        self.fallback = true;
+        self.replicas.clear();
+        self.driver.add_migration(m);
+    }
+
+    /// Registers a fault plan on the driver and mirrors the plan table
+    /// into every replica (broadcast fault events carry plan indices).
+    pub fn apply_fault_plan(&mut self, plan: FaultPlan) {
+        for rep in &mut self.replicas {
+            rep.register_fault_events(&plan);
+        }
+        self.driver.apply_fault_plan(plan);
+    }
+
+    /// Runs until the calendar drains (or the configured end of time).
+    pub fn run(&mut self) {
+        let horizon = self.driver.cfg.end_of_time.unwrap_or(SimTime::MAX);
+        self.run_until(horizon);
+    }
+
+    /// Runs all events up to and including instant `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        if self.fallback {
+            self.driver.run_until(t);
+            return;
+        }
+        let horizon = match self.driver.cfg.end_of_time {
+            Some(h) => h.min(t),
+            None => t,
+        };
+        let n = self.replicas.len();
+        let Self {
+            driver,
+            replicas,
+            partition,
+            exec_count,
+            last_block_time,
+            pkt_map,
+            ..
+        } = self;
+        let shard_map = partition.shard_map();
+        let lookahead = partition.lookahead_ns();
+
+        std::thread::scope(|scope| {
+            let mut to_workers = Vec::with_capacity(n);
+            let mut from_workers = Vec::with_capacity(n);
+            for rep in replicas.iter_mut() {
+                let (tx_cmd, rx_cmd) = mpsc::sync_channel::<ToWorker>(4);
+                let (tx_res, rx_res) = mpsc::sync_channel::<FromWorker>(4);
+                to_workers.push(tx_cmd);
+                from_workers.push(rx_res);
+                scope.spawn(move || {
+                    while let Ok(msg) = rx_cmd.recv() {
+                        match msg {
+                            ToWorker::Window { batch, end } => {
+                                let journal = rep.run_window(batch, end);
+                                let _ = tx_res.send(FromWorker::Journal(journal));
+                            }
+                            ToWorker::Global(g) => rep.apply_global(g),
+                            ToWorker::Snapshot { widx } => {
+                                let _ =
+                                    tx_res.send(FromWorker::Snapshot(rep.shard_snapshot(widx)));
+                            }
+                            ToWorker::Finish => break,
+                        }
+                    }
+                });
+            }
+
+            while let Some(w0) = driver.events.peek_time() {
+                if w0 > horizon {
+                    break;
+                }
+                // Window upper bound: one lookahead past the first event,
+                // clipped so events at exactly `horizon` still run.
+                let w_cap = SimTime::from_nanos(
+                    w0.as_nanos()
+                        .saturating_add(lookahead)
+                        .min(horizon.as_nanos().saturating_add(1)),
+                );
+                let mut batches: Vec<Vec<(SimTime, u64, WireEvent)>> = vec![Vec::new(); n];
+                let mut pending_global: Option<(SimTime, Event)> = None;
+                let mut window_end = w_cap;
+                while let Some(nt) = driver.events.peek_time() {
+                    if nt >= w_cap {
+                        break;
+                    }
+                    let se = driver.events.pop().expect("peeked event");
+                    match driver.owner_of_event(&se.payload, shard_map) {
+                        Some(s) => {
+                            let wire = driver.dematerialize(se.payload);
+                            batches[s as usize].push((se.time, se.seq, wire));
+                        }
+                        None => {
+                            // A global event closes the window at its own
+                            // instant: follow-ups at or past it return to
+                            // the driver, preserving the exact interleaving
+                            // around the global event.
+                            window_end = se.time;
+                            pending_global = Some((se.time, se.payload));
+                            break;
+                        }
+                    }
+                }
+
+                let mut busy = vec![false; n];
+                for (s, batch) in batches.into_iter().enumerate() {
+                    if batch.is_empty() {
+                        continue;
+                    }
+                    busy[s] = true;
+                    to_workers[s]
+                        .send(ToWorker::Window {
+                            batch,
+                            end: window_end,
+                        })
+                        .expect("worker alive");
+                }
+                let mut journals: Vec<Vec<ExecBlock>> = Vec::with_capacity(n);
+                for (s, rx) in from_workers.iter().enumerate() {
+                    if !busy[s] {
+                        journals.push(Vec::new());
+                        continue;
+                    }
+                    match rx.recv().expect("worker alive") {
+                        FromWorker::Journal(j) => journals.push(j),
+                        FromWorker::Snapshot(_) => unreachable!("no snapshot pending"),
+                    }
+                }
+
+                merge_journals(journals, |_shard, block| {
+                    *exec_count += 1;
+                    *last_block_time = block.time;
+                    let mut assigned = Vec::new();
+                    for op in &block.ops {
+                        match op {
+                            JournalOp::Sched { wire: None, .. } => {
+                                // Executed inside the shard's window; burn
+                                // the sequence number the oracle would have
+                                // assigned it.
+                                assigned.push(driver.events.reserve_seq());
+                            }
+                            JournalOp::Sched {
+                                at,
+                                wire: Some(wire),
+                            } => {
+                                let ev = driver.materialize(wire.clone());
+                                assigned.push(driver.events.schedule_at(*at, ev));
+                            }
+                            JournalOp::PktAlloc(prov) => {
+                                let id = driver.next_pkt_id;
+                                driver.next_pkt_id += 1;
+                                pkt_map.insert(*prov, id);
+                            }
+                            JournalOp::Metric(m) => match *m {
+                                MetricOp::FlowStarted(f) => {
+                                    driver.metrics.flow_started(FlowId(f), block.time)
+                                }
+                                MetricOp::FlowCompleted(f) => {
+                                    driver.metrics.flow_completed(FlowId(f), block.time)
+                                }
+                                MetricOp::FirstPacketDelivered(f) => {
+                                    driver
+                                        .metrics
+                                        .first_packet_delivered(FlowId(f), block.time)
+                                }
+                                MetricOp::Delivery { sent_ns, hops } => {
+                                    driver.metrics.record_delivery(
+                                        SimTime::from_nanos(sent_ns),
+                                        block.time,
+                                        hops,
+                                    )
+                                }
+                            },
+                            JournalOp::Trace(ev) => {
+                                let mut ev = ev.clone();
+                                if let Some(p) = ev.pkt {
+                                    ev.pkt = Some(*pkt_map.get(&p).unwrap_or(&p));
+                                }
+                                driver.tracer_mut().record(ev);
+                            }
+                        }
+                    }
+                    assigned
+                });
+
+                if let Some((tg, gev)) = pending_global {
+                    *exec_count += 1;
+                    *last_block_time = tg;
+                    match gev {
+                        Event::TelemetrySample => {
+                            let widx =
+                                (tg.as_nanos() / driver.metrics.window_len_ns()) as usize;
+                            for tx in &to_workers {
+                                tx.send(ToWorker::Snapshot { widx }).expect("worker alive");
+                            }
+                            let mut s = ShardSnapshot::default();
+                            for rx in &from_workers {
+                                match rx.recv().expect("worker alive") {
+                                    FromWorker::Snapshot(p) => {
+                                        s.q_total += p.q_total;
+                                        s.q_max = s.q_max.max(p.q_max);
+                                        s.occ_tor += p.occ_tor;
+                                        s.occ_spine += p.occ_spine;
+                                        s.occ_core += p.occ_core;
+                                        s.data_sent_cum += p.data_sent_cum;
+                                        s.gateway_cum += p.gateway_cum;
+                                        s.win_data_sent += p.win_data_sent;
+                                        s.win_gateway += p.win_gateway;
+                                    }
+                                    FromWorker::Journal(_) => unreachable!("no window pending"),
+                                }
+                            }
+                            let hit_rate_window = if s.win_data_sent == 0 {
+                                None
+                            } else {
+                                Some(1.0 - s.win_gateway as f64 / s.win_data_sent as f64)
+                            };
+                            let hit_rate_cum = if s.data_sent_cum == 0 {
+                                0.0
+                            } else {
+                                1.0 - s.gateway_cum as f64 / s.data_sent_cum as f64
+                            };
+                            let pending_events = driver.events.len() as u64;
+                            driver.tracer_mut().samples.push(Sample {
+                                t_ns: tg.as_nanos(),
+                                events_executed: *exec_count,
+                                pending_events,
+                                queue_pkts_total: s.q_total,
+                                queue_pkts_max: s.q_max,
+                                occ_tor: s.occ_tor,
+                                occ_spine: s.occ_spine,
+                                occ_core: s.occ_core,
+                                hit_rate_window,
+                                hit_rate_cum,
+                                gateway_pkts_cum: s.gateway_cum,
+                            });
+                            if !driver.events.is_empty() {
+                                let period = SimDuration::from_nanos(
+                                    driver.tracer().config().sample_every_ns,
+                                );
+                                driver.events.schedule_in(period, Event::TelemetrySample);
+                            }
+                        }
+                        Event::FaultStart(i) => {
+                            driver.apply_global(GlobalEvent::FaultStart(i));
+                            for tx in &to_workers {
+                                tx.send(ToWorker::Global(GlobalEvent::FaultStart(i)))
+                                    .expect("worker alive");
+                            }
+                        }
+                        Event::FaultEnd(i) => {
+                            driver.apply_global(GlobalEvent::FaultEnd(i));
+                            for tx in &to_workers {
+                                tx.send(ToWorker::Global(GlobalEvent::FaultEnd(i)))
+                                    .expect("worker alive");
+                            }
+                        }
+                        Event::Migrate(_) => {
+                            unreachable!("migrations force single-threaded fallback")
+                        }
+                        _ => unreachable!("not a global event"),
+                    }
+                }
+            }
+
+            for tx in &to_workers {
+                let _ = tx.send(ToWorker::Finish);
+            }
+        });
+    }
+
+    /// Folds order-free shard-local counters (byte/drop/hit counters,
+    /// per-window tallies, transport statistics) into the master metrics.
+    /// Runs once; call only after the run is complete.
+    fn ensure_folded(&mut self) {
+        if self.folded || self.fallback {
+            return;
+        }
+        self.folded = true;
+        for rep in &self.replicas {
+            self.driver.metrics.absorb_shard(&rep.metrics);
+            for f in &rep.flows {
+                self.driver.metrics.reordered_segments += f.tcp_rx.reordered_segments;
+                if let Some(tx) = &f.tcp_tx {
+                    self.driver.metrics.retransmissions += tx.retransmits;
+                }
+            }
+        }
+    }
+
+    /// Folds shard counters and returns the run summary (byte-identical
+    /// to the single-threaded engine's).
+    pub fn summary(&mut self) -> sv2p_metrics::RunSummary {
+        self.ensure_folded();
+        self.driver.summary()
+    }
+
+    /// Current virtual time: the later of the driver clock and the last
+    /// replayed event (locally executed children never pop on the driver).
+    pub fn now(&self) -> SimTime {
+        self.driver.now().max(self.last_block_time)
+    }
+
+    /// Events executed, equal to the single-threaded count: one per
+    /// replayed journal block plus one per driver-executed global event.
+    pub fn events_executed(&self) -> u64 {
+        if self.fallback {
+            self.driver.events_executed()
+        } else {
+            self.exec_count
+        }
+    }
+
+    /// The driver calendar's pending-event high-water mark. Shard-local
+    /// window queues are excluded: every event that was ever "pending"
+    /// globally passes through the driver calendar.
+    pub fn peak_queue(&self) -> usize {
+        self.driver.peak_queue()
+    }
+
+    /// In-flight packet high-water mark, summed over the driver's parking
+    /// arena and every shard arena.
+    pub fn peak_arena(&self) -> usize {
+        self.driver.peak_arena() + self.replicas.iter().map(|r| r.peak_arena()).sum::<usize>()
+    }
+
+    /// The master telemetry tracer.
+    pub fn tracer(&self) -> &Tracer {
+        self.driver.tracer()
+    }
+
+    /// Mutable master tracer access.
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        self.driver.tracer_mut()
+    }
+
+    /// The master metrics (complete after [`Self::summary`] folds shard
+    /// counters).
+    pub fn metrics(&self) -> &Metrics {
+        &self.driver.metrics
+    }
+
+    /// Read-only topology access.
+    pub fn topology(&self) -> &Topology {
+        self.driver.topology()
+    }
+
+    /// Read-only routing access.
+    pub fn routing(&self) -> &Routing {
+        self.driver.routing()
+    }
+
+    /// Read-only role access.
+    pub fn roles(&self) -> &RoleMap {
+        self.driver.roles()
+    }
+
+    /// The gateway directory in use.
+    pub fn gateway_directory(&self) -> &GatewayDirectory {
+        self.driver.gateway_directory()
+    }
+
+    /// The VM placement (static: migrations force fallback).
+    pub fn placement(&self) -> &Placement {
+        &self.driver.placement
+    }
+
+    /// The ground-truth V2P database.
+    pub fn db(&self) -> &MappingDb {
+        &self.driver.db
+    }
+
+    /// Bytes processed by each switch (summed across shards before the
+    /// fold, read from the master after).
+    pub fn per_switch_bytes(&self) -> Vec<(NodeId, NodeKind, u64)> {
+        let mut out = self.driver.per_switch_bytes();
+        if !self.folded && !self.fallback {
+            for rep in &self.replicas {
+                for (slot, (_, _, b)) in out.iter_mut().zip(rep.per_switch_bytes()) {
+                    slot.2 += b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Per-switch cache occupancy, read from each switch's owning shard
+    /// (the only replica whose agent state evolves).
+    pub fn cache_occupancy(&self) -> Vec<(SwitchTag, usize)> {
+        if self.fallback {
+            return self.driver.cache_occupancy();
+        }
+        let per_rep: Vec<Vec<(SwitchTag, usize)>> =
+            self.replicas.iter().map(|r| r.cache_occupancy()).collect();
+        self.driver
+            .topology()
+            .switches()
+            .enumerate()
+            .map(|(i, sw)| per_rep[self.partition.shard_of(sw.id) as usize][i])
+            .collect()
+    }
+
+    /// Installs `entries` into the switch agent at `node`: traced on the
+    /// master, mirrored silently into the owning shard.
+    pub fn install_cache_entries(&mut self, node: NodeId, clear: bool, entries: &[(Vip, Pip)]) {
+        self.driver.install_cache_entries(node, clear, entries);
+        if !self.fallback {
+            let owner = self.partition.shard_of(node) as usize;
+            self.replicas[owner].install_entries_silent(node, clear, entries);
+        }
+    }
+
+    /// Injects a switch failure (volatile cache loss) across the fleet.
+    pub fn fail_switch(&mut self, node: NodeId) {
+        self.driver.fail_switch(node);
+        for rep in &mut self.replicas {
+            rep.cold_reset_switch(node);
+        }
+    }
+
+    /// Fails every switch at once across the fleet.
+    pub fn fail_all_switches(&mut self) {
+        self.driver.fail_all_switches();
+        let switches: Vec<NodeId> = self.driver.topology().switches().map(|s| s.id).collect();
+        for rep in &mut self.replicas {
+            for &sw in &switches {
+                rep.cold_reset_switch(sw);
+            }
+        }
+    }
+
+    /// Control-plane role reassignment, applied fleet-wide.
+    pub fn reassign_switch_role(&mut self, node: NodeId, role: sv2p_topology::SwitchRole) {
+        self.driver.reassign_switch_role(node, role);
+        for rep in &mut self.replicas {
+            rep.reassign_switch_role(node, role);
+        }
+    }
+
+    /// Per-(src_vm, dst_vm) data-packet counts, merged across shards
+    /// (sends are counted where they execute).
+    pub fn traffic_matrix(&self) -> FxHashMap<(u32, u32), u64> {
+        let mut out = self.driver.traffic_matrix().clone();
+        for rep in &self.replicas {
+            rep.merge_traffic_matrix_into(&mut out);
+        }
+        out
+    }
+
+    /// Resets traffic-matrix counters fleet-wide.
+    pub fn clear_traffic_matrix(&mut self) {
+        self.driver.clear_traffic_matrix();
+        for rep in &mut self.replicas {
+            rep.clear_traffic_matrix();
+        }
+    }
+}

@@ -25,11 +25,14 @@ use crate::config::SimConfig;
 use crate::faults::{FaultEvent, FaultPlan};
 use crate::flows::{FlowKind, FlowSpec, FlowState};
 use crate::link::{EnqueueOutcome, LinkState};
+use crate::wire::{
+    ExecBlock, GlobalEvent, JournalOp, MetricOp, ShardSnapshot, WireEvent, WorkerCtx,
+};
 
 /// Simulator events. Packet-carrying events hold an arena handle, so an
 /// event is a few machine words no matter how fat `TunnelOptions` get.
 #[derive(Debug)]
-enum Event {
+pub(crate) enum Event {
     FlowStart(usize),
     UdpSend { flow: usize, idx: usize },
     LinkFree(LinkId),
@@ -48,7 +51,7 @@ enum Event {
 
 /// A complete, runnable experiment instance.
 pub struct Simulation {
-    cfg: SimConfig,
+    pub(crate) cfg: SimConfig,
     topo: Topology,
     routing: Routing,
     roles: RoleMap,
@@ -72,9 +75,9 @@ pub struct Simulation {
     arena: PacketArena,
     /// Reusable ECMP candidate buffer (avoids a per-hop allocation).
     route_scratch: Vec<LinkId>,
-    events: EventQueue<Event>,
+    pub(crate) events: EventQueue<Event>,
     timers: TimerWheel,
-    flows: Vec<FlowState>,
+    pub(crate) flows: Vec<FlowState>,
     migrations: Vec<Migration>,
     /// Scheduled faults, indexed by `Event::FaultStart`/`FaultEnd`.
     fault_plan: Vec<FaultEvent>,
@@ -82,9 +85,12 @@ pub struct Simulation {
     blackout: Vec<bool>,
     /// Per-link up flag; downed links are masked out of ECMP.
     link_up: Vec<bool>,
-    /// Dedicated RNG stream for stochastic-loss draws, forked off the seed
-    /// so fault draws never perturb agent randomness.
-    fault_rng: SimRng,
+    /// Per-link RNG streams for stochastic-loss draws, forked off the seed
+    /// so fault draws never perturb agent randomness. One stream per link
+    /// makes the draw sequence a function of that link's enqueue order
+    /// alone — required for the sharded engine to reproduce the oracle's
+    /// draws no matter how execution interleaves across shards.
+    fault_rngs: Vec<SimRng>,
     /// All recorded measurements.
     pub metrics: Metrics,
     /// Structured event tracing and time-series sampling.
@@ -92,11 +98,15 @@ pub struct Simulation {
     /// Per-node flag: a switch that actually holds cache lines (gates
     /// `CacheLookup` trace events, so non-caching switches stay silent).
     caching: Vec<bool>,
-    next_pkt_id: u64,
+    pub(crate) next_pkt_id: u64,
     traffic_matrix: FxHashMap<(u32, u32), u64>,
     misdelivery_policy: MisdeliveryPolicy,
     finalized: bool,
     strategy_name: String,
+    /// `Some` when this instance executes as one shard of a
+    /// `ShardedSimulation`: side effects are journaled instead of applied
+    /// globally. `None` (the default) is the single-threaded oracle path.
+    pub(crate) worker: Option<WorkerCtx>,
 }
 
 impl Simulation {
@@ -207,9 +217,11 @@ impl Simulation {
 
         let blackout = vec![false; topo.nodes.len()];
         let link_up = vec![true; topo.links.len()];
-        // A label far outside the node-id space keeps the fault stream
+        // Labels far outside the node-id space keep the fault streams
         // disjoint from every per-agent fork.
-        let fault_rng = base_rng.fork(u64::MAX);
+        let fault_rngs = (0..topo.links.len())
+            .map(|i| base_rng.fork((1u64 << 32) + i as u64))
+            .collect();
 
         let tracer = Tracer::new(cfg.telemetry);
         let mut sim = Simulation {
@@ -237,7 +249,7 @@ impl Simulation {
             fault_plan: Vec::new(),
             blackout,
             link_up,
-            fault_rng,
+            fault_rngs,
             metrics,
             tracer,
             caching,
@@ -246,6 +258,7 @@ impl Simulation {
             misdelivery_policy: strategy.misdelivery_policy(),
             finalized: false,
             strategy_name: strategy.name().to_string(),
+            worker: None,
         };
         if sim.tracer.enabled() && sim.tracer.config().sample_every_ns > 0 {
             // First snapshot at t = 0; workload events scheduled later at the
@@ -365,14 +378,7 @@ impl Simulation {
         clear: bool,
         entries: &[(Vip, Pip)],
     ) {
-        if let Some(agent) = self.agents[node.0 as usize].as_mut() {
-            if clear {
-                agent.clear_installed();
-            }
-            for &(vip, pip) in entries {
-                agent.install(vip, pip);
-            }
-        } else {
+        if !self.install_entries_silent(node, clear, entries) {
             return;
         }
         if self.tracer.enabled() {
@@ -387,6 +393,28 @@ impl Simulation {
                 self.tracer.record(ev);
             }
         }
+    }
+
+    /// The agent-mutation half of [`Self::install_cache_entries`], shared
+    /// with the sharded engine (which installs silently on the owning shard
+    /// and traces once on the master). Returns false if `node` has no
+    /// switch agent.
+    pub(crate) fn install_entries_silent(
+        &mut self,
+        node: NodeId,
+        clear: bool,
+        entries: &[(Vip, Pip)],
+    ) -> bool {
+        let Some(agent) = self.agents[node.0 as usize].as_mut() else {
+            return false;
+        };
+        if clear {
+            agent.clear_installed();
+        }
+        for &(vip, pip) in entries {
+            agent.install(vip, pip);
+        }
+        true
     }
 
     /// Control-plane role reassignment (§4 "Gateway migration"): the switch
@@ -449,7 +477,7 @@ impl Simulation {
     /// [`Self::fail_switch`], [`Self::fail_all_switches`] and scheduled
     /// [`FaultEvent::SwitchReboot`]s so every reboot path clears per-switch
     /// state uniformly.
-    fn cold_reset_switch(&mut self, node: NodeId) {
+    pub(crate) fn cold_reset_switch(&mut self, node: NodeId) {
         if let Some(agent) = self.agents[node.0 as usize].as_mut() {
             agent.reset();
         }
@@ -468,6 +496,11 @@ impl Simulation {
     }
 
     /// Bytes processed by each switch, with its identity (Figures 7-8).
+    ///
+    /// Rows follow `topology().switches()` enumeration order — ascending
+    /// `NodeId` — which is what makes figure output and the sharded
+    /// engine's element-wise merge deterministic across engines, shard
+    /// counts, and runs.
     pub fn per_switch_bytes(&self) -> Vec<(NodeId, NodeKind, u64)> {
         self.topo
             .switches()
@@ -479,6 +512,11 @@ impl Simulation {
     }
 
     /// Per-switch cache occupancy keyed by tag (capacity audits).
+    ///
+    /// Same ordering contract as [`Simulation::per_switch_bytes`]: rows
+    /// follow `topology().switches()` enumeration order (ascending
+    /// `NodeId`), so the sharded engine can splice owner-shard occupancies
+    /// positionally.
     pub fn cache_occupancy(&self) -> Vec<(SwitchTag, usize)> {
         self.topo
             .switches()
@@ -567,7 +605,7 @@ impl Simulation {
             .packet(flow, pkt)
             .at_node(node.0);
         ev.cause = Some(cause);
-        self.tracer.record(ev);
+        self.trace(ev);
     }
 
     /// Lowercase wire name of a switch's layer.
@@ -684,7 +722,7 @@ impl Simulation {
     fn on_flow_start(&mut self, idx: usize) {
         let now = self.now();
         let id = self.flows[idx].id;
-        self.metrics.flow_started(id, now);
+        self.m_flow_started(id);
         match self.flows[idx].spec.kind.clone() {
             FlowKind::Tcp { bytes } => {
                 let mut tx = TcpSender::new(self.cfg.tcp, bytes);
@@ -696,8 +734,7 @@ impl Simulation {
             }
             FlowKind::Udp { schedule } => {
                 for (i, &(t, _)) in schedule.sends.iter().enumerate() {
-                    self.events
-                        .schedule_at(t.max(now), Event::UdpSend { flow: idx, idx: i });
+                    self.sched_at(t.max(now), Event::UdpSend { flow: idx, idx: i });
                 }
             }
         }
@@ -743,13 +780,11 @@ impl Simulation {
             if let Some(timer) = f.rto_timer {
                 self.timers.cancel(timer);
             }
-            let now = self.now();
-            self.metrics.flow_completed(id, now);
+            self.m_flow_completed(id);
         } else if let Some(deadline) = ops.arm_rto {
             if let Some(timer) = f.rto_timer {
                 let token = self.timers.arm(timer, deadline);
-                self.events
-                    .schedule_at(deadline, Event::RtoTimer { flow, token });
+                self.sched_at(deadline, Event::RtoTimer { flow, token });
             }
         }
     }
@@ -837,7 +872,7 @@ impl Simulation {
                 .at_node(src_node.0);
             ev.resolved = Some(resolved);
             ev.vip = Some(dst_vip.0);
-            self.tracer.record(ev);
+            self.trace(ev);
         }
         if self.cfg.record_traffic_matrix {
             *self
@@ -850,9 +885,23 @@ impl Simulation {
     }
 
     fn alloc_pkt_id(&mut self) -> PacketId {
-        let id = PacketId(self.next_pkt_id);
-        self.next_pkt_id += 1;
-        id
+        match self.worker.as_mut() {
+            None => {
+                let id = PacketId(self.next_pkt_id);
+                self.next_pkt_id += 1;
+                id
+            }
+            Some(w) => {
+                // Shards hand out provisional ids; with tracing on, the
+                // allocation is journaled so the driver can assign the
+                // global id and rewrite trace events to it.
+                let id = PacketId(w.provisional_pkt_id());
+                if self.tracer.enabled() {
+                    w.cur_ops.push(JournalOp::PktAlloc(id.0));
+                }
+                id
+            }
+        }
     }
 
     /// Sends the packet out of host `node`'s NIC.
@@ -876,14 +925,14 @@ impl Simulation {
         // Draw from the dedicated fault stream only while loss is active, so
         // a healthy run consumes no fault randomness at all.
         let outcome = if l.loss_rate > 0.0 {
-            let draw = self.fault_rng.uniform();
+            let draw = self.fault_rngs[link.0 as usize].uniform();
             l.enqueue_with_loss(pkt, wire, draw)
         } else {
             l.enqueue(pkt, wire)
         };
         match outcome {
             EnqueueOutcome::StartTx(ser) => {
-                self.events.schedule_in(ser, Event::LinkFree(link));
+                self.sched_in(ser, Event::LinkFree(link));
             }
             EnqueueOutcome::Queued => {}
             EnqueueOutcome::Dropped => {
@@ -900,10 +949,9 @@ impl Simulation {
         let (sent, next_ser) = l.tx_done();
         let delay = l.delay;
         if let Some(ser) = next_ser {
-            self.events.schedule_in(ser, Event::LinkFree(link));
+            self.sched_in(ser, Event::LinkFree(link));
         }
-        self.events
-            .schedule_in(delay, Event::LinkArrival { link, pkt: sent });
+        self.sched_in(delay, Event::LinkArrival { link, pkt: sent });
     }
 
     fn on_link_arrival(&mut self, link: LinkId, pkt: PacketRef) {
@@ -965,7 +1013,7 @@ impl Simulation {
         // Protocol packets carry the default FlowId(0); tracing them would
         // pollute flow 0's packet trace, so lifecycle events are data-only.
         if trace && count && is_data {
-            self.tracer.record(
+            self.trace(
                 TraceEvent::new(now.as_nanos(), EventKind::SwitchIngress)
                     .packet(flow_id, pkt_id)
                     .at_node(node.0),
@@ -1022,7 +1070,7 @@ impl Simulation {
                     .at_node(node.0);
                 ev.hit = Some(output.cache_hit);
                 ev.layer = Some(self.layer_name(node));
-                self.tracer.record(ev);
+                self.trace(ev);
             }
             if !output.cache_ops.is_empty() {
                 let layer = self.layer_name(node);
@@ -1036,7 +1084,7 @@ impl Simulation {
                     ev.vip = Some(op.vip().0);
                     ev.pip = op.pip().map(|p| p.0);
                     ev.layer = Some(layer);
-                    self.tracer.record(ev);
+                    self.trace(ev);
                 }
             }
         }
@@ -1054,7 +1102,7 @@ impl Simulation {
         match output.action {
             PacketAction::Forward => self.route_from_switch(node, pkt),
             PacketAction::Delay(d) => {
-                self.events.schedule_in(d, Event::ReInject { node, pkt });
+                self.sched_in(d, Event::ReInject { node, pkt });
             }
             PacketAction::Drop => {
                 self.drop_packet(pkt, node, DropCause::Queue, "queue");
@@ -1132,15 +1180,14 @@ impl Simulation {
                     let p = self.arena.get(pkt);
                     (p.flow.0, p.id.0)
                 };
-                self.tracer.record(
+                self.trace(
                     TraceEvent::new(now.as_nanos(), EventKind::GatewayIngress)
                         .packet(flow, id)
                         .at_node(node.0),
                 );
             }
             let delay = self.cfg.gateway.processing();
-            self.events
-                .schedule_in(delay, Event::GatewayDone { node, pkt });
+            self.sched_in(delay, Event::GatewayDone { node, pkt });
         } else {
             // Resolved tenant traffic or protocol packets have no business
             // at a gateway.
@@ -1175,7 +1222,7 @@ impl Simulation {
                             .at_node(node.0);
                     ev.vip = Some(dst_vip.0);
                     ev.pip = Some(pip.0);
-                    self.tracer.record(ev);
+                    self.trace(ev);
                 }
                 self.transmit_from_host(node, pkt);
             }
@@ -1239,18 +1286,17 @@ impl Simulation {
         }
 
         // Forward-direction data.
-        let sent_at = SimTime::from_nanos(sent_ns);
-        self.metrics.record_delivery(sent_at, now, hops);
+        self.m_delivery(sent_ns, hops);
         if self.tracer.enabled() {
             let mut ev = TraceEvent::new(now.as_nanos(), EventKind::Delivery)
                 .packet(flow_id.0, pkt_id)
                 .at_node(node.0);
             ev.hops = Some(hops);
             ev.latency_ns = Some(now.as_nanos().saturating_sub(sent_ns));
-            self.tracer.record(ev);
+            self.trace(ev);
         }
         if first {
-            self.metrics.first_packet_delivered(flow_id, now);
+            self.m_first_packet_delivered(flow_id);
         }
         if self.flows[flow].is_tcp() {
             let ack = self.flows[flow].tcp_rx.on_data(seq as u64, payload);
@@ -1272,7 +1318,7 @@ impl Simulation {
             if f.udp_delivered >= f.udp_total && !f.completed {
                 f.completed = true;
                 let id = f.id;
-                self.metrics.flow_completed(id, now);
+                self.m_flow_completed(id);
             }
         }
     }
@@ -1285,13 +1331,13 @@ impl Simulation {
                 let p = self.arena.get(pkt);
                 (p.flow.0, p.id.0)
             };
-            self.tracer.record(
+            self.trace(
                 TraceEvent::new(now.as_nanos(), EventKind::Misdelivery)
                     .packet(flow, id)
                     .at_node(node.0),
             );
         }
-        self.events.schedule_in(
+        self.sched_in(
             self.cfg.misdelivery_penalty,
             Event::HostForward { node, pkt },
         );
@@ -1347,6 +1393,321 @@ impl Simulation {
         self.hosted.entry(m.to_node).or_default().insert(m.vip);
         // Andromeda-style follow-me rule at the old host.
         self.follow_me.insert((old_node, m.vip), m.to_pip);
+    }
+
+    // ------------------------------------------------------------------
+    // Sharded execution (worker side)
+    //
+    // A `ShardedSimulation` runs one `Simulation` replica per shard plus a
+    // driver replica whose calendar is the global source of `(time, seq)`
+    // order. The hooks below make one handler body serve both modes: on
+    // the oracle path they apply side effects directly; in worker mode
+    // they journal everything order-sensitive for the driver to replay.
+    // ------------------------------------------------------------------
+
+    /// Mode-aware scheduling at an absolute time. Workers keep follow-up
+    /// events they own that land inside the current window; everything
+    /// else returns to the driver by value. Either way the scheduling is
+    /// journaled so the driver's sequence counter stays in lockstep with
+    /// the single-threaded calendar.
+    fn sched_at(&mut self, at: SimTime, ev: Event) {
+        if self.worker.is_none() {
+            self.events.schedule_at(at, ev);
+            return;
+        }
+        let (shard, window_end) = {
+            let w = self.worker.as_ref().expect("worker mode");
+            (w.shard, w.window_end)
+        };
+        let owner = {
+            let w = self.worker.as_ref().expect("worker mode");
+            self.owner_of_event(&ev, &w.shard_map)
+                .expect("shard handlers never schedule global events")
+        };
+        if owner == shard && at < window_end {
+            let w = self.worker.as_mut().expect("worker mode");
+            w.state.sched_local(&mut self.events, at, ev);
+            w.cur_ops.push(JournalOp::Sched { at, wire: None });
+        } else {
+            let wire = self.dematerialize(ev);
+            let w = self.worker.as_mut().expect("worker mode");
+            w.state.sched_returned();
+            w.cur_ops.push(JournalOp::Sched {
+                at,
+                wire: Some(wire),
+            });
+        }
+    }
+
+    /// Mode-aware relative scheduling (mirrors `EventQueue::schedule_in`).
+    fn sched_in(&mut self, d: SimDuration, ev: Event) {
+        if self.worker.is_none() {
+            self.events.schedule_in(d, ev);
+        } else {
+            let at = self.events.now() + d;
+            self.sched_at(at, ev);
+        }
+    }
+
+    /// Mode-aware trace recording: direct to the ring on the oracle path,
+    /// journaled for ordered replay on the master ring in worker mode.
+    fn trace(&mut self, ev: TraceEvent) {
+        match self.worker.as_mut() {
+            None => self.tracer.record(ev),
+            Some(w) => w.cur_ops.push(JournalOp::Trace(ev)),
+        }
+    }
+
+    fn m_flow_started(&mut self, id: FlowId) {
+        let now = self.events.now();
+        match self.worker.as_mut() {
+            None => self.metrics.flow_started(id, now),
+            Some(w) => w
+                .cur_ops
+                .push(JournalOp::Metric(MetricOp::FlowStarted(id.0))),
+        }
+    }
+
+    fn m_flow_completed(&mut self, id: FlowId) {
+        let now = self.events.now();
+        match self.worker.as_mut() {
+            None => self.metrics.flow_completed(id, now),
+            Some(w) => w
+                .cur_ops
+                .push(JournalOp::Metric(MetricOp::FlowCompleted(id.0))),
+        }
+    }
+
+    fn m_first_packet_delivered(&mut self, id: FlowId) {
+        let now = self.events.now();
+        match self.worker.as_mut() {
+            None => self.metrics.first_packet_delivered(id, now),
+            Some(w) => w
+                .cur_ops
+                .push(JournalOp::Metric(MetricOp::FirstPacketDelivered(id.0))),
+        }
+    }
+
+    fn m_delivery(&mut self, sent_ns: u64, hops: u16) {
+        let now = self.events.now();
+        match self.worker.as_mut() {
+            None => {
+                self.metrics
+                    .record_delivery(SimTime::from_nanos(sent_ns), now, hops)
+            }
+            Some(w) => w
+                .cur_ops
+                .push(JournalOp::Metric(MetricOp::Delivery { sent_ns, hops })),
+        }
+    }
+
+    /// Which shard executes `ev`, given the partition's node → shard map;
+    /// `None` for global events the driver executes itself. Flow-driving
+    /// events belong to the flow's source host (static without migrations —
+    /// the sharded engine falls back to single-threaded execution when
+    /// migrations are present).
+    pub(crate) fn owner_of_event(&self, ev: &Event, shard_map: &[u16]) -> Option<u16> {
+        let node = match ev {
+            Event::FlowStart(i)
+            | Event::UdpSend { flow: i, .. }
+            | Event::RtoTimer { flow: i, .. } => {
+                self.placement.node_of(self.flows[*i].spec.src_vm)
+            }
+            Event::LinkFree(l) => self.topo.link(*l).from,
+            Event::LinkArrival { link, .. } => self.topo.link(*link).to,
+            Event::GatewayDone { node, .. }
+            | Event::ReInject { node, .. }
+            | Event::HostForward { node, .. } => *node,
+            Event::Migrate(_)
+            | Event::FaultStart(_)
+            | Event::FaultEnd(_)
+            | Event::TelemetrySample => return None,
+        };
+        Some(shard_map[node.0 as usize])
+    }
+
+    fn take_pkt(&mut self, h: PacketRef) -> Packet {
+        let p = self.arena.get(h).clone();
+        self.arena.free(h);
+        p
+    }
+
+    /// Converts an event to its wire form, pulling any packet body out of
+    /// this simulation's arena. Global events never cross shards.
+    pub(crate) fn dematerialize(&mut self, ev: Event) -> WireEvent {
+        match ev {
+            Event::FlowStart(i) => WireEvent::FlowStart(i),
+            Event::UdpSend { flow, idx } => WireEvent::UdpSend { flow, idx },
+            Event::LinkFree(l) => WireEvent::LinkFree(l),
+            Event::LinkArrival { link, pkt } => WireEvent::LinkArrival {
+                link,
+                pkt: self.take_pkt(pkt),
+            },
+            Event::RtoTimer { flow, token } => WireEvent::RtoTimer { flow, token },
+            Event::GatewayDone { node, pkt } => WireEvent::GatewayDone {
+                node,
+                pkt: self.take_pkt(pkt),
+            },
+            Event::ReInject { node, pkt } => WireEvent::ReInject {
+                node,
+                pkt: self.take_pkt(pkt),
+            },
+            Event::HostForward { node, pkt } => WireEvent::HostForward {
+                node,
+                pkt: self.take_pkt(pkt),
+            },
+            Event::Migrate(_)
+            | Event::FaultStart(_)
+            | Event::FaultEnd(_)
+            | Event::TelemetrySample => unreachable!("global events never cross shards"),
+        }
+    }
+
+    /// Converts a wire event back to an event, allocating any packet body
+    /// into this simulation's arena.
+    pub(crate) fn materialize(&mut self, w: WireEvent) -> Event {
+        match w {
+            WireEvent::FlowStart(i) => Event::FlowStart(i),
+            WireEvent::UdpSend { flow, idx } => Event::UdpSend { flow, idx },
+            WireEvent::LinkFree(l) => Event::LinkFree(l),
+            WireEvent::LinkArrival { link, pkt } => Event::LinkArrival {
+                link,
+                pkt: self.arena.alloc(pkt),
+            },
+            WireEvent::RtoTimer { flow, token } => Event::RtoTimer { flow, token },
+            WireEvent::GatewayDone { node, pkt } => Event::GatewayDone {
+                node,
+                pkt: self.arena.alloc(pkt),
+            },
+            WireEvent::ReInject { node, pkt } => Event::ReInject {
+                node,
+                pkt: self.arena.alloc(pkt),
+            },
+            WireEvent::HostForward { node, pkt } => Event::HostForward {
+                node,
+                pkt: self.arena.alloc(pkt),
+            },
+        }
+    }
+
+    /// Turns this replica into shard `shard`'s worker. The construction
+    /// calendar is discarded (the driver holds an identical copy of every
+    /// pre-scheduled event; none carries a packet) and replaced with an
+    /// empty window-local queue.
+    pub(crate) fn attach_worker(&mut self, shard: u16, shard_map: Vec<u16>) {
+        debug_assert!(self.worker.is_none(), "already a worker");
+        self.events = EventQueue::with_capacity(1 << 16);
+        self.worker = Some(WorkerCtx::new(shard, shard_map));
+    }
+
+    /// Registers flows without scheduling their start events (worker
+    /// replicas: the driver owns the calendar).
+    pub(crate) fn register_flows(&mut self, specs: impl IntoIterator<Item = FlowSpec>) {
+        for spec in specs {
+            let idx = self.flows.len();
+            self.flows.push(FlowState::new(FlowId(idx as u64), spec));
+        }
+    }
+
+    /// Registers a fault plan's events without scheduling them (worker
+    /// replicas need the plan table for broadcast `FaultStart`/`FaultEnd`
+    /// indices to resolve).
+    pub(crate) fn register_fault_events(&mut self, plan: &FaultPlan) {
+        for ev in plan.events() {
+            self.fault_plan.push(ev.clone());
+        }
+    }
+
+    /// Executes one window: seeds the driver's batch (in driver order),
+    /// drains the local calendar — the batch plus every owned follow-up
+    /// that lands before `end` — and returns the execution journal.
+    pub(crate) fn run_window(
+        &mut self,
+        batch: Vec<(SimTime, u64, WireEvent)>,
+        end: SimTime,
+    ) -> Vec<ExecBlock> {
+        {
+            let w = self.worker.as_mut().expect("run_window on the oracle");
+            w.window_end = end;
+            w.state.open_window(&self.events);
+        }
+        for (at, seq, wire) in batch {
+            let ev = self.materialize(wire);
+            let w = self.worker.as_mut().expect("worker mode");
+            w.state.seed(&mut self.events, at, seq, ev);
+        }
+        let mut journal = Vec::new();
+        while let Some(se) = self.events.pop() {
+            let seq_ref = {
+                let w = self.worker.as_mut().expect("worker mode");
+                w.state.resolve_popped(se.seq)
+            };
+            let time = se.time;
+            self.dispatch(se.payload);
+            let ops = {
+                let w = self.worker.as_mut().expect("worker mode");
+                std::mem::take(&mut w.cur_ops)
+            };
+            journal.push(ExecBlock { time, seq_ref, ops });
+        }
+        journal
+    }
+
+    /// Applies a driver-executed global event to this replica's mirrored
+    /// state (placement, blackouts, link health, loss rates).
+    pub(crate) fn apply_global(&mut self, ev: GlobalEvent) {
+        match ev {
+            GlobalEvent::FaultStart(i) => self.on_fault_start(i),
+            GlobalEvent::FaultEnd(i) => self.on_fault_end(i),
+        }
+    }
+
+    /// This shard's contribution to a telemetry sample at window `widx`.
+    /// Queue depths, occupancy and traffic counters are only non-zero for
+    /// state this shard owns, so the driver can sum snapshots across
+    /// shards to reproduce the oracle's sample exactly.
+    pub(crate) fn shard_snapshot(&self, widx: usize) -> ShardSnapshot {
+        let (mut q_total, mut q_max) = (0u64, 0u64);
+        for l in &self.links {
+            let q = l.queue_len() as u64;
+            q_total += q;
+            q_max = q_max.max(q);
+        }
+        let (mut occ_tor, mut occ_spine, mut occ_core) = (0u64, 0u64, 0u64);
+        for sw in self.topo.switches() {
+            let occ = self.agents[sw.id.0 as usize]
+                .as_ref()
+                .map_or(0, |a| a.occupancy()) as u64;
+            match self.roles.role(sw.id).map(|r| r.layer()) {
+                Some("ToR") => occ_tor += occ,
+                Some("Spine") => occ_spine += occ,
+                _ => occ_core += occ,
+            }
+        }
+        let (win_data_sent, win_gateway) = self
+            .metrics
+            .windows
+            .get(widx)
+            .map_or((0, 0), |w| (w.data_sent, w.gateway));
+        ShardSnapshot {
+            q_total,
+            q_max,
+            occ_tor,
+            occ_spine,
+            occ_core,
+            data_sent_cum: self.metrics.data_packets_sent,
+            gateway_cum: self.metrics.gateway_packets,
+            win_data_sent,
+            win_gateway,
+        }
+    }
+
+    /// Merges this replica's traffic-matrix counts into `into` (the
+    /// sharded engine reads the union across shards).
+    pub(crate) fn merge_traffic_matrix_into(&self, into: &mut FxHashMap<(u32, u32), u64>) {
+        for (&k, &v) in &self.traffic_matrix {
+            *into.entry(k).or_insert(0) += v;
+        }
     }
 }
 

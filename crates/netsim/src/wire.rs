@@ -1,0 +1,152 @@
+//! Wire forms and journals for the sharded engine.
+//!
+//! A [`crate::sim::Simulation`] event holds packet bodies as arena handles,
+//! which are meaningless outside the owning simulation. When the sharded
+//! driver hands an event to a shard (or a shard returns a future event to
+//! the driver), the packet travels by value as a [`WireEvent`].
+//!
+//! While executing a window, a shard records everything order-sensitive it
+//! would have done to the global state — schedulings, metric updates,
+//! trace events, packet-id allocations — as [`JournalOp`]s grouped into
+//! per-event [`ExecBlock`]s. The driver replays the blocks of all shards
+//! in global `(time, seq)` order, which makes the master metrics, tracer
+//! ring and calendar byte-identical to a single-threaded run.
+
+use sv2p_packet::Packet;
+use sv2p_simcore::timer::TimerToken;
+use sv2p_simcore::{SeqRef, ShardState, SimTime};
+use sv2p_telemetry::TraceEvent;
+use sv2p_topology::{LinkId, NodeId};
+
+/// A simulator event with packet bodies inlined, safe to move between the
+/// driver and shard threads. Global events (migrations, faults, telemetry
+/// samples) never take this form: the driver executes them itself.
+#[derive(Debug, Clone)]
+pub(crate) enum WireEvent {
+    FlowStart(usize),
+    UdpSend { flow: usize, idx: usize },
+    LinkFree(LinkId),
+    LinkArrival { link: LinkId, pkt: Packet },
+    RtoTimer { flow: usize, token: TimerToken },
+    GatewayDone { node: NodeId, pkt: Packet },
+    ReInject { node: NodeId, pkt: Packet },
+    HostForward { node: NodeId, pkt: Packet },
+}
+
+/// Events the driver executes itself and broadcasts to every shard so
+/// their mirrored state (blackouts, link health, loss rates) stays in
+/// sync. Migrations have no variant: registering one forces the
+/// single-threaded fallback before the run starts.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum GlobalEvent {
+    FaultStart(usize),
+    FaultEnd(usize),
+}
+
+/// An order-sensitive metric update, deferred to the driver's master
+/// [`sv2p_metrics::Metrics`]. Only the four flow-lifecycle operations are
+/// order-sensitive (they push to per-flow latency/FCT accumulators whose
+/// vector order the summary preserves); plain counters accumulate
+/// shard-locally and are summed once at the end of the run.
+#[derive(Debug, Clone)]
+pub(crate) enum MetricOp {
+    FlowStarted(u64),
+    FlowCompleted(u64),
+    FirstPacketDelivered(u64),
+    Delivery { sent_ns: u64, hops: u16 },
+}
+
+/// One journaled side effect, in handler execution order.
+#[derive(Debug, Clone)]
+pub(crate) enum JournalOp {
+    /// The handler scheduled a follow-up event at `at`. `wire` is `None`
+    /// when the shard executed it locally within the window (the driver
+    /// only burns a sequence number to stay in step); otherwise the event
+    /// returns to the driver's calendar.
+    Sched {
+        at: SimTime,
+        wire: Option<WireEvent>,
+    },
+    /// The handler allocated a packet id (journaled only while tracing, to
+    /// map the shard's provisional id to the global id stream).
+    PktAlloc(u64),
+    Metric(MetricOp),
+    Trace(TraceEvent),
+}
+
+/// Everything one event execution did, tagged with when and as-whom it
+/// ran so the driver can merge blocks across shards.
+#[derive(Debug)]
+pub(crate) struct ExecBlock {
+    pub time: SimTime,
+    pub seq_ref: SeqRef,
+    pub ops: Vec<JournalOp>,
+}
+
+impl sv2p_simcore::JournalBlock for ExecBlock {
+    fn time(&self) -> SimTime {
+        self.time
+    }
+    fn seq_ref(&self) -> SeqRef {
+        self.seq_ref
+    }
+}
+
+/// Per-shard worker state attached to a `Simulation` replica: which nodes
+/// it owns, the current window bound, sequence bookkeeping, and the
+/// journal under construction.
+#[derive(Debug)]
+pub(crate) struct WorkerCtx {
+    /// This replica's shard id.
+    pub shard: u16,
+    /// Node id → owning shard, from the pod partition.
+    pub shard_map: Vec<u16>,
+    /// Exclusive upper bound of the current window: follow-up events at or
+    /// beyond it return to the driver instead of executing locally.
+    pub window_end: SimTime,
+    /// Local-seq → global-identity bookkeeping.
+    pub state: ShardState,
+    /// Journal ops of the event currently dispatching.
+    pub cur_ops: Vec<JournalOp>,
+    /// Next provisional packet-id counter (namespaced by shard in the top
+    /// bits; remapped to the global id stream during replay when tracing).
+    pub prov_next: u64,
+}
+
+impl WorkerCtx {
+    pub fn new(shard: u16, shard_map: Vec<u16>) -> Self {
+        WorkerCtx {
+            shard,
+            shard_map,
+            window_end: SimTime::ZERO,
+            state: ShardState::new(),
+            cur_ops: Vec::new(),
+            prov_next: 0,
+        }
+    }
+
+    /// Provisional packet ids live in a per-shard namespace far above any
+    /// realistic global id, so a collision with a real id is impossible
+    /// and a leak (an unmapped provisional id in a trace) is obvious.
+    pub fn provisional_pkt_id(&mut self) -> u64 {
+        let id = ((self.shard as u64 + 1) << 48) | self.prov_next;
+        self.prov_next += 1;
+        id
+    }
+}
+
+/// A shard's contribution to one telemetry sample: queue depths and cache
+/// occupancy are only meaningful on the owning shard (everywhere else the
+/// mirrored state is idle), so the driver sums these across shards.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ShardSnapshot {
+    pub q_total: u64,
+    pub q_max: u64,
+    pub occ_tor: u64,
+    pub occ_spine: u64,
+    pub occ_core: u64,
+    pub data_sent_cum: u64,
+    pub gateway_cum: u64,
+    pub win_data_sent: u64,
+    pub win_gateway: u64,
+}

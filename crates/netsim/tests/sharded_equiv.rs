@@ -1,0 +1,275 @@
+//! The sharded engine's determinism contract: every observable — summary,
+//! telemetry samples, trace stream, per-switch counters — is byte-identical
+//! to the single-threaded oracle, for any shard count.
+
+use proptest::prelude::*;
+use sv2p_baselines::NoCache;
+use sv2p_netsim::faults::{FaultEvent, FaultPlan};
+use sv2p_netsim::{FlowKind, FlowSpec, ShardedSimulation, SimConfig, Simulation};
+use sv2p_simcore::{SimDuration, SimTime};
+use sv2p_transport::UdpSchedule;
+use sv2p_telemetry::TelemetryConfig;
+use sv2p_topology::{FatTreeConfig, LinkId, NodeId};
+use sv2p_vnet::Strategy;
+use switchv2p::{SwitchV2P, SwitchV2PConfig};
+
+fn cfg_with_telemetry() -> SimConfig {
+    SimConfig {
+        telemetry: TelemetryConfig::enabled(),
+        ..SimConfig::default()
+    }
+}
+
+fn tcp_udp_mix(vms: usize, n: usize) -> Vec<FlowSpec> {
+    (0..n)
+        .map(|i| FlowSpec {
+            src_vm: (i * 7) % vms,
+            dst_vm: (i * 13 + 29) % vms,
+            start: SimTime::from_micros(2 * i as u64),
+            kind: if i % 3 == 0 {
+                FlowKind::Udp {
+                    schedule: UdpSchedule::cbr(
+                        SimTime::from_micros(2 * i as u64),
+                        SimDuration::from_micros(40),
+                        48_000_000,
+                        1000,
+                    ),
+                }
+            } else {
+                FlowKind::Tcp { bytes: 60_000 }
+            },
+        })
+        .filter(|f| f.src_vm != f.dst_vm)
+        .collect()
+}
+
+/// Runs the oracle and the sharded engine on the same workload and asserts
+/// every observable matches.
+fn assert_equivalent(
+    cfg: SimConfig,
+    strategy: &dyn Strategy,
+    cache_entries: usize,
+    shards: u16,
+    plan: Option<FaultPlan>,
+) {
+    let ft = FatTreeConfig::scaled_ft8(2);
+
+    let mut oracle = Simulation::new(cfg, &ft, strategy, cache_entries, 4);
+    let flows = tcp_udp_mix(oracle.placement.len(), 30);
+    if let Some(p) = plan.clone() {
+        oracle.apply_fault_plan(p);
+    }
+    oracle.add_flows(flows.clone());
+    oracle.run();
+
+    let mut sharded = ShardedSimulation::new(cfg, &ft, strategy, cache_entries, 4, shards);
+    assert!(
+        !sharded.is_fallback(),
+        "this topology must support real sharding"
+    );
+    assert!(sharded.partition().shards() >= 2);
+    if let Some(p) = plan {
+        sharded.apply_fault_plan(p);
+    }
+    sharded.add_flows(flows);
+    sharded.run();
+
+    // Raw telemetry first (summary() folds shard counters).
+    assert_eq!(
+        oracle.tracer().samples,
+        sharded.tracer().samples,
+        "telemetry samples must match"
+    );
+    assert_eq!(
+        oracle.tracer().render_events_jsonl(),
+        sharded.tracer().render_events_jsonl(),
+        "trace streams must match byte-for-byte"
+    );
+    assert_eq!(oracle.events_executed(), sharded.events_executed());
+    assert_eq!(oracle.traffic_matrix(), &sharded.traffic_matrix());
+    let sum_o = format!("{:?}", oracle.summary());
+    let sum_s = format!("{:?}", sharded.summary());
+    assert_eq!(sum_o, sum_s, "summaries must match byte-for-byte");
+    assert_eq!(oracle.per_switch_bytes(), sharded.per_switch_bytes());
+    assert_eq!(oracle.cache_occupancy(), sharded.cache_occupancy());
+}
+
+#[test]
+fn switchv2p_matches_oracle_across_shard_counts() {
+    let strategy = SwitchV2P::new(SwitchV2PConfig::default());
+    for shards in [2, 4, 8] {
+        assert_equivalent(cfg_with_telemetry(), &strategy, 4096, shards, None);
+    }
+}
+
+#[test]
+fn nocache_matches_oracle_without_telemetry() {
+    assert_equivalent(SimConfig::default(), &NoCache, 0, 4, None);
+}
+
+#[test]
+fn faulted_run_matches_oracle() {
+    let strategy = SwitchV2P::new(SwitchV2PConfig::default());
+    let ft = FatTreeConfig::scaled_ft8(2);
+    let probe = Simulation::new(SimConfig::default(), &ft, &NoCache, 0, 4);
+    let tor = probe
+        .topology()
+        .switches()
+        .next()
+        .map(|n| n.id)
+        .expect("switches exist");
+    let uplink = probe.topology().out_links[tor.0 as usize][0];
+    let plan = FaultPlan::from_events([
+        FaultEvent::SwitchReboot {
+            node: tor,
+            at: SimTime::from_micros(100),
+            blackout: SimDuration::from_micros(50),
+        },
+        FaultEvent::LinkDown {
+            link: uplink,
+            at: SimTime::from_micros(120),
+            up_at: SimTime::from_micros(400),
+        },
+        FaultEvent::LossRate {
+            link: None,
+            rate: 0.002,
+            from: SimTime::from_micros(50),
+            until: SimTime::from_micros(600),
+        },
+    ])
+    .unwrap();
+    assert_equivalent(cfg_with_telemetry(), &strategy, 4096, 4, Some(plan));
+}
+
+#[test]
+fn one_shard_request_falls_back_to_oracle() {
+    let ft = FatTreeConfig::scaled_ft8(2);
+    let mut sharded = ShardedSimulation::new(SimConfig::default(), &ft, &NoCache, 0, 4, 1);
+    assert!(sharded.is_fallback());
+    let flows = tcp_udp_mix(sharded.placement().len(), 10);
+    sharded.add_flows(flows.clone());
+    sharded.run();
+
+    let mut oracle = Simulation::new(SimConfig::default(), &ft, &NoCache, 0, 4);
+    oracle.add_flows(flows);
+    oracle.run();
+    assert_eq!(
+        format!("{:?}", oracle.summary()),
+        format!("{:?}", sharded.summary())
+    );
+}
+
+/// Mid-run control-plane interventions (cache installs, reboots) must stay
+/// equivalent too: the failure-recovery experiments drive the engine this
+/// way.
+#[test]
+fn midrun_interventions_match_oracle() {
+    let strategy = SwitchV2P::new(SwitchV2PConfig::default());
+    let ft = FatTreeConfig::scaled_ft8(2);
+
+    let mut oracle = Simulation::new(cfg_with_telemetry(), &ft, &strategy, 4096, 4);
+    let flows = tcp_udp_mix(oracle.placement.len(), 24);
+    oracle.add_flows(flows.clone());
+    oracle.run_until(SimTime::from_micros(150));
+    oracle.fail_all_switches();
+    oracle.run();
+
+    let mut sharded = ShardedSimulation::new(cfg_with_telemetry(), &ft, &strategy, 4096, 4, 4);
+    sharded.add_flows(flows);
+    sharded.run_until(SimTime::from_micros(150));
+    sharded.fail_all_switches();
+    sharded.run();
+
+    assert_eq!(oracle.tracer().samples, sharded.tracer().samples);
+    assert_eq!(
+        format!("{:?}", oracle.summary()),
+        format!("{:?}", sharded.summary())
+    );
+    assert_eq!(oracle.cache_occupancy(), sharded.cache_occupancy());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random fault plans: the sharded engine must track the oracle through
+    /// arbitrary reboot/link/outage/loss schedules.
+    #[test]
+    fn random_fault_plans_stay_equivalent(
+        events in proptest::collection::vec(
+            (0u8..4, any::<u32>(), 0u64..400, 1u64..300, 0.0f64..0.2),
+            0..5,
+        ),
+        shards in 2u16..6,
+    ) {
+        let ft = FatTreeConfig::scaled_ft8(2);
+        let probe = Simulation::new(SimConfig::default(), &ft, &NoCache, 0, 4);
+        let switches: Vec<NodeId> = probe.topology().switches().map(|n| n.id).collect();
+        let gateways: Vec<NodeId> = probe.topology().gateways().map(|n| n.id).collect();
+        let n_links = probe.topology().links.len();
+        let mut plan = FaultPlan::new();
+        for &(kind, idx, start_us, dur_us, rate) in &events {
+            let at = SimTime::from_micros(start_us);
+            let end = SimTime::from_micros(start_us + dur_us);
+            let ev = match kind {
+                0 => FaultEvent::SwitchReboot {
+                    node: switches[idx as usize % switches.len()],
+                    at,
+                    blackout: SimDuration::from_micros(dur_us),
+                },
+                1 => FaultEvent::LinkDown {
+                    link: LinkId((idx as usize % n_links) as u32),
+                    at,
+                    up_at: end,
+                },
+                2 => FaultEvent::GatewayOutage {
+                    node: gateways[idx as usize % gateways.len()],
+                    at,
+                    up_at: end,
+                },
+                _ => FaultEvent::LossRate { link: None, rate, from: at, until: end },
+            };
+            plan.push(ev).expect("generated events are well-formed");
+        }
+        assert_equivalent(SimConfig::default(), &NoCache, 0, shards, Some(plan));
+    }
+}
+
+/// Pins the ordering contract behind the sharded engine's positional
+/// merges: `per_switch_bytes` and `cache_occupancy` rows follow
+/// `topology().switches()` enumeration order (ascending `NodeId`) on both
+/// engines, so figure output never depends on engine choice or shard count.
+#[test]
+fn switch_observables_follow_ascending_node_id_order() {
+    let ft = FatTreeConfig::scaled_ft8(2);
+    let strategy = SwitchV2P::new(SwitchV2PConfig::default());
+
+    let mut oracle = Simulation::new(cfg_with_telemetry(), &ft, &strategy, 1024, 4);
+    let flows = tcp_udp_mix(oracle.placement.len(), 12);
+    oracle.add_flows(flows.clone());
+    oracle.run();
+
+    let mut sharded =
+        ShardedSimulation::new(cfg_with_telemetry(), &ft, &strategy, 1024, 4, 4);
+    sharded.add_flows(flows);
+    sharded.run();
+
+    for sim_bytes in [oracle.per_switch_bytes(), sharded.per_switch_bytes()] {
+        let ids: Vec<NodeId> = sim_bytes.iter().map(|&(id, _, _)| id).collect();
+        assert!(
+            ids.windows(2).all(|w| w[0].0 < w[1].0),
+            "per_switch_bytes rows must be strictly ascending by NodeId"
+        );
+        let expected: Vec<NodeId> = oracle.topology().switches().map(|n| n.id).collect();
+        assert_eq!(ids, expected, "rows must mirror topology().switches()");
+    }
+    assert_eq!(
+        oracle.cache_occupancy(),
+        sharded.cache_occupancy(),
+        "cache occupancy must agree row-for-row across engines"
+    );
+    assert_eq!(
+        oracle.cache_occupancy().len(),
+        oracle.topology().switches().count(),
+        "one occupancy row per switch, in switches() order"
+    );
+}

@@ -231,6 +231,17 @@ impl<E> EventQueue<E> {
         self.schedule_at(self.now + delay, payload)
     }
 
+    /// Consumes and returns the next sequence number without scheduling
+    /// anything. The sharded engine uses this to mirror the single-threaded
+    /// calendar's sequence stream for events that a shard already executed
+    /// locally (they never enter this queue, but they did consume a
+    /// sequence number in the reference execution).
+    pub fn reserve_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
+    }
+
     #[inline]
     fn put_in_wheel(&mut self, slot: u64, ev: ScheduledEvent<E>) {
         let ring = (slot & SLOT_MASK) as usize;

@@ -14,10 +14,13 @@
 //! * [`SimRng`] — a seedable, splittable pseudo-random stream so that every
 //!   component draws from an independent, reproducible sequence.
 //!
-//! The engine is intentionally synchronous: a packet-level data-center
-//! simulator is CPU-bound, and single-threaded determinism is worth more than
-//! concurrency inside one run (parameter sweeps parallelize across runs
-//! instead — see the `sv2p-bench` crate).
+//! The core calendar is synchronous; parallelism enters one level up.
+//! [`shard`] provides the per-shard state and deterministic journal-merge
+//! machinery for the windowed multi-core engine (`sv2p-netsim`'s
+//! `ShardedSimulation`), which partitions a run by topology pod yet
+//! reproduces the single-threaded `(time, seq)` execution order exactly.
+//! Parameter sweeps additionally parallelize across runs — see the
+//! `sv2p-bench` crate.
 //!
 //! ```
 //! use sv2p_simcore::{EventQueue, SimDuration, SimTime};
@@ -36,6 +39,7 @@
 pub mod event;
 pub mod hash;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod time;
 pub mod timer;
@@ -43,5 +47,6 @@ pub mod timer;
 pub use event::{EventQueue, ScheduledEvent};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use rng::SimRng;
+pub use shard::{merge_journals, JournalBlock, SeqRef, ShardState};
 pub use time::{SimDuration, SimTime};
 pub use timer::{TimerHandle, TimerWheel};

@@ -1,0 +1,242 @@
+//! Generic per-shard bookkeeping for windowed parallel simulation.
+//!
+//! The sharded engine splits a run into lookahead windows. In each window a
+//! coordinating driver pops the events of the window from its global
+//! calendar (the single source of truth for `(time, seq)` order) and hands
+//! each shard its slice. A shard executes its slice — plus any causal
+//! children that land inside the window — on its private [`EventQueue`],
+//! and returns an execution journal. The driver then merges the journals
+//! of all shards back into global `(time, seq)` order.
+//!
+//! Two pieces here make that merge exact:
+//!
+//! * [`ShardState`] tracks, for every locally queued event, *which global
+//!   event it is*: either an original driver event ([`SeqRef::Orig`], with
+//!   its global sequence number) or the n-th scheduling the shard
+//!   performed this window ([`SeqRef::Child`]). Local FIFO order at equal
+//!   times then mirrors global order, because batch events are seeded in
+//!   driver order and children are created in execution order.
+//! * [`merge_journals`] performs the k-way merge by `(time, resolved
+//!   seq)`, resolving child ordinals through a caller that assigns global
+//!   sequence numbers as parent records replay. A child's parent always
+//!   replays first (same shard, executed earlier), so resolution never
+//!   blocks.
+//!
+//! `ShardState` deliberately does not own the queue: the simulator's event
+//! loop owns its calendar, and the bookkeeping here is layered next to it
+//! (the same queue serves as the oracle calendar in single-shard runs).
+
+use crate::event::EventQueue;
+use crate::time::SimTime;
+use crate::FxHashMap;
+
+/// What a locally queued event corresponds to globally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeqRef {
+    /// An event the driver popped from the global calendar; the payload is
+    /// its global sequence number.
+    Orig(u64),
+    /// The n-th scheduling this shard performed in the current window
+    /// (counting every scheduling, local or returned, in execution
+    /// order). The driver resolves the ordinal to a global sequence
+    /// number when the parent's journal record replays.
+    Child(u32),
+}
+
+/// Ties every event in a shard's window-local calendar back to the global
+/// `(time, seq)` order.
+#[derive(Debug, Default)]
+pub struct ShardState {
+    /// Local seq → global identity of every event currently queued.
+    seq_map: FxHashMap<u64, SeqRef>,
+    /// Schedulings performed this window (the child ordinal counter).
+    sched_count: u32,
+}
+
+impl ShardState {
+    /// Empty bookkeeping.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a new window: resets the per-window child ordinal counter.
+    /// The local queue must be empty (every window drains it).
+    pub fn open_window<E>(&mut self, queue: &EventQueue<E>) {
+        debug_assert!(queue.is_empty(), "window opened with events queued");
+        debug_assert!(self.seq_map.is_empty(), "stale seq mappings");
+        self.sched_count = 0;
+    }
+
+    /// Seeds one driver batch entry: schedules `payload` at `at` on the
+    /// local queue and records that it stands for global event `orig_seq`.
+    pub fn seed<E>(
+        &mut self,
+        queue: &mut EventQueue<E>,
+        at: SimTime,
+        orig_seq: u64,
+        payload: E,
+    ) {
+        let s = queue.schedule_at(at, payload);
+        self.seq_map.insert(s, SeqRef::Orig(orig_seq));
+    }
+
+    /// Records a local child scheduling: schedules `payload` at `at` and
+    /// returns the child ordinal for the journal record.
+    pub fn sched_local<E>(
+        &mut self,
+        queue: &mut EventQueue<E>,
+        at: SimTime,
+        payload: E,
+    ) -> u32 {
+        let ord = self.sched_count;
+        self.sched_count += 1;
+        let s = queue.schedule_at(at, payload);
+        self.seq_map.insert(s, SeqRef::Child(ord));
+        ord
+    }
+
+    /// Records a scheduling that returns to the driver (cross-shard or
+    /// beyond the window): only an ordinal is consumed; nothing is queued
+    /// locally.
+    pub fn sched_returned(&mut self) -> u32 {
+        let ord = self.sched_count;
+        self.sched_count += 1;
+        ord
+    }
+
+    /// Resolves a popped local sequence number to its global identity.
+    /// Must be called exactly once per popped event.
+    pub fn resolve_popped(&mut self, local_seq: u64) -> SeqRef {
+        self.seq_map
+            .remove(&local_seq)
+            .expect("popped an event with no global identity")
+    }
+}
+
+/// One journal entry boundary the merge needs: when and as-whom a shard
+/// executed an event. The payload (scheds, metric ops, traces) lives in
+/// the caller's journal type.
+pub trait JournalBlock {
+    /// Execution instant of the block.
+    fn time(&self) -> SimTime;
+    /// Global identity of the executed event.
+    fn seq_ref(&self) -> SeqRef;
+}
+
+/// K-way merges per-shard journals back into global `(time, seq)` order.
+///
+/// `journals[i]` is shard `i`'s execution-ordered journal for one window.
+/// `replay` is called once per block, in global order, with
+/// `(shard, block)`; it must return the global sequence numbers assigned
+/// to the block's schedulings, in scheduling order, so later blocks that
+/// reference those children by ordinal can be positioned. Within a shard,
+/// `(time, resolved seq)` is non-decreasing (local execution follows the
+/// same comparator), which is what makes a streaming merge possible.
+pub fn merge_journals<B: JournalBlock>(
+    journals: Vec<Vec<B>>,
+    mut replay: impl FnMut(usize, &B) -> Vec<u64>,
+) {
+    let mut cursors = vec![0usize; journals.len()];
+    // Global seqs of each shard's window children, indexed by ordinal.
+    let mut child_seqs: Vec<Vec<u64>> = vec![Vec::new(); journals.len()];
+    loop {
+        let mut best: Option<(SimTime, u64, usize)> = None;
+        for (shard, j) in journals.iter().enumerate() {
+            let Some(block) = j.get(cursors[shard]) else {
+                continue;
+            };
+            let seq = match block.seq_ref() {
+                SeqRef::Orig(s) => s,
+                SeqRef::Child(ord) => child_seqs[shard][ord as usize],
+            };
+            let key = (block.time(), seq, shard);
+            if best.is_none_or(|(t, s, _)| (key.0, key.1) < (t, s)) {
+                best = Some(key);
+            }
+        }
+        let Some((_, _, shard)) = best else { break };
+        let block = &journals[shard][cursors[shard]];
+        cursors[shard] += 1;
+        let assigned = replay(shard, block);
+        child_seqs[shard].extend(assigned);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    struct Block {
+        time: SimTime,
+        seq_ref: SeqRef,
+        // Global seqs this block's scheds should be assigned (test fixture).
+        scheds: Vec<u64>,
+        label: u32,
+    }
+
+    impl JournalBlock for Block {
+        fn time(&self) -> SimTime {
+            self.time
+        }
+        fn seq_ref(&self) -> SeqRef {
+            self.seq_ref
+        }
+    }
+
+    fn b(t: u64, r: SeqRef, scheds: Vec<u64>, label: u32) -> Block {
+        Block {
+            time: SimTime::from_nanos(t),
+            seq_ref: r,
+            scheds,
+            label,
+        }
+    }
+
+    #[test]
+    fn merge_restores_global_order_with_child_resolution() {
+        // Shard 0: event seq 10 at t=5 schedules children that get global
+        // seqs 100 and 101; ordinal 1 (seq 101) executes at t=7.
+        // Shard 1: event seq 11 at t=5, event seq 50 at t=7.
+        // Global order: (5,10), (5,11), (7,50), (7,101).
+        let j0 = vec![
+            b(5, SeqRef::Orig(10), vec![100, 101], 0),
+            b(7, SeqRef::Child(1), vec![], 3),
+        ];
+        let j1 = vec![
+            b(5, SeqRef::Orig(11), vec![], 1),
+            b(7, SeqRef::Orig(50), vec![], 2),
+        ];
+        let mut order = Vec::new();
+        merge_journals(vec![j0, j1], |_, blk| {
+            order.push(blk.label);
+            blk.scheds.clone()
+        });
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn shard_state_round_trips_identities() {
+        let mut q: EventQueue<u32> = EventQueue::with_capacity(8);
+        let mut s = ShardState::new();
+        s.open_window(&q);
+        s.seed(&mut q, SimTime::from_nanos(3), 42, 1);
+        s.seed(&mut q, SimTime::from_nanos(3), 43, 2);
+        let ord_ret = s.sched_returned();
+        assert_eq!(ord_ret, 0);
+        let ord_loc = s.sched_local(&mut q, SimTime::from_nanos(4), 3);
+        assert_eq!(ord_loc, 1);
+        // Pop order: t=3 seeds in driver order, then the local child.
+        let e1 = q.pop().unwrap();
+        assert_eq!(e1.payload, 1);
+        assert_eq!(s.resolve_popped(e1.seq), SeqRef::Orig(42));
+        let e2 = q.pop().unwrap();
+        assert_eq!(e2.payload, 2);
+        assert_eq!(s.resolve_popped(e2.seq), SeqRef::Orig(43));
+        let e3 = q.pop().unwrap();
+        assert_eq!(e3.payload, 3);
+        assert_eq!(s.resolve_popped(e3.seq), SeqRef::Child(1));
+        s.open_window(&q);
+        assert_eq!(s.sched_returned(), 0, "ordinals reset per window");
+    }
+}

@@ -49,6 +49,12 @@ pub struct RunManifest {
     pub peak_arena: u64,
     /// Whether event tracing was on (overhead context for events/sec).
     pub telemetry_enabled: bool,
+    /// Logical cores on the host that ran the experiment (context for
+    /// sharded events/sec; 0 when unknown).
+    pub host_cores: u64,
+    /// Shards the engine actually executed in parallel (1 for the
+    /// single-threaded engine, including sharded-engine fallback).
+    pub shards: u64,
 }
 
 impl RunManifest {
@@ -70,7 +76,9 @@ impl RunManifest {
             .f64("events_per_sec", self.events_per_sec)
             .u64("peak_queue", self.peak_queue)
             .u64("peak_arena", self.peak_arena)
-            .bool("telemetry_enabled", self.telemetry_enabled);
+            .bool("telemetry_enabled", self.telemetry_enabled)
+            .u64("host_cores", self.host_cores)
+            .u64("shards", self.shards);
         o.finish()
     }
 
@@ -123,6 +131,8 @@ mod tests {
             peak_queue: 42,
             peak_arena: 7,
             telemetry_enabled: false,
+            host_cores: 1,
+            shards: 1,
         }
     }
 
@@ -134,6 +144,8 @@ mod tests {
         assert_eq!(m["events_processed"].as_u64(), Some(1000));
         assert_eq!(m["events_per_sec"].as_f64(), Some(4000.0));
         assert_eq!(m["telemetry_enabled"].as_bool(), Some(false));
+        assert_eq!(m["host_cores"].as_u64(), Some(1));
+        assert_eq!(m["shards"].as_u64(), Some(1));
     }
 
     #[test]

@@ -32,10 +32,12 @@
 
 pub mod fattree;
 pub mod graph;
+pub mod partition;
 pub mod roles;
 pub mod routing;
 
 pub use fattree::{FatTreeConfig, LinkSpec};
 pub use graph::{LinkId, Node, NodeId, NodeKind, Topology};
+pub use partition::PodPartition;
 pub use roles::{RoleMap, SwitchRole};
 pub use routing::Routing;

@@ -223,7 +223,7 @@ impl AgentOutput {
 }
 
 /// Per-switch translation behavior.
-pub trait SwitchAgent {
+pub trait SwitchAgent: Send {
     /// Processes one packet entering the switch, before routing.
     fn on_packet(&mut self, ctx: &mut SwitchCtx<'_>, pkt: &mut Packet) -> AgentOutput;
 
@@ -266,7 +266,7 @@ pub enum HostResolution {
 }
 
 /// Per-server sending behavior.
-pub trait HostAgent {
+pub trait HostAgent: Send {
     /// Decides how to address a packet for `dst_vip` belonging to the flow
     /// with key `flow_key`. Called for every outgoing packet (agents cache
     /// internally if they want per-flow behavior).

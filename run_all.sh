@@ -11,6 +11,9 @@
 set -e
 set -x
 cd "$(dirname "$0")"
+# --workspace is load-bearing: a bare `cargo build` at the root skips the
+# workspace members' binaries, leaving stale (or missing) bins under $B.
+cargo build --release --workspace
 B=./target/release
 $B/table3 "$@" > results/table3.txt 2>&1
 $B/table6 "$@" > results/table6.txt 2>&1

@@ -3,10 +3,13 @@
 
 Usage: check_perf.py COMMITTED.json FRESH.json [MIN_RATIO]
 
-Both files are `sv2p-perfbench/v1` baselines (see EXPERIMENTS.md for the
-schema). For every (workload, strategy) cell present in both, the fresh
-run must reach at least MIN_RATIO (default 0.5) of the committed
+Both files are `sv2p-perfbench/v2` baselines (see EXPERIMENTS.md for the
+schema). For every (workload, strategy, shards) cell present in both, the
+fresh run must reach at least MIN_RATIO (default 0.5) of the committed
 events/sec; otherwise the script prints the offending cells and exits 1.
+Committed cells absent from the fresh run are skipped (a `--shards 1` CI
+leg measures only the single-threaded rows of a baseline that also carries
+sharded rows), but at least one cell must be comparable.
 
 The 0.5 floor is deliberately loose: CI runners are noisy and shared, so
 the gate only catches order-of-magnitude regressions (an accidental debug
@@ -20,9 +23,9 @@ import sys
 def cells(path):
     with open(path) as f:
         doc = json.load(f)
-    if doc.get("schema") != "sv2p-perfbench/v1":
+    if doc.get("schema") != "sv2p-perfbench/v2":
         sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
-    return {(c["workload"], c["strategy"]): c for c in doc["cells"]}
+    return {(c["workload"], c["strategy"], c.get("shards", 1)): c for c in doc["cells"]}
 
 
 def main():
@@ -37,13 +40,13 @@ def main():
     for key, base in sorted(committed.items()):
         now = fresh.get(key)
         if now is None:
-            failures.append(f"{key}: missing from fresh run")
+            print(f"skip {key[0]:<14} {key[1]:<10} x{key[2]:<2} not in fresh run")
             continue
         compared += 1
         ratio = now["events_per_sec"] / max(base["events_per_sec"], 1e-9)
         status = "ok" if ratio >= min_ratio else "FAIL"
         print(
-            f"{status:4} {key[0]:<14} {key[1]:<10} "
+            f"{status:4} {key[0]:<14} {key[1]:<10} x{key[2]:<2} "
             f"{base['events_per_sec']:>12.0f} -> {now['events_per_sec']:>12.0f} ev/s "
             f"({ratio:.2f}x, floor {min_ratio:.2f}x)"
         )
