@@ -17,6 +17,14 @@
 //! * `--telemetry DIR` — enable structured tracing and write
 //!   `<label>.events.jsonl` / `<label>.samples.jsonl` per run into DIR.
 //!
+//! The `churn` bin additionally honours:
+//!
+//! * `--churn-horizon-us N` — churn timeline length (default scale-based);
+//! * `--churn-waves N` — migration-wave count override for every intensity;
+//! * `--churn-wave-fraction F` — fraction of live VMs each wave migrates;
+//! * `--churn-queue-cap N` — gateway bounded-queue capacity (0 = legacy
+//!   unbounded gateway, no shedding).
+//!
 //! The first argument that is not one of these flags is the dataset /
 //! sub-command selector (`fig5 -- hadoop`, `fig6 -- all`, …).
 
@@ -45,6 +53,14 @@ pub struct BenchArgs {
     pub shards: Option<u16>,
     /// `--telemetry DIR`: trace every run into DIR.
     pub telemetry: Option<PathBuf>,
+    /// `--churn-horizon-us N`: churn timeline length override.
+    pub churn_horizon_us: Option<u64>,
+    /// `--churn-waves N`: migration-wave count override.
+    pub churn_waves: Option<u32>,
+    /// `--churn-wave-fraction F`: per-wave migrated fraction override.
+    pub churn_wave_fraction: Option<f64>,
+    /// `--churn-queue-cap N`: gateway bounded-queue capacity override.
+    pub churn_queue_cap: Option<u32>,
 }
 
 impl BenchArgs {
@@ -55,6 +71,10 @@ impl BenchArgs {
             seed: None,
             shards: None,
             telemetry: None,
+            churn_horizon_us: None,
+            churn_waves: None,
+            churn_wave_fraction: None,
+            churn_queue_cap: None,
         };
         let mut it = argv.peekable();
         while let Some(arg) = it.next() {
@@ -75,6 +95,40 @@ impl BenchArgs {
                         .next()
                         .unwrap_or_else(|| die("--telemetry needs a directory"));
                     out.telemetry = Some(PathBuf::from(v));
+                }
+                "--churn-horizon-us" => {
+                    let v = it
+                        .next()
+                        .unwrap_or_else(|| die("--churn-horizon-us needs a value"));
+                    out.churn_horizon_us = Some(
+                        v.parse()
+                            .unwrap_or_else(|_| die("--churn-horizon-us needs an integer")),
+                    );
+                }
+                "--churn-waves" => {
+                    let v = it.next().unwrap_or_else(|| die("--churn-waves needs a value"));
+                    out.churn_waves = Some(
+                        v.parse()
+                            .unwrap_or_else(|_| die("--churn-waves needs an integer")),
+                    );
+                }
+                "--churn-wave-fraction" => {
+                    let v = it
+                        .next()
+                        .unwrap_or_else(|| die("--churn-wave-fraction needs a value"));
+                    out.churn_wave_fraction = Some(
+                        v.parse()
+                            .unwrap_or_else(|_| die("--churn-wave-fraction needs a number")),
+                    );
+                }
+                "--churn-queue-cap" => {
+                    let v = it
+                        .next()
+                        .unwrap_or_else(|| die("--churn-queue-cap needs a value"));
+                    out.churn_queue_cap = Some(
+                        v.parse()
+                            .unwrap_or_else(|_| die("--churn-queue-cap needs an integer")),
+                    );
                 }
                 other if !other.starts_with("--") && out.dataset.is_none() => {
                     out.dataset = Some(other.to_string());
@@ -332,6 +386,24 @@ mod tests {
         assert_eq!(a.seed(), 7);
         assert_eq!(a.shards(), 4);
         assert_eq!(a.telemetry.as_deref(), Some(Path::new("out")));
+    }
+
+    #[test]
+    fn parses_churn_knobs() {
+        let a = parse(&[
+            "--churn-horizon-us",
+            "30000",
+            "--churn-waves",
+            "5",
+            "--churn-wave-fraction",
+            "0.4",
+            "--churn-queue-cap",
+            "32",
+        ]);
+        assert_eq!(a.churn_horizon_us, Some(30_000));
+        assert_eq!(a.churn_waves, Some(5));
+        assert_eq!(a.churn_wave_fraction, Some(0.4));
+        assert_eq!(a.churn_queue_cap, Some(32));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Shared experiment machinery.
 
 use sv2p_metrics::RunSummary;
-use sv2p_netsim::{Engine, FlowKind, FlowSpec, SimConfig};
+use sv2p_netsim::{ChurnPlan, ChurnSpec, Engine, FlowKind, FlowSpec, SimConfig};
 use sv2p_simcore::{FxHashMap, SimDuration, SimTime};
 use sv2p_topology::FatTreeConfig;
 use sv2p_traces::{FlowProfile, TraceFlow};
@@ -180,6 +180,12 @@ pub struct ExperimentSpec {
     pub cache_entries: usize,
     /// Migrations to apply (VM index, time µs, "move to last server").
     pub migrations: Vec<(usize, u64)>,
+    /// Continuous-churn scenario: expanded against the placement at build
+    /// time into tenant traffic, migration waves and timeline marks.
+    pub churn: Option<ChurnSpec>,
+    /// Gateway bounded-queue capacity (0 = the legacy infinitely parallel
+    /// gateway; >0 turns on the single-server overload model that sheds).
+    pub gateway_queue_cap: u32,
     /// Hard simulation-time stop in µs (guards overload configurations
     /// where TCP would retry for a very long simulated time).
     pub end_of_time_us: Option<u64>,
@@ -209,6 +215,8 @@ impl ExperimentSpec {
                 strategy,
                 cache_entries: 0,
                 migrations: Vec::new(),
+                churn: None,
+                gateway_queue_cap: 0,
                 end_of_time_us: None,
                 seed: 1,
                 shards: crate::cli::args().shards(),
@@ -227,12 +235,13 @@ impl ExperimentSpec {
         } else {
             sv2p_telemetry::TelemetryConfig::disabled()
         };
-        let cfg = SimConfig {
+        let mut cfg = SimConfig {
             seed: self.seed,
             end_of_time: self.end_of_time_us.map(SimTime::from_micros),
             telemetry,
             ..SimConfig::default()
         };
+        cfg.gateway.queue_cap = self.gateway_queue_cap;
         let mut sim = Engine::new(
             cfg,
             &self.topology,
@@ -257,6 +266,11 @@ impl ExperimentSpec {
                 target.0,
                 target.1,
             ));
+        }
+        if let Some(churn) = &self.churn {
+            let servers: Vec<_> = sim.topology().servers().map(|n| (n.id, n.pip)).collect();
+            let plan = ChurnPlan::generate(churn, sim.placement(), &servers);
+            sim.apply_churn_plan(&plan);
         }
         sim
     }
@@ -298,6 +312,18 @@ impl ExperimentSpecBuilder {
     /// Migrations to apply (VM index, time µs, "move to last server").
     pub fn migrations(mut self, m: Vec<(usize, u64)>) -> Self {
         self.spec.migrations = m;
+        self
+    }
+
+    /// Continuous-churn scenario to expand and register at build time.
+    pub fn churn(mut self, spec: ChurnSpec) -> Self {
+        self.spec.churn = Some(spec);
+        self
+    }
+
+    /// Gateway bounded-queue capacity (default 0 = legacy unbounded model).
+    pub fn gateway_queue_cap(mut self, cap: u32) -> Self {
+        self.spec.gateway_queue_cap = cap;
         self
     }
 
@@ -587,8 +613,13 @@ pub fn print_figure5_panels(title: &str, table: &FigureTable, cache_fracs: &[f64
 /// Formats a summary's per-cause drop counters on one line.
 pub fn drop_breakdown(s: &RunSummary) -> String {
     format!(
-        "drops total {} (queue {}, unroutable {}, blackout {}, loss {})",
-        s.packets_dropped, s.drops_queue, s.drops_unroutable, s.drops_blackout, s.drops_loss
+        "drops total {} (queue {}, unroutable {}, blackout {}, loss {}, shed {})",
+        s.packets_dropped,
+        s.drops_queue,
+        s.drops_unroutable,
+        s.drops_blackout,
+        s.drops_loss,
+        s.drops_shed
     )
 }
 
@@ -618,6 +649,8 @@ mod tests {
         assert_eq!(s.vms_per_server, 80);
         assert!(s.flows.is_empty() && s.migrations.is_empty());
         assert_eq!(s.cache_entries, 0);
+        assert!(s.churn.is_none());
+        assert_eq!(s.gateway_queue_cap, 0, "legacy gateway model by default");
         assert_eq!(s.end_of_time_us, None);
         assert_eq!(s.seed, 1);
         assert_eq!(s.shards, 1, "no --shards flag means single-threaded");

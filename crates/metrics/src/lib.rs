@@ -63,6 +63,26 @@ pub enum DropCause {
     Blackout,
     /// Stochastic loss injected by a `LossRate` fault.
     Loss,
+    /// Shed by an overloaded gateway whose bounded ingress queue was full.
+    GatewayShed,
+}
+
+/// One VM migration and the stale-cache exposure it caused, in migration
+/// order. `last_stale_ns` starts at the migration instant, so a migration
+/// nobody's cache was stale for reports a recovery time of zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct MigrationEvent {
+    /// Raw VIP key of the migrated VM.
+    pub vip: u32,
+    /// When the mapping changed, virtual nanoseconds.
+    pub at_ns: u64,
+    /// Cache hits served from a stale entry for this VIP after this
+    /// migration (and before any later migration of the same VIP).
+    pub stale_hits: u64,
+    /// Virtual time of the last such stale hit — `last_stale_ns - at_ns`
+    /// is the recovery time: how long the network kept acting on the old
+    /// mapping.
+    pub last_stale_ns: u64,
 }
 
 /// One injected fault, timestamped so experiments can align time series to
@@ -147,6 +167,8 @@ pub struct Metrics {
     pub drops_blackout: u64,
     /// Drops from injected stochastic loss.
     pub drops_loss: u64,
+    /// Drops shed by overloaded gateways (bounded ingress queue full).
+    pub drops_shed: u64,
     /// Tenant data packets that were processed by a translation gateway.
     pub gateway_packets: u64,
     /// Tenant data packets that a switch cache resolved.
@@ -183,6 +205,28 @@ pub struct Metrics {
     pub reordered_segments: u64,
     /// TCP retransmissions summed over senders.
     pub retransmissions: u64,
+
+    /// Cache hits that served a mapping disagreeing with the ground-truth
+    /// database (misdelivery exposure).
+    pub stale_cache_hits: u64,
+    /// Age of the stale entry at each attributable stale hit, nanoseconds
+    /// since the migration that invalidated it. Sorted lazily by
+    /// [`Metrics::summary`] for the exposure percentiles.
+    pub stale_age_ns: Vec<u64>,
+    /// Every migration with its stale-exposure accounting, in registration
+    /// order (index-aligned across sharded replicas so the driver can
+    /// zip-merge them).
+    pub migration_events: Vec<MigrationEvent>,
+    /// VIP key → index of its latest entry in `migration_events`, for
+    /// attributing stale hits.
+    stale_attr: FxHashMap<u32, usize>,
+    /// Churn tenants that arrived (master-only: churn marks execute on the
+    /// driver and are never broadcast).
+    pub churn_arrivals: u64,
+    /// Churn tenants that departed (master-only).
+    pub churn_departures: u64,
+    /// Rolling migration waves that started (master-only).
+    pub migration_waves: u64,
 
     /// Injected faults, in injection order.
     pub fault_events: Vec<FaultAnnotation>,
@@ -311,7 +355,36 @@ impl Metrics {
             DropCause::Unroutable => self.drops_unroutable += 1,
             DropCause::Blackout => self.drops_blackout += 1,
             DropCause::Loss => self.drops_loss += 1,
+            DropCause::GatewayShed => self.drops_shed += 1,
         }
+    }
+
+    /// Records that `vip_key` migrated at `at` (its scheduled instant, so
+    /// sharded replicas and the single-threaded oracle agree on the
+    /// timestamp). Later stale hits on the VIP attribute to this entry.
+    pub fn record_migration(&mut self, vip_key: u32, at: SimTime) {
+        let idx = self.migration_events.len();
+        self.migration_events.push(MigrationEvent {
+            vip: vip_key,
+            at_ns: at.as_nanos(),
+            stale_hits: 0,
+            last_stale_ns: at.as_nanos(),
+        });
+        self.stale_attr.insert(vip_key, idx);
+    }
+
+    /// A cache hit served a stale mapping for `vip_key` at `now`. Returns
+    /// the stale entry's age (ns since the migration that invalidated it)
+    /// when the hit attributes to a recorded migration.
+    pub fn record_stale_hit(&mut self, vip_key: u32, now: SimTime) -> Option<u64> {
+        self.stale_cache_hits += 1;
+        let &idx = self.stale_attr.get(&vip_key)?;
+        let ev = &mut self.migration_events[idx];
+        let age = now.as_nanos().saturating_sub(ev.at_ns);
+        ev.stale_hits += 1;
+        ev.last_stale_ns = ev.last_stale_ns.max(now.as_nanos());
+        self.stale_age_ns.push(age);
+        Some(age)
     }
 
     /// Records an injected fault so time series can be aligned to it.
@@ -426,6 +499,7 @@ impl Metrics {
         self.drops_unroutable += other.drops_unroutable;
         self.drops_blackout += other.drops_blackout;
         self.drops_loss += other.drops_loss;
+        self.drops_shed += other.drops_shed;
         self.gateway_packets += other.gateway_packets;
         self.cache_hits += other.cache_hits;
         for (&l, &n) in &other.hits_by_layer {
@@ -443,6 +517,15 @@ impl Metrics {
         self.learning_packets += other.learning_packets;
         self.spillover_inserts += other.spillover_inserts;
         self.promotion_inserts += other.promotion_inserts;
+        self.stale_cache_hits += other.stale_cache_hits;
+        self.stale_age_ns.extend_from_slice(&other.stale_age_ns);
+        // Migration tables are mirrored into every replica in the same
+        // order, so per-migration exposure merges index-wise.
+        debug_assert!(other.migration_events.len() <= self.migration_events.len());
+        for (ev, o) in self.migration_events.iter_mut().zip(&other.migration_events) {
+            ev.stale_hits += o.stale_hits;
+            ev.last_stale_ns = ev.last_stale_ns.max(o.last_stale_ns);
+        }
         if other.windows.len() > self.windows.len() {
             self.windows
                 .resize(other.windows.len(), WindowStat::default());
@@ -497,6 +580,24 @@ impl Metrics {
         };
         let (hit_core, hit_spine, hit_tor) = layer_share(&self.hits_by_layer);
         let (fhit_core, fhit_spine, fhit_tor) = layer_share(&self.first_hits_by_layer);
+        self.stale_age_ns.sort_unstable();
+        let age_q = |q: f64| -> f64 {
+            if self.stale_age_ns.is_empty() {
+                return 0.0;
+            }
+            let idx = ((self.stale_age_ns.len() - 1) as f64 * q).round() as usize;
+            self.stale_age_ns[idx] as f64 / 1_000.0
+        };
+        let recoveries = self
+            .migration_events
+            .iter()
+            .map(|ev| ev.last_stale_ns.saturating_sub(ev.at_ns) as f64 / 1_000.0);
+        let recovery_max_us = recoveries.clone().fold(0.0f64, f64::max);
+        let recovery_avg_us = if self.migration_events.is_empty() {
+            0.0
+        } else {
+            recoveries.sum::<f64>() / self.migration_events.len() as f64
+        };
         RunSummary {
             name: name.to_string(),
             flows: self.flows.len() as u64,
@@ -508,6 +609,7 @@ impl Metrics {
             drops_unroutable: self.drops_unroutable,
             drops_blackout: self.drops_blackout,
             drops_loss: self.drops_loss,
+            drops_shed: self.drops_shed,
             fault_count: self.fault_events.len() as u64,
             gateway_packets: self.gateway_packets,
             hit_rate: self.hit_rate(),
@@ -530,6 +632,15 @@ impl Metrics {
             first_hit_share_core: fhit_core,
             first_hit_share_spine: fhit_spine,
             first_hit_share_tor: fhit_tor,
+            migrations: self.migration_events.len() as u64,
+            churn_arrivals: self.churn_arrivals,
+            churn_departures: self.churn_departures,
+            migration_waves: self.migration_waves,
+            stale_cache_hits: self.stale_cache_hits,
+            stale_age_p50_us: age_q(0.50),
+            stale_age_p99_us: age_q(0.99),
+            recovery_avg_us,
+            recovery_max_us,
         }
     }
 }
@@ -557,6 +668,8 @@ pub struct RunSummary {
     pub drops_blackout: u64,
     /// Drops from injected stochastic loss.
     pub drops_loss: u64,
+    /// Drops shed by overloaded gateways.
+    pub drops_shed: u64,
     /// Fault events injected during the run.
     pub fault_count: u64,
     /// Data packets processed by gateways.
@@ -601,6 +714,25 @@ pub struct RunSummary {
     pub first_hit_share_spine: f64,
     /// See `first_hit_share_core`.
     pub first_hit_share_tor: f64,
+    /// VM migrations executed.
+    pub migrations: u64,
+    /// Churn tenants that arrived.
+    pub churn_arrivals: u64,
+    /// Churn tenants that departed.
+    pub churn_departures: u64,
+    /// Rolling migration waves.
+    pub migration_waves: u64,
+    /// Cache hits served from a stale mapping (misdelivery exposure).
+    pub stale_cache_hits: u64,
+    /// Median stale-entry age at hit time, µs since the migration.
+    pub stale_age_p50_us: f64,
+    /// 99th-percentile stale-entry age, µs.
+    pub stale_age_p99_us: f64,
+    /// Mean time from a migration to its last stale-cache hit, µs
+    /// (migrations with no stale exposure count as zero).
+    pub recovery_avg_us: f64,
+    /// Worst-case recovery time over all migrations, µs.
+    pub recovery_max_us: f64,
 }
 
 #[cfg(test)]
@@ -717,16 +849,73 @@ mod tests {
         m.record_drop(DropCause::Unroutable);
         m.record_drop(DropCause::Blackout);
         m.record_drop(DropCause::Loss);
-        assert_eq!(m.packets_dropped, 5);
+        m.record_drop(DropCause::GatewayShed);
+        assert_eq!(m.packets_dropped, 6);
         assert_eq!(m.drops_queue, 2);
         assert_eq!(m.drops_unroutable, 1);
         assert_eq!(m.drops_blackout, 1);
         assert_eq!(m.drops_loss, 1);
+        assert_eq!(m.drops_shed, 1);
         let s = m.summary("x");
         assert_eq!(
             s.packets_dropped,
-            s.drops_queue + s.drops_unroutable + s.drops_blackout + s.drops_loss
+            s.drops_queue + s.drops_unroutable + s.drops_blackout + s.drops_loss + s.drops_shed
         );
+    }
+
+    #[test]
+    fn stale_hits_attribute_to_latest_migration() {
+        let mut m = Metrics::new();
+        let us = SimTime::from_micros;
+        m.record_migration(7, us(100));
+        assert_eq!(m.record_stale_hit(7, us(130)), Some(30_000));
+        assert_eq!(m.record_stale_hit(7, us(110)), Some(10_000));
+        // A hit on a VIP that never migrated counts but has no age.
+        assert_eq!(m.record_stale_hit(9, us(140)), None);
+        // A second migration of the same VIP takes over attribution.
+        m.record_migration(7, us(200));
+        assert_eq!(m.record_stale_hit(7, us(250)), Some(50_000));
+        assert_eq!(m.stale_cache_hits, 4);
+        assert_eq!(m.migration_events[0].stale_hits, 2);
+        assert_eq!(m.migration_events[0].last_stale_ns, 130_000);
+        assert_eq!(m.migration_events[1].stale_hits, 1);
+        let s = m.summary("x");
+        assert_eq!(s.migrations, 2);
+        assert_eq!(s.stale_cache_hits, 4);
+        // Ages sorted: [10, 30, 50] µs → p50 = 30.
+        assert!((s.stale_age_p50_us - 30.0).abs() < 1e-9);
+        assert!((s.stale_age_p99_us - 50.0).abs() < 1e-9);
+        // Recoveries: 30 µs and 50 µs.
+        assert!((s.recovery_avg_us - 40.0).abs() < 1e-9);
+        assert!((s.recovery_max_us - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clean_migration_reports_zero_recovery() {
+        let mut m = Metrics::new();
+        m.record_migration(1, SimTime::from_micros(50));
+        let s = m.summary("x");
+        assert_eq!(s.migrations, 1);
+        assert_eq!(s.stale_cache_hits, 0);
+        assert_eq!(s.recovery_avg_us, 0.0);
+        assert_eq!(s.recovery_max_us, 0.0);
+    }
+
+    #[test]
+    fn absorb_shard_merges_stale_exposure() {
+        let mut master = Metrics::new();
+        let us = SimTime::from_micros;
+        master.record_migration(7, us(100));
+        let mut shard = Metrics::new();
+        shard.record_migration(7, us(100));
+        shard.record_stale_hit(7, us(160));
+        shard.record_drop(DropCause::GatewayShed);
+        master.absorb_shard(&shard);
+        assert_eq!(master.stale_cache_hits, 1);
+        assert_eq!(master.stale_age_ns, vec![60_000]);
+        assert_eq!(master.migration_events[0].stale_hits, 1);
+        assert_eq!(master.migration_events[0].last_stale_ns, 160_000);
+        assert_eq!(master.drops_shed, 1);
     }
 
     #[test]

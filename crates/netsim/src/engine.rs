@@ -14,6 +14,7 @@ use sv2p_telemetry::Tracer;
 use sv2p_topology::{FatTreeConfig, NodeId, NodeKind, RoleMap, Routing, SwitchRole, Topology};
 use sv2p_vnet::{GatewayDirectory, MappingDb, Migration, Placement, Strategy};
 
+use crate::churn::ChurnPlan;
 use crate::config::SimConfig;
 use crate::faults::FaultPlan;
 use crate::flows::FlowSpec;
@@ -31,8 +32,7 @@ pub enum Engine {
 impl Engine {
     /// Builds the engine implied by `shards`: the plain simulator for
     /// `shards <= 1`, the pod-sharded engine otherwise (which itself falls
-    /// back to single-threaded execution on degenerate partitions or when
-    /// migrations are registered).
+    /// back to single-threaded execution on degenerate partitions).
     pub fn new(
         cfg: SimConfig,
         ft: &FatTreeConfig,
@@ -84,11 +84,21 @@ impl Engine {
         }
     }
 
-    /// Registers a VM migration (drops the sharded engine to fallback).
+    /// Registers a VM migration (sharded: a global event whose flow state
+    /// moves between owner shards at the migration instant).
     pub fn add_migration(&mut self, m: Migration) {
         match self {
             Engine::Single(s) => s.add_migration(m),
             Engine::Sharded(s) => s.add_migration(m),
+        }
+    }
+
+    /// Registers a precomputed churn plan: its flows, migration waves, and
+    /// timeline marks.
+    pub fn apply_churn_plan(&mut self, plan: &ChurnPlan) {
+        match self {
+            Engine::Single(s) => s.apply_churn_plan(plan),
+            Engine::Sharded(s) => s.apply_churn_plan(plan),
         }
     }
 
@@ -245,6 +255,16 @@ impl Engine {
         match self {
             Engine::Single(s) => s.cache_occupancy(),
             Engine::Sharded(s) => s.cache_occupancy(),
+        }
+    }
+
+    /// Every cached `(switch, vip, pip)` line that disagrees with the
+    /// ground-truth mapping database — the stale entries a migration left
+    /// behind that no strategy machinery has corrected yet.
+    pub fn stale_cache_entries(&self) -> Vec<(NodeId, Vip, Pip)> {
+        match self {
+            Engine::Single(s) => s.stale_cache_entries(),
+            Engine::Sharded(s) => s.stale_cache_entries(),
         }
     }
 

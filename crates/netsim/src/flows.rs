@@ -1,7 +1,7 @@
 //! Flow specifications and runtime flow state.
 
 use sv2p_packet::FlowId;
-use sv2p_simcore::{SimTime, TimerHandle};
+use sv2p_simcore::SimTime;
 use sv2p_transport::{TcpReceiver, TcpSender, UdpSchedule};
 
 /// What kind of traffic a flow carries.
@@ -42,8 +42,12 @@ pub(crate) struct FlowState {
     pub tcp_tx: Option<TcpSender>,
     /// TCP receiver machine.
     pub tcp_rx: TcpReceiver,
-    /// Retransmission timer.
-    pub rto_timer: Option<TimerHandle>,
+    /// Retransmission-timer generation: each arm bumps it, and a pending
+    /// `RtoTimer` event only fires if it still carries the current value.
+    /// A plain counter (rather than a `TimerWheel` handle) so the whole
+    /// timer state travels with the flow when a migration moves it to
+    /// another shard's replica.
+    pub rto_gen: u64,
     /// Datagrams delivered so far (UDP completion tracking).
     pub udp_delivered: usize,
     /// Total datagrams in the UDP schedule.
@@ -64,7 +68,7 @@ impl FlowState {
             spec,
             tcp_tx: None,
             tcp_rx: TcpReceiver::new(),
-            rto_timer: None,
+            rto_gen: 0,
             udp_delivered: 0,
             udp_total,
             completed: false,

@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod arena;
+pub mod churn;
 pub mod config;
 pub mod engine;
 pub mod faults;
@@ -31,6 +32,7 @@ pub mod sim;
 mod wire;
 
 pub use arena::{PacketArena, PacketRef};
+pub use churn::{ChurnMark, ChurnPlan, ChurnSpec};
 pub use config::SimConfig;
 pub use engine::Engine;
 pub use faults::{FaultEvent, FaultPlan};

@@ -26,18 +26,27 @@
 //!    them onto the master metrics, tracer and calendar — so summaries and
 //!    telemetry are byte-identical to a single-threaded run regardless of
 //!    shard count.
-//! 4. Global events (faults, telemetry samples) pause the windowing: the
-//!    driver executes them itself at their exact global position and
-//!    broadcasts state changes to every worker.
+//! 4. Global events (faults, migrations, churn marks, telemetry samples)
+//!    pause the windowing: the driver executes them itself at their exact
+//!    global position and broadcasts state changes to every worker.
+//!
+//! # Migrations
+//!
+//! A VM migration is a global event: every replica applies the mapping,
+//! placement, and follow-me updates at the migration instant, so event
+//! ownership (which is re-derived from the placement per event) flips to
+//! the new shard for everything scheduled afterwards. When the old and new
+//! hosts live on different shards, the driver additionally moves the
+//! affected flows' transport state (TCP sender/receiver machines, RTO
+//! generations, UDP delivery counters) from the old owner replica to the
+//! new one — both shards are quiescent between windows, so the transfer
+//! is race-free and the run stays byte-identical to the oracle.
 //!
 //! # Limitations
 //!
-//! VM migrations move a flow endpoint between shards mid-run, which would
-//! require transferring live transport state across workers. Registering a
-//! migration therefore drops the engine into single-threaded fallback (the
-//! driver is a complete oracle simulation and simply runs everything
-//! itself). The same fallback covers degenerate partitions (one shard, or
-//! zero lookahead).
+//! Degenerate partitions (one shard, or zero lookahead) run the driver
+//! alone as a single-threaded fallback: the driver is a complete oracle
+//! simulation and simply runs everything itself.
 
 use std::sync::mpsc;
 
@@ -48,11 +57,14 @@ use sv2p_telemetry::{Sample, Tracer};
 use sv2p_topology::{FatTreeConfig, NodeId, NodeKind, PodPartition, RoleMap, Routing, Topology};
 use sv2p_vnet::{GatewayDirectory, MappingDb, Migration, Placement, Strategy};
 
+use crate::churn::ChurnPlan;
 use crate::config::SimConfig;
 use crate::faults::FaultPlan;
 use crate::flows::FlowSpec;
 use crate::sim::{Event, Simulation};
-use crate::wire::{ExecBlock, GlobalEvent, JournalOp, MetricOp, ShardSnapshot, WireEvent};
+use crate::wire::{
+    ExecBlock, FlowXfer, GlobalEvent, JournalOp, MetricOp, ShardSnapshot, WireEvent,
+};
 
 /// Driver → worker commands. The channel is bounded: the protocol is
 /// strict request/response per window, so a small depth suffices.
@@ -62,6 +74,13 @@ enum ToWorker {
         end: SimTime,
     },
     Global(GlobalEvent),
+    /// Extract (and zero) the transport state of flows whose endpoint VM
+    /// `vm` just migrated off this shard; answered with `FromWorker::Flows`.
+    TakeMigrated {
+        vm: usize,
+    },
+    /// Install transport state extracted from the old owner shard.
+    PutMigrated(Vec<FlowXfer>),
     Snapshot {
         widx: usize,
     },
@@ -71,6 +90,7 @@ enum ToWorker {
 /// Worker → driver responses.
 enum FromWorker {
     Journal(Vec<ExecBlock>),
+    Flows(Vec<FlowXfer>),
     Snapshot(ShardSnapshot),
 }
 
@@ -88,8 +108,8 @@ pub struct ShardedSimulation {
     last_block_time: SimTime,
     /// Provisional → global packet-id map (tracing only).
     pkt_map: FxHashMap<u64, u64>,
-    /// Run the driver alone, single-threaded (migrations registered, or a
-    /// degenerate partition).
+    /// Run the driver alone, single-threaded (degenerate partition: one
+    /// shard, or zero lookahead).
     fallback: bool,
     /// Shard-local counters have been folded into the master metrics.
     folded: bool,
@@ -137,8 +157,7 @@ impl ShardedSimulation {
         &self.partition
     }
 
-    /// True when the engine runs the driver alone (migrations registered
-    /// or a degenerate partition).
+    /// True when the engine runs the driver alone (degenerate partition).
     pub fn is_fallback(&self) -> bool {
         self.fallback
     }
@@ -153,17 +172,27 @@ impl ShardedSimulation {
         self.driver.add_flows(specs);
     }
 
-    /// Registers a VM migration. Migrations move transport state across
-    /// shards, which the windowed engine does not support: the run drops
-    /// to single-threaded fallback.
+    /// Registers a VM migration on the driver's calendar and mirrors the
+    /// migration table into every worker replica (broadcast `Migrate`
+    /// events carry table indices). At the migration instant the driver
+    /// closes the window, broadcasts the placement/database update, and
+    /// moves the affected flows' transport state between owner shards.
     pub fn add_migration(&mut self, m: Migration) {
-        assert_eq!(
-            self.exec_count, 0,
-            "migrations must be registered before the run starts"
-        );
-        self.fallback = true;
-        self.replicas.clear();
+        for rep in &mut self.replicas {
+            rep.register_migrations([m]);
+        }
         self.driver.add_migration(m);
+    }
+
+    /// Registers a churn plan fleet-wide: the flow table and the migration
+    /// table are mirrored into every replica; the driver owns the calendar
+    /// and the churn-mark timeline (marks never touch worker state).
+    pub fn apply_churn_plan(&mut self, plan: &ChurnPlan) {
+        for rep in &mut self.replicas {
+            rep.register_flows(plan.flows.iter().cloned());
+            rep.register_migrations(plan.migrations.iter().copied());
+        }
+        self.driver.apply_churn_plan(plan);
     }
 
     /// Registers a fault plan on the driver and mirrors the plan table
@@ -220,6 +249,11 @@ impl ShardedSimulation {
                                 let _ = tx_res.send(FromWorker::Journal(journal));
                             }
                             ToWorker::Global(g) => rep.apply_global(g),
+                            ToWorker::TakeMigrated { vm } => {
+                                let _ = tx_res
+                                    .send(FromWorker::Flows(rep.extract_migrated_flows(vm)));
+                            }
+                            ToWorker::PutMigrated(bundles) => rep.inject_migrated_flows(bundles),
                             ToWorker::Snapshot { widx } => {
                                 let _ =
                                     tx_res.send(FromWorker::Snapshot(rep.shard_snapshot(widx)));
@@ -287,7 +321,7 @@ impl ShardedSimulation {
                     }
                     match rx.recv().expect("worker alive") {
                         FromWorker::Journal(j) => journals.push(j),
-                        FromWorker::Snapshot(_) => unreachable!("no snapshot pending"),
+                        _ => unreachable!("no snapshot or transfer pending"),
                     }
                 }
 
@@ -371,7 +405,7 @@ impl ShardedSimulation {
                                         s.win_data_sent += p.win_data_sent;
                                         s.win_gateway += p.win_gateway;
                                     }
-                                    FromWorker::Journal(_) => unreachable!("no window pending"),
+                                    _ => unreachable!("no window or transfer pending"),
                                 }
                             }
                             let hit_rate_window = if s.win_data_sent == 0 {
@@ -419,9 +453,43 @@ impl ShardedSimulation {
                                     .expect("worker alive");
                             }
                         }
-                        Event::Migrate(_) => {
-                            unreachable!("migrations force single-threaded fallback")
+                        Event::Migrate(i) => {
+                            // Resolve old/new owner shards BEFORE the
+                            // broadcast mutates the placement fleet-wide.
+                            let m = driver.migration(i);
+                            let vm = driver
+                                .placement
+                                .index_of(m.vip)
+                                .expect("migrating unknown VIP");
+                            let old_shard =
+                                shard_map[driver.placement.node_of(vm).0 as usize];
+                            let new_shard = shard_map[m.to_node.0 as usize];
+                            driver.apply_global(GlobalEvent::Migrate(i));
+                            for tx in &to_workers {
+                                tx.send(ToWorker::Global(GlobalEvent::Migrate(i)))
+                                    .expect("worker alive");
+                            }
+                            if old_shard != new_shard {
+                                // Move the affected flows' transport state
+                                // to the new owner. Per-channel FIFO means
+                                // both shards apply the migration before
+                                // the transfer messages arrive.
+                                to_workers[old_shard as usize]
+                                    .send(ToWorker::TakeMigrated { vm })
+                                    .expect("worker alive");
+                                let bundles = match from_workers[old_shard as usize]
+                                    .recv()
+                                    .expect("worker alive")
+                                {
+                                    FromWorker::Flows(b) => b,
+                                    _ => unreachable!("flow transfer pending"),
+                                };
+                                to_workers[new_shard as usize]
+                                    .send(ToWorker::PutMigrated(bundles))
+                                    .expect("worker alive");
+                            }
                         }
+                        Event::ChurnMark(i) => driver.on_churn_mark(i),
                         _ => unreachable!("not a global event"),
                     }
                 }
@@ -524,9 +592,28 @@ impl ShardedSimulation {
         self.driver.gateway_directory()
     }
 
-    /// The VM placement (static: migrations force fallback).
+    /// The VM placement (the driver's copy; broadcast migrations keep it
+    /// in sync fleet-wide).
     pub fn placement(&self) -> &Placement {
         &self.driver.placement
+    }
+
+    /// Every cached `(switch, vip, pip)` line that disagrees with the
+    /// ground-truth mapping database, read from each switch's owning shard
+    /// (rows grouped by shard, cache-line order within an agent).
+    pub fn stale_cache_entries(&self) -> Vec<(NodeId, Vip, Pip)> {
+        if self.fallback {
+            return self.driver.stale_cache_entries();
+        }
+        let mut out = Vec::new();
+        for (s, rep) in self.replicas.iter().enumerate() {
+            out.extend(
+                rep.stale_cache_entries()
+                    .into_iter()
+                    .filter(|(n, _, _)| self.partition.shard_of(*n) as usize == s),
+            );
+        }
+        out
     }
 
     /// The ground-truth V2P database.

@@ -1,15 +1,14 @@
 //! The simulation driver: event dispatch, node logic, flow driving.
 
+use std::collections::VecDeque;
+
 use sv2p_metrics::{DropCause, Layer, Metrics, SwitchInfo};
 use sv2p_packet::packet::Protocol;
 use sv2p_packet::{
     FlowId, InnerHeader, OuterHeader, Packet, PacketId, PacketKind, Pip, SwitchTag, TcpFlags,
     TunnelOptions, Vip,
 };
-use sv2p_simcore::timer::TimerToken;
-use sv2p_simcore::{
-    EventQueue, FxHashMap, FxHashSet, SimDuration, SimRng, SimTime, TimerWheel,
-};
+use sv2p_simcore::{EventQueue, FxHashMap, FxHashSet, SimDuration, SimRng, SimTime};
 use sv2p_telemetry::{EventKind, LayerName, Sample, TraceEvent, Tracer};
 use sv2p_topology::{
     FatTreeConfig, LinkId, NodeId, NodeKind, RoleMap, Routing, Topology,
@@ -21,12 +20,13 @@ use sv2p_vnet::{
 };
 
 use crate::arena::{PacketArena, PacketRef};
+use crate::churn::{ChurnMark, ChurnPlan};
 use crate::config::SimConfig;
 use crate::faults::{FaultEvent, FaultPlan};
 use crate::flows::{FlowKind, FlowSpec, FlowState};
 use crate::link::{EnqueueOutcome, LinkState};
 use crate::wire::{
-    ExecBlock, GlobalEvent, JournalOp, MetricOp, ShardSnapshot, WireEvent, WorkerCtx,
+    ExecBlock, FlowXfer, GlobalEvent, JournalOp, MetricOp, ShardSnapshot, WireEvent, WorkerCtx,
 };
 
 /// Simulator events. Packet-carrying events hold an arena handle, so an
@@ -37,13 +37,16 @@ pub(crate) enum Event {
     UdpSend { flow: usize, idx: usize },
     LinkFree(LinkId),
     LinkArrival { link: LinkId, pkt: PacketRef },
-    RtoTimer { flow: usize, token: TimerToken },
+    RtoTimer { flow: usize, gen: u64 },
     GatewayDone { node: NodeId, pkt: PacketRef },
     ReInject { node: NodeId, pkt: PacketRef },
     HostForward { node: NodeId, pkt: PacketRef },
     Migrate(usize),
     FaultStart(usize),
     FaultEnd(usize),
+    /// A churn-timeline annotation (tenant arrival/departure, migration
+    /// wave): counters and telemetry only, no simulation state change.
+    ChurnMark(usize),
     /// Periodic telemetry snapshot; reschedules itself while other events
     /// remain pending (so it never keeps an otherwise-finished run alive).
     TelemetrySample,
@@ -76,9 +79,15 @@ pub struct Simulation {
     /// Reusable ECMP candidate buffer (avoids a per-hop allocation).
     route_scratch: Vec<LinkId>,
     pub(crate) events: EventQueue<Event>,
-    timers: TimerWheel,
     pub(crate) flows: Vec<FlowState>,
     migrations: Vec<Migration>,
+    /// Churn-timeline marks, indexed by `Event::ChurnMark`.
+    churn_marks: Vec<ChurnMark>,
+    /// Per-gateway busy flag for the bounded-queue overload model
+    /// (`GatewayConfig::queue_cap > 0`; legacy unbounded mode otherwise).
+    gw_busy: Vec<bool>,
+    /// Per-gateway bounded packet queue (overload model only).
+    gw_queue: Vec<VecDeque<PacketRef>>,
     /// Scheduled faults, indexed by `Event::FaultStart`/`FaultEnd`.
     fault_plan: Vec<FaultEvent>,
     /// Per-node blackout flag (rebooting switches, out gateways).
@@ -216,6 +225,8 @@ impl Simulation {
             .collect();
 
         let blackout = vec![false; topo.nodes.len()];
+        let gw_busy = vec![false; topo.nodes.len()];
+        let gw_queue = vec![VecDeque::new(); topo.nodes.len()];
         let link_up = vec![true; topo.links.len()];
         // Labels far outside the node-id space keep the fault streams
         // disjoint from every per-agent fork.
@@ -243,9 +254,11 @@ impl Simulation {
             arena: PacketArena::new(),
             route_scratch: Vec::new(),
             events: EventQueue::with_capacity(1 << 16),
-            timers: TimerWheel::new(),
             flows: Vec::new(),
             migrations: Vec::new(),
+            churn_marks: Vec::new(),
+            gw_busy,
+            gw_queue,
             fault_plan: Vec::new(),
             blackout,
             link_up,
@@ -335,6 +348,26 @@ impl Simulation {
         let idx = self.migrations.len();
         self.events.schedule_at(m.at, Event::Migrate(idx));
         self.migrations.push(m);
+    }
+
+    /// Registers a generated churn plan: its tenant flows, its migration
+    /// schedule, and the timeline marks that feed telemetry and the churn
+    /// counters.
+    pub fn apply_churn_plan(&mut self, plan: &ChurnPlan) {
+        self.add_flows(plan.flows.iter().cloned());
+        for &m in &plan.migrations {
+            self.add_migration(m);
+        }
+        for &mark in &plan.marks {
+            let idx = self.churn_marks.len();
+            self.events.schedule_at(mark.at(), Event::ChurnMark(idx));
+            self.churn_marks.push(mark);
+        }
+    }
+
+    /// The migration table entry scheduled as `Event::Migrate(idx)`.
+    pub(crate) fn migration(&self, idx: usize) -> Migration {
+        self.migrations[idx]
     }
 
     /// Runs until the event queue drains (or `end_of_time`).
@@ -530,6 +563,24 @@ impl Simulation {
             .collect()
     }
 
+    /// Every cached `(switch, vip, pip)` line that disagrees with the
+    /// ground-truth mapping database — the stale leftovers of migrations.
+    /// Rows follow `topology().switches()` order (same contract as
+    /// [`Self::cache_occupancy`]).
+    pub fn stale_cache_entries(&self) -> Vec<(NodeId, Vip, Pip)> {
+        let mut out = Vec::new();
+        for sw in self.topo.switches() {
+            if let Some(agent) = self.agents[sw.id.0 as usize].as_ref() {
+                for (vip, pip) in agent.entries() {
+                    if self.db.lookup(vip) != Some(pip) {
+                        out.push((sw.id, vip, pip));
+                    }
+                }
+            }
+        }
+        out
+    }
+
     /// Folds receiver/sender statistics into the metrics and returns the
     /// summary. Safe to call repeatedly; the fold happens once.
     pub fn summary(&mut self) -> sv2p_metrics::RunSummary {
@@ -561,13 +612,14 @@ impl Simulation {
             Event::UdpSend { flow, idx } => self.on_udp_send(flow, idx),
             Event::LinkFree(link) => self.on_link_free(link),
             Event::LinkArrival { link, pkt } => self.on_link_arrival(link, pkt),
-            Event::RtoTimer { flow, token } => self.on_rto_timer(flow, token),
+            Event::RtoTimer { flow, gen } => self.on_rto_timer(flow, gen),
             Event::GatewayDone { node, pkt } => self.on_gateway_done(node, pkt),
             Event::ReInject { node, pkt } => self.handle_at_switch(node, pkt, None, false),
             Event::HostForward { node, pkt } => self.on_host_forward(node, pkt),
             Event::Migrate(idx) => self.on_migrate(idx),
             Event::FaultStart(idx) => self.on_fault_start(idx),
             Event::FaultEnd(idx) => self.on_fault_end(idx),
+            Event::ChurnMark(idx) => self.on_churn_mark(idx),
             Event::TelemetrySample => self.on_telemetry_sample(),
         }
     }
@@ -728,8 +780,6 @@ impl Simulation {
                 let mut tx = TcpSender::new(self.cfg.tcp, bytes);
                 let ops = tx.start(now);
                 self.flows[idx].tcp_tx = Some(tx);
-                let timer = self.timers.register();
-                self.flows[idx].rto_timer = Some(timer);
                 self.apply_sender_ops(idx, ops);
             }
             FlowKind::Udp { schedule } => {
@@ -748,8 +798,10 @@ impl Simulation {
         self.send_flow_packet(flow, idx as u32, len, TcpFlags::default(), first, false);
     }
 
-    fn on_rto_timer(&mut self, flow: usize, token: TimerToken) {
-        if !self.timers.should_fire(token) || self.flows[flow].completed {
+    fn on_rto_timer(&mut self, flow: usize, gen: u64) {
+        // Lazy cancellation: every re-arm bumps the flow's generation, so
+        // a superseded timer event fires as a no-op.
+        if gen != self.flows[flow].rto_gen || self.flows[flow].completed {
             return;
         }
         let now = self.now();
@@ -777,15 +829,13 @@ impl Simulation {
         if complete && !f.completed {
             f.completed = true;
             let id = f.id;
-            if let Some(timer) = f.rto_timer {
-                self.timers.cancel(timer);
-            }
+            // Invalidate any pending retransmission timer.
+            f.rto_gen += 1;
             self.m_flow_completed(id);
         } else if let Some(deadline) = ops.arm_rto {
-            if let Some(timer) = f.rto_timer {
-                let token = self.timers.arm(timer, deadline);
-                self.sched_at(deadline, Event::RtoTimer { flow, token });
-            }
+            f.rto_gen += 1;
+            let gen = f.rto_gen;
+            self.sched_at(deadline, Event::RtoTimer { flow, gen });
         }
     }
 
@@ -1054,6 +1104,29 @@ impl Simulation {
 
         if output.cache_hit {
             self.metrics.record_cache_hit(tag, first_of_flow);
+            if is_data {
+                // A hit that rewrote the packet to a PIP the control plane
+                // has since migrated away from is a *stale* hit: this packet
+                // is headed for a misdelivery. The gap between the migration
+                // and the last stale hit is the strategy's recovery time.
+                let (vip, cur_dst) = {
+                    let p = self.arena.get(pkt);
+                    (p.inner.dst_vip, p.outer.dst_pip)
+                };
+                if self.db.lookup(vip) != Some(cur_dst) {
+                    let age = self.metrics.record_stale_hit(vip.0, now);
+                    if trace {
+                        let mut ev = TraceEvent::new(now.as_nanos(), EventKind::StaleHit)
+                            .packet(flow_id, pkt_id)
+                            .at_node(node.0);
+                        ev.vip = Some(vip.0);
+                        ev.pip = Some(cur_dst.0);
+                        ev.layer = Some(self.layer_name(node));
+                        ev.latency_ns = age;
+                        self.trace(ev);
+                    }
+                }
+            }
         }
         if output.spill_inserted {
             self.metrics.spillover_inserts += 1;
@@ -1186,8 +1259,22 @@ impl Simulation {
                         .at_node(node.0),
                 );
             }
-            let delay = self.cfg.gateway.processing();
-            self.sched_in(delay, Event::GatewayDone { node, pkt });
+            let cap = self.cfg.gateway.queue_cap as usize;
+            if cap == 0 {
+                // Legacy unbounded model: every packet is processed
+                // concurrently after the fixed service delay.
+                let delay = self.cfg.gateway.processing();
+                self.sched_in(delay, Event::GatewayDone { node, pkt });
+            } else if !self.gw_busy[node.0 as usize] {
+                self.gw_busy[node.0 as usize] = true;
+                let delay = self.cfg.gateway.processing();
+                self.sched_in(delay, Event::GatewayDone { node, pkt });
+            } else if self.gw_queue[node.0 as usize].len() < cap {
+                self.gw_queue[node.0 as usize].push_back(pkt);
+            } else {
+                // Overloaded: the bounded queue sheds the arrival.
+                self.drop_packet(pkt, node, DropCause::GatewayShed, "gateway-shed");
+            }
         } else {
             // Resolved tenant traffic or protocol packets have no business
             // at a gateway.
@@ -1195,10 +1282,26 @@ impl Simulation {
         }
     }
 
+    /// Bounded-queue service discipline: each completed translation pulls
+    /// the next queued packet into processing (or clears the busy flag).
+    /// No-op in the legacy unbounded model.
+    fn gateway_pop_next(&mut self, node: NodeId) {
+        if self.cfg.gateway.queue_cap == 0 {
+            return;
+        }
+        if let Some(next) = self.gw_queue[node.0 as usize].pop_front() {
+            let delay = self.cfg.gateway.processing();
+            self.sched_in(delay, Event::GatewayDone { node, pkt: next });
+        } else {
+            self.gw_busy[node.0 as usize] = false;
+        }
+    }
+
     fn on_gateway_done(&mut self, node: NodeId, pkt: PacketRef) {
         if self.blackout[node.0 as usize] {
             // The outage began while this packet was in processing.
             self.drop_packet(pkt, node, DropCause::Blackout, "blackout");
+            self.gateway_pop_next(node);
             return;
         }
         let dst_vip = self.arena.get(pkt).inner.dst_vip;
@@ -1230,6 +1333,7 @@ impl Simulation {
                 self.drop_packet(pkt, node, DropCause::Unroutable, "unroutable");
             }
         }
+        self.gateway_pop_next(node);
     }
 
     // ------------------------------------------------------------------
@@ -1384,7 +1488,7 @@ impl Simulation {
             .index_of(m.vip)
             .expect("migrating unknown VIP");
         let old_node = self.placement.node_of(vm);
-        let old_pip = self.db.migrate(m.vip, m.to_pip);
+        let old_pip = self.db.migrate_at(m.vip, m.to_pip, m.at.as_nanos());
         debug_assert_eq!(old_pip, self.placement.pip_of(vm));
         self.placement.relocate(vm, m.to_node, m.to_pip);
         if let Some(set) = self.hosted.get_mut(&old_node) {
@@ -1393,6 +1497,42 @@ impl Simulation {
         self.hosted.entry(m.to_node).or_default().insert(m.vip);
         // Andromeda-style follow-me rule at the old host.
         self.follow_me.insert((old_node, m.vip), m.to_pip);
+        // Every replica records the migration (sharded mode applies this
+        // handler as a broadcast global event) so per-migration recovery
+        // entries stay index-aligned for the engine's end-of-run fold. The
+        // timestamp is the scheduled instant: worker-replica clocks lag the
+        // global event's true time.
+        self.metrics.record_migration(m.vip.0, m.at);
+    }
+
+    /// Records a churn-timeline mark: counters plus a telemetry event.
+    /// Driver/oracle only — marks carry no simulation state change, so the
+    /// sharded engine never broadcasts them to workers.
+    pub(crate) fn on_churn_mark(&mut self, idx: usize) {
+        let now = self.now();
+        let mark = self.churn_marks[idx];
+        let (kind, tenant, n) = match mark {
+            ChurnMark::Arrival { tenant, vms, .. } => {
+                self.metrics.churn_arrivals += 1;
+                (EventKind::ChurnArrival, tenant, vms)
+            }
+            ChurnMark::Departure { tenant, vms, .. } => {
+                self.metrics.churn_departures += 1;
+                (EventKind::ChurnDeparture, tenant, vms)
+            }
+            ChurnMark::Wave { migrations, .. } => {
+                self.metrics.migration_waves += 1;
+                (EventKind::MigrationWave, 0, migrations)
+            }
+        };
+        if self.tracer.enabled() {
+            // Field reuse on the fixed-layout trace record: `vip` carries
+            // the tenant id, `hops` the VM (or migration) count.
+            let mut ev = TraceEvent::new(now.as_nanos(), kind);
+            ev.vip = Some(tenant);
+            ev.hops = Some(n.min(u16::MAX as u32) as u16);
+            self.trace(ev);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1503,9 +1643,11 @@ impl Simulation {
 
     /// Which shard executes `ev`, given the partition's node → shard map;
     /// `None` for global events the driver executes itself. Flow-driving
-    /// events belong to the flow's source host (static without migrations —
-    /// the sharded engine falls back to single-threaded execution when
-    /// migrations are present).
+    /// events belong to the flow's source host, re-evaluated against the
+    /// *current* placement each time: a broadcast migration updates every
+    /// replica's placement at the migration instant, so later events route
+    /// to the new owner shard (the transport state travels with them, see
+    /// [`Self::extract_migrated_flows`]).
     pub(crate) fn owner_of_event(&self, ev: &Event, shard_map: &[u16]) -> Option<u16> {
         let node = match ev {
             Event::FlowStart(i)
@@ -1521,6 +1663,7 @@ impl Simulation {
             Event::Migrate(_)
             | Event::FaultStart(_)
             | Event::FaultEnd(_)
+            | Event::ChurnMark(_)
             | Event::TelemetrySample => return None,
         };
         Some(shard_map[node.0 as usize])
@@ -1543,7 +1686,7 @@ impl Simulation {
                 link,
                 pkt: self.take_pkt(pkt),
             },
-            Event::RtoTimer { flow, token } => WireEvent::RtoTimer { flow, token },
+            Event::RtoTimer { flow, gen } => WireEvent::RtoTimer { flow, gen },
             Event::GatewayDone { node, pkt } => WireEvent::GatewayDone {
                 node,
                 pkt: self.take_pkt(pkt),
@@ -1559,6 +1702,7 @@ impl Simulation {
             Event::Migrate(_)
             | Event::FaultStart(_)
             | Event::FaultEnd(_)
+            | Event::ChurnMark(_)
             | Event::TelemetrySample => unreachable!("global events never cross shards"),
         }
     }
@@ -1574,7 +1718,7 @@ impl Simulation {
                 link,
                 pkt: self.arena.alloc(pkt),
             },
-            WireEvent::RtoTimer { flow, token } => Event::RtoTimer { flow, token },
+            WireEvent::RtoTimer { flow, gen } => Event::RtoTimer { flow, gen },
             WireEvent::GatewayDone { node, pkt } => Event::GatewayDone {
                 node,
                 pkt: self.arena.alloc(pkt),
@@ -1618,6 +1762,79 @@ impl Simulation {
         }
     }
 
+    /// Registers migrations without scheduling their events (worker
+    /// replicas: the driver owns the calendar; broadcast `Migrate` events
+    /// carry table indices).
+    pub(crate) fn register_migrations(&mut self, ms: impl IntoIterator<Item = Migration>) {
+        self.migrations.extend(ms);
+    }
+
+    /// Extracts (and locally zeroes) the transport state of every flow
+    /// whose endpoint VM `vm` just migrated off a node this shard owns.
+    /// Zeroing matters: the end-of-run fold sums transport statistics
+    /// (`reordered_segments`, `retransmits`) over *all* replicas, so a
+    /// moved machine must not stay behind as a double-counted copy.
+    pub(crate) fn extract_migrated_flows(&mut self, vm: usize) -> Vec<FlowXfer> {
+        let mut out = Vec::new();
+        for (i, f) in self.flows.iter_mut().enumerate() {
+            let is_tcp = f.is_tcp();
+            if f.spec.src_vm == vm && is_tcp {
+                out.push(FlowXfer::Sender {
+                    flow: i,
+                    tcp_tx: f.tcp_tx.take(),
+                    rto_gen: f.rto_gen,
+                    completed: f.completed,
+                });
+            }
+            if f.spec.dst_vm == vm {
+                let xfer = FlowXfer::Receiver {
+                    flow: i,
+                    tcp_rx: std::mem::take(&mut f.tcp_rx),
+                    udp_delivered: f.udp_delivered,
+                    completed: f.completed,
+                };
+                f.udp_delivered = 0;
+                out.push(xfer);
+            }
+        }
+        out
+    }
+
+    /// Installs transport state extracted by another shard's
+    /// [`Self::extract_migrated_flows`] after a migration moved the flows'
+    /// endpoint VM onto a node this shard owns.
+    pub(crate) fn inject_migrated_flows(&mut self, bundles: Vec<FlowXfer>) {
+        for b in bundles {
+            match b {
+                FlowXfer::Sender {
+                    flow,
+                    tcp_tx,
+                    rto_gen,
+                    completed,
+                } => {
+                    let f = &mut self.flows[flow];
+                    f.tcp_tx = tcp_tx;
+                    f.rto_gen = rto_gen;
+                    f.completed = completed;
+                }
+                FlowXfer::Receiver {
+                    flow,
+                    tcp_rx,
+                    udp_delivered,
+                    completed,
+                } => {
+                    let f = &mut self.flows[flow];
+                    f.tcp_rx = tcp_rx;
+                    f.udp_delivered = udp_delivered;
+                    if !f.is_tcp() {
+                        // TCP completion is authoritative on the sender side.
+                        f.completed = completed;
+                    }
+                }
+            }
+        }
+    }
+
     /// Executes one window: seeds the driver's batch (in driver order),
     /// drains the local calendar — the batch plus every owned follow-up
     /// that lands before `end` — and returns the execution journal.
@@ -1654,11 +1871,16 @@ impl Simulation {
     }
 
     /// Applies a driver-executed global event to this replica's mirrored
-    /// state (placement, blackouts, link health, loss rates).
+    /// state (placement, mapping database, blackouts, link health, loss
+    /// rates). Runs *outside* `run_window`, so handlers reached from here
+    /// must not journal trace/metric ops in worker mode (they would leak
+    /// into the next window's first block); fault and migration handlers
+    /// only touch replica-local state and commutative/master-only metrics.
     pub(crate) fn apply_global(&mut self, ev: GlobalEvent) {
         match ev {
             GlobalEvent::FaultStart(i) => self.on_fault_start(i),
             GlobalEvent::FaultEnd(i) => self.on_fault_end(i),
+            GlobalEvent::Migrate(i) => self.on_migrate(i),
         }
     }
 

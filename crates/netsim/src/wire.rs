@@ -13,10 +13,10 @@
 //! ring and calendar byte-identical to a single-threaded run.
 
 use sv2p_packet::Packet;
-use sv2p_simcore::timer::TimerToken;
 use sv2p_simcore::{SeqRef, ShardState, SimTime};
 use sv2p_telemetry::TraceEvent;
 use sv2p_topology::{LinkId, NodeId};
+use sv2p_transport::{TcpReceiver, TcpSender};
 
 /// A simulator event with packet bodies inlined, safe to move between the
 /// driver and shard threads. Global events (migrations, faults, telemetry
@@ -27,20 +27,53 @@ pub(crate) enum WireEvent {
     UdpSend { flow: usize, idx: usize },
     LinkFree(LinkId),
     LinkArrival { link: LinkId, pkt: Packet },
-    RtoTimer { flow: usize, token: TimerToken },
+    RtoTimer { flow: usize, gen: u64 },
     GatewayDone { node: NodeId, pkt: Packet },
     ReInject { node: NodeId, pkt: Packet },
     HostForward { node: NodeId, pkt: Packet },
 }
 
 /// Events the driver executes itself and broadcasts to every shard so
-/// their mirrored state (blackouts, link health, loss rates) stays in
-/// sync. Migrations have no variant: registering one forces the
-/// single-threaded fallback before the run starts.
+/// their mirrored state (blackouts, link health, loss rates, the mapping
+/// database and VM placement) stays in sync. A migration additionally
+/// moves the affected flows' transport state between the old and new
+/// owner shards (see [`FlowXfer`]).
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum GlobalEvent {
     FaultStart(usize),
     FaultEnd(usize),
+    Migrate(usize),
+}
+
+/// Transport state of one flow in transit between shard replicas after a
+/// migration moved the flow's endpoint VM to a node another shard owns.
+///
+/// A flow's mutable state lives only on the shard owning the relevant
+/// endpoint: the sender machine (`tcp_tx`, the RTO generation and, for
+/// TCP, the completion flag) evolves where ACKs are delivered — the source
+/// VM's host — while the receiver side (`tcp_rx`, and for UDP the delivery
+/// counter plus completion flag) evolves on the destination VM's host.
+/// Since a migration is a global event, both shards are quiescent at the
+/// exact instant the transfer happens, so moving the state preserves
+/// bit-identical behaviour with the single-threaded oracle.
+#[derive(Debug)]
+pub(crate) enum FlowXfer {
+    /// Sender-side TCP machine, extracted from the source VM's old shard.
+    Sender {
+        flow: usize,
+        tcp_tx: Option<TcpSender>,
+        rto_gen: u64,
+        completed: bool,
+    },
+    /// Receiver-side state, extracted from the destination VM's old shard.
+    /// `completed` is authoritative only for UDP flows (TCP completion is
+    /// decided on the sender side).
+    Receiver {
+        flow: usize,
+        tcp_rx: TcpReceiver,
+        udp_delivered: usize,
+        completed: bool,
+    },
 }
 
 /// An order-sensitive metric update, deferred to the driver's master

@@ -5,12 +5,12 @@
 use proptest::prelude::*;
 use sv2p_baselines::NoCache;
 use sv2p_netsim::faults::{FaultEvent, FaultPlan};
-use sv2p_netsim::{FlowKind, FlowSpec, ShardedSimulation, SimConfig, Simulation};
+use sv2p_netsim::{ChurnPlan, ChurnSpec, FlowKind, FlowSpec, ShardedSimulation, SimConfig, Simulation};
 use sv2p_simcore::{SimDuration, SimTime};
 use sv2p_transport::UdpSchedule;
 use sv2p_telemetry::TelemetryConfig;
 use sv2p_topology::{FatTreeConfig, LinkId, NodeId};
-use sv2p_vnet::Strategy;
+use sv2p_vnet::{Migration, Strategy};
 use switchv2p::{SwitchV2P, SwitchV2PConfig};
 
 fn cfg_with_telemetry() -> SimConfig {
@@ -52,6 +52,19 @@ fn assert_equivalent(
     shards: u16,
     plan: Option<FaultPlan>,
 ) {
+    assert_equivalent_full(cfg, strategy, cache_entries, shards, plan, Vec::new(), None);
+}
+
+/// [`assert_equivalent`] plus migrations and an optional churn plan.
+fn assert_equivalent_full(
+    cfg: SimConfig,
+    strategy: &dyn Strategy,
+    cache_entries: usize,
+    shards: u16,
+    plan: Option<FaultPlan>,
+    migrations: Vec<Migration>,
+    churn: Option<&ChurnPlan>,
+) {
     let ft = FatTreeConfig::scaled_ft8(2);
 
     let mut oracle = Simulation::new(cfg, &ft, strategy, cache_entries, 4);
@@ -60,6 +73,12 @@ fn assert_equivalent(
         oracle.apply_fault_plan(p);
     }
     oracle.add_flows(flows.clone());
+    for &m in &migrations {
+        oracle.add_migration(m);
+    }
+    if let Some(c) = churn {
+        oracle.apply_churn_plan(c);
+    }
     oracle.run();
 
     let mut sharded = ShardedSimulation::new(cfg, &ft, strategy, cache_entries, 4, shards);
@@ -72,6 +91,12 @@ fn assert_equivalent(
         sharded.apply_fault_plan(p);
     }
     sharded.add_flows(flows);
+    for &m in &migrations {
+        sharded.add_migration(m);
+    }
+    if let Some(c) = churn {
+        sharded.apply_churn_plan(c);
+    }
     sharded.run();
 
     // Raw telemetry first (summary() folds shard counters).
@@ -139,6 +164,69 @@ fn faulted_run_matches_oracle() {
     ])
     .unwrap();
     assert_equivalent(cfg_with_telemetry(), &strategy, 4096, 4, Some(plan));
+}
+
+/// Builds a migration for placement VM `vm` to server `srv` (shifted to the
+/// next server when `srv` already hosts the VM, so every migration actually
+/// moves) at `at_us`, against a probe simulation's topology.
+fn migration_for(probe: &Simulation, vm: usize, srv: usize, at_us: u64) -> Migration {
+    let servers: Vec<_> = probe.topology().servers().map(|n| (n.id, n.pip)).collect();
+    let vm = vm % probe.placement.len();
+    let mut pick = servers[srv % servers.len()];
+    if pick.0 == probe.placement.node_of(vm) {
+        pick = servers[(srv + 1) % servers.len()];
+    }
+    Migration::new(
+        SimTime::from_micros(at_us),
+        probe.placement.vip_of(vm),
+        pick.0,
+        pick.1,
+    )
+}
+
+/// Migrations are global events on the sharded engine: mapping state updates
+/// fleet-wide and live flow transport state moves between owner shards. The
+/// result must still be byte-identical to the oracle.
+#[test]
+fn migrated_run_matches_oracle() {
+    let strategy = SwitchV2P::new(SwitchV2PConfig::default());
+    let ft = FatTreeConfig::scaled_ft8(2);
+    let probe = Simulation::new(SimConfig::default(), &ft, &NoCache, 0, 4);
+    let n_servers = probe.topology().servers().count();
+    // Cross-pod moves (far server indices) so flow state crosses shards.
+    let migrations = vec![
+        migration_for(&probe, 1, n_servers - 1, 150),
+        migration_for(&probe, 9, n_servers / 2, 300),
+        migration_for(&probe, 29, n_servers - 3, 450),
+    ];
+    for shards in [2, 4] {
+        assert_equivalent_full(
+            cfg_with_telemetry(),
+            &strategy,
+            4096,
+            shards,
+            None,
+            migrations.clone(),
+            None,
+        );
+    }
+}
+
+/// A full churn plan — tenant arrivals/departures, autoscaling, migration
+/// waves, timeline marks — with the gateway overload model enabled must
+/// stay byte-identical too.
+#[test]
+fn churned_run_matches_oracle() {
+    let strategy = SwitchV2P::new(SwitchV2PConfig::default());
+    let ft = FatTreeConfig::scaled_ft8(2);
+    let mut cfg = cfg_with_telemetry();
+    cfg.gateway.queue_cap = 16;
+    let probe = Simulation::new(cfg, &ft, &strategy, 1024, 4);
+    let servers: Vec<_> = probe.topology().servers().map(|n| (n.id, n.pip)).collect();
+    let spec = ChurnSpec::medium(7, 2_000);
+    let plan = ChurnPlan::generate(&spec, &probe.placement, &servers);
+    assert!(!plan.migrations.is_empty(), "medium churn must produce waves");
+    assert_equivalent_full(cfg, &strategy, 1024, 4, None, Vec::new(), Some(&plan));
 }
 
 #[test]
@@ -231,6 +319,37 @@ proptest! {
             plan.push(ev).expect("generated events are well-formed");
         }
         assert_equivalent(SimConfig::default(), &NoCache, 0, shards, Some(plan));
+    }
+
+    /// Random migration plans: arbitrary (VM, target server, instant)
+    /// triples — including repeat migrations of the same VM — must keep the
+    /// sharded engine equivalent through ownership flips and flow transfer.
+    #[test]
+    fn random_migration_plans_stay_equivalent(
+        moves in proptest::collection::vec(
+            (any::<u32>(), any::<u32>(), 50u64..500),
+            1..6,
+        ),
+        shards in 2u16..6,
+    ) {
+        let ft = FatTreeConfig::scaled_ft8(2);
+        let probe = Simulation::new(SimConfig::default(), &ft, &NoCache, 0, 4);
+        let n_servers = probe.topology().servers().count();
+        let migrations: Vec<Migration> = moves
+            .iter()
+            .map(|&(vm, srv, at_us)| {
+                migration_for(&probe, vm as usize, srv as usize % n_servers, at_us)
+            })
+            .collect();
+        assert_equivalent_full(
+            SimConfig::default(),
+            &NoCache,
+            0,
+            shards,
+            None,
+            migrations,
+            None,
+        );
     }
 }
 

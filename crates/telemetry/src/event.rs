@@ -33,8 +33,19 @@ pub enum EventKind {
     Misdelivery,
     /// A data packet reached its (correct) destination VM.
     Delivery,
-    /// A data packet was dropped (`cause` = queue/unroutable/blackout/loss).
+    /// A data packet was dropped (`cause` = queue/unroutable/blackout/loss/
+    /// gateway-shed).
     Drop,
+    /// A churn tenant arrived (`vip` = tenant id, `hops` = VMs claimed).
+    ChurnArrival,
+    /// A churn tenant departed (`vip` = tenant id, `hops` = VMs released).
+    ChurnDeparture,
+    /// A rolling migration wave started (`hops` = migrations in the wave).
+    MigrationWave,
+    /// A cache hit served a mapping that disagrees with the ground-truth
+    /// database (`vip`/`pip` = the stale entry, `latency_ns` = entry age
+    /// since the migration that invalidated it).
+    StaleHit,
 }
 
 impl EventKind {
@@ -50,6 +61,10 @@ impl EventKind {
             EventKind::Misdelivery => "misdelivery",
             EventKind::Delivery => "delivery",
             EventKind::Drop => "drop",
+            EventKind::ChurnArrival => "churn_arrival",
+            EventKind::ChurnDeparture => "churn_departure",
+            EventKind::MigrationWave => "migration_wave",
+            EventKind::StaleHit => "stale_hit",
         }
     }
 
@@ -65,13 +80,17 @@ impl EventKind {
             "misdelivery" => EventKind::Misdelivery,
             "delivery" => EventKind::Delivery,
             "drop" => EventKind::Drop,
+            "churn_arrival" => EventKind::ChurnArrival,
+            "churn_departure" => EventKind::ChurnDeparture,
+            "migration_wave" => EventKind::MigrationWave,
+            "stale_hit" => EventKind::StaleHit,
             _ => return None,
         })
     }
 
     /// Every kind, in wire order (inspector summaries iterate this so
     /// output order never depends on hash-map iteration).
-    pub const ALL: [EventKind; 9] = [
+    pub const ALL: [EventKind; 13] = [
         EventKind::PacketSent,
         EventKind::SwitchIngress,
         EventKind::CacheLookup,
@@ -81,6 +100,10 @@ impl EventKind {
         EventKind::Misdelivery,
         EventKind::Delivery,
         EventKind::Drop,
+        EventKind::ChurnArrival,
+        EventKind::ChurnDeparture,
+        EventKind::MigrationWave,
+        EventKind::StaleHit,
     ];
 }
 

@@ -17,12 +17,21 @@ use sv2p_topology::{NodeId, NodeKind, Topology};
 pub struct GatewayConfig {
     /// Per-packet translation latency (paper: 40 µs).
     pub processing_ns: u64,
+    /// Bounded ingress queue: how many packets may wait for translation
+    /// while one is in service. `0` (the default) models an infinitely
+    /// parallel gateway — every packet is translated after exactly
+    /// `processing_ns`, the behaviour all the static sweeps assume. A
+    /// non-zero cap turns the gateway into a single-server queue that
+    /// sheds load (drops with cause `gateway-shed`) once the queue fills,
+    /// which is what makes invalidation storms under churn costly.
+    pub queue_cap: u32,
 }
 
 impl Default for GatewayConfig {
     fn default() -> Self {
         GatewayConfig {
             processing_ns: 40_000,
+            queue_cap: 0,
         }
     }
 }

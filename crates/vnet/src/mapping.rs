@@ -14,6 +14,10 @@ pub struct MappingDb {
     /// Bumped on every update; lets tests and metrics distinguish
     /// reads-after-write from stale cache serving.
     epoch: u64,
+    /// When each VIP last migrated, virtual nanoseconds. Only written by
+    /// [`Self::migrate_at`]; the stale-entry age a cache hit exposes is
+    /// measured against this instant.
+    last_migration: FxHashMap<Vip, u64>,
 }
 
 impl MappingDb {
@@ -46,6 +50,20 @@ impl MappingDb {
             .expect("migrating a VIP that was never placed");
         self.epoch += 1;
         old
+    }
+
+    /// [`Self::migrate`], additionally recording *when* (virtual ns) the
+    /// move happened so stale-cache hits can be aged against it.
+    pub fn migrate_at(&mut self, vip: Vip, new_pip: Pip, at_ns: u64) -> Pip {
+        let old = self.migrate(vip, new_pip);
+        self.last_migration.insert(vip, at_ns);
+        old
+    }
+
+    /// When `vip` last migrated (virtual ns), if it ever did via
+    /// [`Self::migrate_at`].
+    pub fn last_migration_ns(&self, vip: Vip) -> Option<u64> {
+        self.last_migration.get(&vip).copied()
     }
 
     /// Number of mappings.
@@ -100,6 +118,18 @@ mod tests {
     fn migrating_unknown_vip_panics() {
         let mut db = MappingDb::new();
         db.migrate(Vip(1), Pip(20));
+    }
+
+    #[test]
+    fn migrate_at_records_instant() {
+        let mut db = MappingDb::new();
+        db.insert(Vip(1), Pip(10));
+        assert_eq!(db.last_migration_ns(Vip(1)), None);
+        let old = db.migrate_at(Vip(1), Pip(20), 5_000);
+        assert_eq!(old, Pip(10));
+        assert_eq!(db.last_migration_ns(Vip(1)), Some(5_000));
+        db.migrate_at(Vip(1), Pip(30), 9_000);
+        assert_eq!(db.last_migration_ns(Vip(1)), Some(9_000));
     }
 
     #[test]

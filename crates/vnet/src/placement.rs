@@ -67,6 +67,11 @@ impl Placement {
         self.vip_index.get(&vip).copied()
     }
 
+    /// VIP of VM `i`.
+    pub fn vip_of(&self, i: usize) -> Vip {
+        self.vips[i]
+    }
+
     /// Current PIP of VM `i`.
     pub fn pip_of(&self, i: usize) -> Pip {
         self.pips[i]

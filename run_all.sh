@@ -31,5 +31,6 @@ $B/controller "$@" > results/controller_a2.txt 2>&1
 $B/ablations "$@" > results/ablations.txt 2>&1
 $B/tracegen all "$@" > results/trace_characteristics.txt 2>&1
 $B/failures "$@" > results/failures.txt 2>&1
+$B/churn "$@" > results/churn.txt 2>&1
 $B/sv2p-perfbench "$@" > results/perfbench.txt 2>&1
 echo ALL_RESULTS_DONE

@@ -36,11 +36,12 @@ def main():
     min_ratio = float(sys.argv[3]) if len(sys.argv) == 4 else 0.5
 
     compared = 0
+    skipped = []
     failures = []
     for key, base in sorted(committed.items()):
         now = fresh.get(key)
         if now is None:
-            print(f"skip {key[0]:<14} {key[1]:<10} x{key[2]:<2} not in fresh run")
+            skipped.append(key)
             continue
         compared += 1
         ratio = now["events_per_sec"] / max(base["events_per_sec"], 1e-9)
@@ -56,6 +57,19 @@ def main():
                 f"{min_ratio:.2f}x of committed {base['events_per_sec']:.0f} ev/s"
             )
 
+    if skipped:
+        # An explicit block so baseline drift is visible in CI logs: every
+        # committed cell the fresh run no longer measures is listed here.
+        print(
+            f"\nWARNING: {len(skipped)} committed baseline cell(s) were not "
+            "measured by the fresh run and were skipped:"
+        )
+        for workload, strategy, shards in skipped:
+            print(f"  skipped {workload:<14} {strategy:<10} x{shards}")
+        print(
+            "  If these cells were removed on purpose, refresh the committed "
+            "baseline; otherwise the gate is silently narrowing."
+        )
     if compared == 0:
         failures.append("no comparable cells between the two baselines")
     if failures:
