@@ -24,6 +24,7 @@
 use sv2p_bench::cli;
 use sv2p_bench::harness::{ExperimentSpec, StrategyKind};
 use sv2p_telemetry::json::JsonObj;
+use sv2p_telemetry::Phase;
 use sv2p_traces::{alibaba, hadoop};
 
 struct Cell {
@@ -38,6 +39,18 @@ struct Cell {
     peak_queue: u64,
     peak_arena: u64,
     hit_rate: f64,
+    /// Synchronization-overhead fractions from the engine self-profiler:
+    /// wall-clock shares of oracle replay (advance + dematerialize),
+    /// barrier idling, and journal merge. 0.0 for single-threaded rows —
+    /// the oracle IS the run there, so none of it is sharding overhead.
+    oracle_frac: f64,
+    barrier_frac: f64,
+    merge_frac: f64,
+    /// Coefficient of variation of per-shard replay time (0 = balanced).
+    imbalance_cv: f64,
+    /// Process peak RSS at cell completion (monotonic per process, so
+    /// later cells carry the running maximum).
+    peak_rss_bytes: u64,
 }
 
 fn run_cell(
@@ -56,8 +69,19 @@ fn run_cell(
     let eps = events as f64 / wall.max(1e-9);
     let shards = sim.shards() as u64;
     let speedup = baseline_eps.map_or(1.0, |base| eps / base.max(1e-9));
+    let prof = sim.profiler();
+    let (oracle_frac, barrier_frac, merge_frac, imbalance_cv) = if prof.enabled() {
+        (
+            prof.frac(Phase::OracleAdvance) + prof.frac(Phase::Dematerialize),
+            prof.frac(Phase::BarrierWait),
+            prof.frac(Phase::JournalMerge),
+            prof.imbalance_cv(),
+        )
+    } else {
+        (0.0, 0.0, 0.0, 0.0)
+    };
     println!(
-        "  {:<12} {:<14} x{:<2} {:>12} events {:>12.0} ev/s  speedup {:>5.2}x  wall {:>7.3}s  peak-q {:>7}  peak-arena {:>6}",
+        "  {:<12} {:<14} x{:<2} {:>12} events {:>12.0} ev/s  speedup {:>5.2}x  wall {:>7.3}s  peak-q {:>7}  peak-arena {:>6}  oracle {:>4.1}%  barrier {:>4.1}%  merge {:>4.1}%  cv {:.2}",
         workload,
         spec.strategy.name(),
         shards,
@@ -67,6 +91,10 @@ fn run_cell(
         wall,
         sim.peak_queue(),
         sim.peak_arena(),
+        oracle_frac * 100.0,
+        barrier_frac * 100.0,
+        merge_frac * 100.0,
+        imbalance_cv,
     );
     Cell {
         workload,
@@ -80,11 +108,20 @@ fn run_cell(
         peak_queue: sim.peak_queue() as u64,
         peak_arena: sim.peak_arena() as u64,
         hit_rate: s.hit_rate,
+        oracle_frac,
+        barrier_frac,
+        merge_frac,
+        imbalance_cv,
+        peak_rss_bytes: cli::peak_rss_bytes(),
     }
 }
 
 /// Runs one (workload, strategy) cell across every shard count and appends
 /// the rows: shards=1 first (the speedup baseline), then the sharded run.
+/// Sharded rows always profile (window-granularity timing is cheap and the
+/// phase fractions are the point of the exercise); the shards=1 baseline
+/// never does — the single-threaded profiler times every event and would
+/// taint the events/sec the speedup column is measured against.
 fn run_shard_rows(
     cells: &mut Vec<Cell>,
     spec: &ExperimentSpec,
@@ -97,6 +134,7 @@ fn run_shard_rows(
         let spec = {
             let mut s = spec.clone();
             s.shards = n;
+            s.profile = n > 1;
             s
         };
         let cell = run_cell(&spec, workload, topology, baseline_eps);
@@ -176,7 +214,7 @@ fn main() {
     // JSON object per cell (the vendored serde is a stub; JsonObj is the
     // workspace-wide serializer).
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"sv2p-perfbench/v2\",\n");
+    out.push_str("{\n  \"schema\": \"sv2p-perfbench/v3\",\n");
     out.push_str(&format!("  \"scale\": \"{}\",\n", cli::scale_str()));
     out.push_str(&format!("  \"seed\": {},\n", args.seed()));
     out.push_str(&format!("  \"host_cores\": {},\n", cli::host_cores()));
@@ -193,7 +231,12 @@ fn main() {
             .f64("speedup", c.speedup)
             .u64("peak_queue", c.peak_queue)
             .u64("peak_arena", c.peak_arena)
-            .f64("hit_rate", c.hit_rate);
+            .f64("hit_rate", c.hit_rate)
+            .f64("oracle_frac", c.oracle_frac)
+            .f64("barrier_frac", c.barrier_frac)
+            .f64("merge_frac", c.merge_frac)
+            .f64("imbalance_cv", c.imbalance_cv)
+            .u64("peak_rss_bytes", c.peak_rss_bytes);
         out.push_str("    ");
         out.push_str(&obj.finish());
         out.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });

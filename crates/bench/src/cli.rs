@@ -15,7 +15,11 @@
 //!   engine with N shards (default: 1, the single-threaded engine; results
 //!   are byte-identical either way);
 //! * `--telemetry DIR` — enable structured tracing and write
-//!   `<label>.events.jsonl` / `<label>.samples.jsonl` per run into DIR.
+//!   `<label>.events.jsonl` / `<label>.samples.jsonl` per run into DIR;
+//! * `--profile DIR` — enable engine self-profiling and write
+//!   `<label>.profile.json` per run into DIR (phase wall-clock breakdown,
+//!   shard-imbalance accounting, occupancy histograms; inspect with
+//!   `sv2p-profile`). Simulation output stays byte-identical.
 //!
 //! The `churn` bin additionally honours:
 //!
@@ -53,6 +57,8 @@ pub struct BenchArgs {
     pub shards: Option<u16>,
     /// `--telemetry DIR`: trace every run into DIR.
     pub telemetry: Option<PathBuf>,
+    /// `--profile DIR`: write an engine self-profile per run into DIR.
+    pub profile: Option<PathBuf>,
     /// `--churn-horizon-us N`: churn timeline length override.
     pub churn_horizon_us: Option<u64>,
     /// `--churn-waves N`: migration-wave count override.
@@ -71,6 +77,7 @@ impl BenchArgs {
             seed: None,
             shards: None,
             telemetry: None,
+            profile: None,
             churn_horizon_us: None,
             churn_waves: None,
             churn_wave_fraction: None,
@@ -95,6 +102,12 @@ impl BenchArgs {
                         .next()
                         .unwrap_or_else(|| die("--telemetry needs a directory"));
                     out.telemetry = Some(PathBuf::from(v));
+                }
+                "--profile" => {
+                    let v = it
+                        .next()
+                        .unwrap_or_else(|| die("--profile needs a directory"));
+                    out.profile = Some(PathBuf::from(v));
                 }
                 "--churn-horizon-us" => {
                     let v = it
@@ -183,6 +196,11 @@ pub fn telemetry_dir() -> Option<&'static Path> {
     args().telemetry.as_deref()
 }
 
+/// The `--profile` output directory, if self-profiling was requested.
+pub fn profile_dir() -> Option<&'static Path> {
+    args().profile.as_deref()
+}
+
 /// The telemetry configuration implied by the CLI (for bins that build
 /// their own [`sv2p_netsim::SimConfig`]).
 pub fn telemetry_cfg() -> sv2p_telemetry::TelemetryConfig {
@@ -219,6 +237,33 @@ pub fn host_cores() -> u64 {
         .unwrap_or(0)
 }
 
+/// Process peak resident set size in bytes: `VmHWM` from
+/// `/proc/self/status` on Linux, 0 where unavailable. Monotonic for the
+/// process lifetime, so a bin's later runs report the running maximum.
+pub fn peak_rss_bytes() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                    let kb: u64 = rest
+                        .trim()
+                        .trim_end_matches("kB")
+                        .trim()
+                        .parse()
+                        .unwrap_or(0);
+                    return kb * 1024;
+                }
+            }
+        }
+        0
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        0
+    }
+}
+
 /// Builds a manifest row for a hand-driven simulation.
 #[allow(clippy::too_many_arguments)]
 pub fn manifest_for_sim(
@@ -251,6 +296,7 @@ pub fn manifest_for_sim(
         telemetry_enabled: sim.tracer().enabled(),
         host_cores: host_cores(),
         shards: sim.shards() as u64,
+        peak_rss_bytes: peak_rss_bytes(),
     }
 }
 
@@ -293,6 +339,33 @@ pub fn record_run(
         wall_clock_s,
     ));
     write_traces(sim, &trace_label(spec));
+    write_profile(sim, &trace_label(spec), spec.seed);
+}
+
+/// Writes the engine's self-profile report into the `--profile` directory
+/// under `label` (no-op when profiling is off or no directory was given).
+pub fn write_profile(sim: &Engine, label: &str, seed: u64) {
+    let Some(dir) = profile_dir() else { return };
+    if !sim.profiler().enabled() {
+        return;
+    }
+    let meta = sv2p_telemetry::ProfileMeta {
+        bin: BIN.get().cloned().unwrap_or_else(|| "adhoc".into()),
+        label: label.to_string(),
+        engine: if sim.shards() > 1 { "sharded" } else { "single" }.into(),
+        shards: sim.shards() as u64,
+        seed,
+        events_executed: sim.events_executed(),
+        host_cores: host_cores(),
+        peak_rss_bytes: peak_rss_bytes(),
+    };
+    let report = sim.profiler().render_report(&meta);
+    let path = dir.join(format!("{label}.profile.json"));
+    let res = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, report));
+    match res {
+        Ok(()) => eprintln!("[profile] {}", path.display()),
+        Err(e) => eprintln!("[profile] write failed for {}: {e}", path.display()),
+    }
 }
 
 /// Trace-file label, derived from the spec alone (never from thread or
@@ -358,6 +431,7 @@ pub fn analytic_manifest(config: &str, wall_clock_s: f64) -> RunManifest {
         telemetry_enabled: false,
         host_cores: host_cores(),
         shards: 1,
+        peak_rss_bytes: peak_rss_bytes(),
     }
 }
 
@@ -380,12 +454,15 @@ mod tests {
             "--full",
             "--shards",
             "4",
+            "--profile",
+            "prof",
         ]);
         assert_eq!(a.scale, Scale::Full);
         assert_eq!(a.dataset.as_deref(), Some("hadoop"));
         assert_eq!(a.seed(), 7);
         assert_eq!(a.shards(), 4);
         assert_eq!(a.telemetry.as_deref(), Some(Path::new("out")));
+        assert_eq!(a.profile.as_deref(), Some(Path::new("prof")));
     }
 
     #[test]
@@ -414,6 +491,7 @@ mod tests {
         assert_eq!(a.shards(), 1);
         assert!(a.dataset.is_none());
         assert!(a.telemetry.is_none());
+        assert!(a.profile.is_none());
         assert_eq!(a.dataset_or("all"), "all");
     }
 

@@ -194,6 +194,10 @@ pub struct ExperimentSpec {
     /// Shards for the multi-core engine (1 = single-threaded; results are
     /// byte-identical either way).
     pub shards: u16,
+    /// Engine self-profiling (wall-clock phase timers + occupancy
+    /// histograms; simulation output stays byte-identical). Defaults to
+    /// whether the process was started with `--profile DIR`.
+    pub profile: bool,
     /// Short run label (dataset, variant, sweep point); names the run in
     /// manifests and trace files. May be empty.
     pub label: String,
@@ -220,6 +224,7 @@ impl ExperimentSpec {
                 end_of_time_us: None,
                 seed: 1,
                 shards: crate::cli::args().shards(),
+                profile: crate::cli::profile_dir().is_some(),
                 label: String::new(),
             },
         }
@@ -239,6 +244,7 @@ impl ExperimentSpec {
             seed: self.seed,
             end_of_time: self.end_of_time_us.map(SimTime::from_micros),
             telemetry,
+            profile: self.profile,
             ..SimConfig::default()
         };
         cfg.gateway.queue_cap = self.gateway_queue_cap;
@@ -343,6 +349,13 @@ impl ExperimentSpecBuilder {
     /// `--shards` flag, which itself defaults to 1).
     pub fn shards(mut self, shards: u16) -> Self {
         self.spec.shards = shards;
+        self
+    }
+
+    /// Engine self-profiling override (default: whether the process ran
+    /// with `--profile DIR`).
+    pub fn profile(mut self, on: bool) -> Self {
+        self.spec.profile = on;
         self
     }
 
@@ -654,6 +667,7 @@ mod tests {
         assert_eq!(s.end_of_time_us, None);
         assert_eq!(s.seed, 1);
         assert_eq!(s.shards, 1, "no --shards flag means single-threaded");
+        assert!(!s.profile, "no --profile flag means profiling off");
         assert!(s.label.is_empty());
     }
 

@@ -29,6 +29,12 @@ pub struct SimConfig {
     /// Structured tracing and time-series sampling (off by default; when
     /// off the layer costs one branch per emission point).
     pub telemetry: TelemetryConfig,
+    /// Engine self-profiling: wall-clock phase timers + occupancy
+    /// histograms (off by default; when off the profiler costs one branch
+    /// per phase boundary and the engines never read the host clock).
+    /// Profiling never alters simulation state — a profiled run's traces
+    /// and summaries are byte-identical to an unprofiled run's.
+    pub profile: bool,
 }
 
 impl Default for SimConfig {
@@ -43,6 +49,7 @@ impl Default for SimConfig {
             record_traffic_matrix: false,
             end_of_time: None,
             telemetry: TelemetryConfig::disabled(),
+            profile: false,
         }
     }
 }

@@ -10,6 +10,7 @@
 use sv2p_metrics::{Metrics, RunSummary};
 use sv2p_packet::{Pip, SwitchTag, Vip};
 use sv2p_simcore::{FxHashMap, SimTime};
+use sv2p_telemetry::profile::Profiler;
 use sv2p_telemetry::Tracer;
 use sv2p_topology::{FatTreeConfig, NodeId, NodeKind, RoleMap, Routing, SwitchRole, Topology};
 use sv2p_vnet::{GatewayDirectory, MappingDb, Migration, Placement, Strategy};
@@ -179,6 +180,14 @@ impl Engine {
         match self {
             Engine::Single(s) => s.tracer_mut(),
             Engine::Sharded(s) => s.tracer_mut(),
+        }
+    }
+
+    /// The engine self-profiler (disabled unless `SimConfig::profile`).
+    pub fn profiler(&self) -> &Profiler {
+        match self {
+            Engine::Single(s) => s.profiler(),
+            Engine::Sharded(s) => s.profiler(),
         }
     }
 

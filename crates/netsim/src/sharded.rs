@@ -49,10 +49,12 @@
 //! simulation and simply runs everything itself.
 
 use std::sync::mpsc;
+use std::time::Instant;
 
 use sv2p_metrics::Metrics;
 use sv2p_packet::{FlowId, Pip, SwitchTag, Vip};
 use sv2p_simcore::{merge_journals, FxHashMap, SimDuration, SimTime};
+use sv2p_telemetry::profile::{HistKind, Phase, Profiler};
 use sv2p_telemetry::{Sample, Tracer};
 use sv2p_topology::{FatTreeConfig, NodeId, NodeKind, PodPartition, RoleMap, Routing, Topology};
 use sv2p_vnet::{GatewayDirectory, MappingDb, Migration, Placement, Strategy};
@@ -89,7 +91,14 @@ enum ToWorker {
 
 /// Worker → driver responses.
 enum FromWorker {
-    Journal(Vec<ExecBlock>),
+    /// A replayed window's journal, plus the worker-side wall-clock spent
+    /// replaying it (`0` when profiling is off — the worker times itself
+    /// because the driver's barrier span cannot separate one shard's work
+    /// from another's).
+    Journal {
+        blocks: Vec<ExecBlock>,
+        replay_ns: u64,
+    },
     Flows(Vec<FlowXfer>),
     Snapshot(ShardSnapshot),
 }
@@ -113,6 +122,9 @@ pub struct ShardedSimulation {
     fallback: bool,
     /// Shard-local counters have been folded into the master metrics.
     folded: bool,
+    /// Driver-phase self-profiling (enabled by `SimConfig::profile`; in
+    /// fallback mode the driver's own per-event profiler runs instead).
+    profiler: Profiler,
 }
 
 impl ShardedSimulation {
@@ -140,6 +152,10 @@ impl ShardedSimulation {
                 replicas.push(rep);
             }
         }
+        let mut profiler = Profiler::new(cfg.profile && !fallback);
+        if profiler.enabled() {
+            profiler.ensure_shards(partition.shards() as usize);
+        }
         ShardedSimulation {
             driver,
             replicas,
@@ -149,6 +165,17 @@ impl ShardedSimulation {
             pkt_map: FxHashMap::default(),
             fallback,
             folded: false,
+            profiler,
+        }
+    }
+
+    /// The engine self-profiler: the driver-phase profiler when sharding
+    /// is live, the driver simulation's per-event profiler in fallback.
+    pub fn profiler(&self) -> &Profiler {
+        if self.fallback {
+            self.driver.profiler()
+        } else {
+            &self.profiler
         }
     }
 
@@ -228,10 +255,13 @@ impl ShardedSimulation {
             exec_count,
             last_block_time,
             pkt_map,
+            profiler,
             ..
         } = self;
         let shard_map = partition.shard_map();
         let lookahead = partition.lookahead_ns();
+        let prof = profiler.enabled();
+        let run_t0 = prof.then(Instant::now);
 
         std::thread::scope(|scope| {
             let mut to_workers = Vec::with_capacity(n);
@@ -245,8 +275,14 @@ impl ShardedSimulation {
                     while let Ok(msg) = rx_cmd.recv() {
                         match msg {
                             ToWorker::Window { batch, end } => {
+                                let t0 = prof.then(Instant::now);
                                 let journal = rep.run_window(batch, end);
-                                let _ = tx_res.send(FromWorker::Journal(journal));
+                                let replay_ns =
+                                    t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                                let _ = tx_res.send(FromWorker::Journal {
+                                    blocks: journal,
+                                    replay_ns,
+                                });
                             }
                             ToWorker::Global(g) => rep.apply_global(g),
                             ToWorker::TakeMigrated { vm } => {
@@ -278,6 +314,19 @@ impl ShardedSimulation {
                 let mut batches: Vec<Vec<(SimTime, u64, WireEvent)>> = vec![Vec::new(); n];
                 let mut pending_global: Option<(SimTime, Event)> = None;
                 let mut window_end = w_cap;
+                // Oracle advance: popping the global calendar and resolving
+                // ownership. Dematerialization is timed apart so the cost
+                // of the event→wire conversion is visible on its own — but
+                // only 1 event in 32 is actually clocked and the rest
+                // extrapolated: clock reads can cost hundreds of ns on
+                // hosts without a vDSO fast path, and two per popped event
+                // was measurably slowing profiled sweeps. The sampling
+                // decision keys off the deterministic `popped` counter, so
+                // what gets timed never depends on prior timings.
+                let batch_t0 = prof.then(Instant::now);
+                let mut demat_sampled_ns = 0u64;
+                let mut demat_sampled = 0u64;
+                let mut popped = 0u64;
                 while let Some(nt) = driver.events.peek_time() {
                     if nt >= w_cap {
                         break;
@@ -285,7 +334,16 @@ impl ShardedSimulation {
                     let se = driver.events.pop().expect("peeked event");
                     match driver.owner_of_event(&se.payload, shard_map) {
                         Some(s) => {
-                            let wire = driver.dematerialize(se.payload);
+                            popped += 1;
+                            let wire = if prof && popped & 31 == 1 {
+                                let d0 = Instant::now();
+                                let w = driver.dematerialize(se.payload);
+                                demat_sampled_ns += d0.elapsed().as_nanos() as u64;
+                                demat_sampled += 1;
+                                w
+                            } else {
+                                driver.dematerialize(se.payload)
+                            };
                             batches[s as usize].push((se.time, se.seq, wire));
                         }
                         None => {
@@ -298,6 +356,22 @@ impl ShardedSimulation {
                             break;
                         }
                     }
+                }
+                if let Some(t0) = batch_t0 {
+                    let total = t0.elapsed().as_nanos() as u64;
+                    let demat_ns = if demat_sampled > 0 {
+                        ((demat_sampled_ns as u128 * popped as u128 / demat_sampled as u128)
+                            as u64)
+                            .min(total)
+                    } else {
+                        0
+                    };
+                    profiler.phase_add_span(
+                        Phase::OracleAdvance,
+                        popped,
+                        total.saturating_sub(demat_ns),
+                    );
+                    profiler.phase_add_span(Phase::Dematerialize, popped, demat_ns);
                 }
 
                 let mut busy = vec![false; n];
@@ -313,19 +387,61 @@ impl ShardedSimulation {
                         })
                         .expect("worker alive");
                 }
+                let any_busy = busy.iter().any(|&b| b);
+                let barrier_t0 = prof.then(Instant::now);
                 let mut journals: Vec<Vec<ExecBlock>> = Vec::with_capacity(n);
+                let mut replay_by_shard = vec![0u64; n];
                 for (s, rx) in from_workers.iter().enumerate() {
                     if !busy[s] {
                         journals.push(Vec::new());
                         continue;
                     }
                     match rx.recv().expect("worker alive") {
-                        FromWorker::Journal(j) => journals.push(j),
+                        FromWorker::Journal { blocks, replay_ns } => {
+                            replay_by_shard[s] = replay_ns;
+                            journals.push(blocks);
+                        }
                         _ => unreachable!("no snapshot or transfer pending"),
                     }
                 }
+                if let (Some(t0), true) = (barrier_t0, any_busy) {
+                    // The driver's blocked-at-barrier span splits into the
+                    // mean per-shard busy time (useful parallel work) and
+                    // the remainder: what the average shard wasted waiting
+                    // for the slowest one (imbalance + serialization).
+                    let span = t0.elapsed().as_nanos() as u64;
+                    let sum_r: u64 = replay_by_shard.iter().sum();
+                    let avg_r = (sum_r / n as u64).min(span);
+                    let max_r = replay_by_shard.iter().copied().max().unwrap_or(0);
+                    profiler.phase_add(Phase::WorkerReplay, avg_r);
+                    profiler.phase_add(Phase::BarrierWait, span - avg_r);
+                    profiler.record(HistKind::WindowNs, span);
+                    for (s, &r) in replay_by_shard.iter().enumerate() {
+                        if busy[s] {
+                            profiler.record(HistKind::ShardReplayNs, r);
+                        }
+                        profiler.shard_sample(
+                            s,
+                            r,
+                            max_r.saturating_sub(r),
+                            journals[s].len() as u64,
+                        );
+                    }
+                    profiler.windows += 1;
+                    // Deterministic once-per-window occupancy samples.
+                    let (ready, wheel, overflow) = driver.events.occupancy_breakdown();
+                    profiler.record(HistKind::CalendarLen, (ready + wheel + overflow) as u64);
+                    profiler.record(HistKind::CalendarOverflow, overflow as u64);
+                    profiler.record(HistKind::ArenaLive, driver.arena_live() as u64);
+                }
 
+                let merge_t0 = prof.then(Instant::now);
                 merge_journals(journals, |_shard, block| {
+                    if prof {
+                        profiler.journal_blocks += 1;
+                        profiler.journal_ops += block.ops.len() as u64;
+                        profiler.record(HistKind::JournalBlockOps, block.ops.len() as u64);
+                    }
                     *exec_count += 1;
                     *last_block_time = block.time;
                     let mut assigned = Vec::new();
@@ -380,8 +496,15 @@ impl ShardedSimulation {
                     }
                     assigned
                 });
+                if let Some(t0) = merge_t0 {
+                    profiler.phase_add(Phase::JournalMerge, t0.elapsed().as_nanos() as u64);
+                }
 
+                let global_t0 = (prof && pending_global.is_some()).then(Instant::now);
                 if let Some((tg, gev)) = pending_global {
+                    if prof {
+                        profiler.global_events += 1;
+                    }
                     *exec_count += 1;
                     *last_block_time = tg;
                     match gev {
@@ -493,12 +616,18 @@ impl ShardedSimulation {
                         _ => unreachable!("not a global event"),
                     }
                 }
+                if let Some(t0) = global_t0 {
+                    profiler.phase_add(Phase::GlobalExec, t0.elapsed().as_nanos() as u64);
+                }
             }
 
             for tx in &to_workers {
                 let _ = tx.send(ToWorker::Finish);
             }
         });
+        if let Some(t0) = run_t0 {
+            self.profiler.add_run_ns(t0.elapsed().as_nanos() as u64);
+        }
     }
 
     /// Folds order-free shard-local counters (byte/drop/hit counters,

@@ -9,6 +9,7 @@ use sv2p_packet::{
     TunnelOptions, Vip,
 };
 use sv2p_simcore::{EventQueue, FxHashMap, FxHashSet, SimDuration, SimRng, SimTime};
+use sv2p_telemetry::profile::{HistKind, Phase, Profiler};
 use sv2p_telemetry::{EventKind, LayerName, Sample, TraceEvent, Tracer};
 use sv2p_topology::{
     FatTreeConfig, LinkId, NodeId, NodeKind, RoleMap, Routing, Topology,
@@ -104,6 +105,9 @@ pub struct Simulation {
     pub metrics: Metrics,
     /// Structured event tracing and time-series sampling.
     tracer: Tracer,
+    /// Engine self-profiling (wall-clock side channel; never feeds back
+    /// into simulation state).
+    pub(crate) profiler: Profiler,
     /// Per-node flag: a switch that actually holds cache lines (gates
     /// `CacheLookup` trace events, so non-caching switches stay silent).
     caching: Vec<bool>,
@@ -265,6 +269,7 @@ impl Simulation {
             fault_rngs,
             metrics,
             tracer,
+            profiler: Profiler::new(cfg.profile),
             caching,
             next_pkt_id: 0,
             traffic_matrix: FxHashMap::default(),
@@ -303,6 +308,12 @@ impl Simulation {
         self.arena.peak()
     }
 
+    /// Packets currently in flight in the arena (profiler occupancy
+    /// samples).
+    pub(crate) fn arena_live(&self) -> usize {
+        self.arena.live()
+    }
+
     /// The telemetry tracer (read events/samples after a run).
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
@@ -311,6 +322,11 @@ impl Simulation {
     /// Mutable tracer access (harnesses that write trace files).
     pub fn tracer_mut(&mut self) -> &mut Tracer {
         &mut self.tracer
+    }
+
+    /// The engine self-profiler (disabled unless `SimConfig::profile`).
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
     }
 
     /// Read-only topology access.
@@ -382,12 +398,65 @@ impl Simulation {
             Some(h) => h.min(t),
             None => t,
         };
+        if self.profiler.enabled() {
+            return self.run_until_profiled(horizon);
+        }
         while let Some(next) = self.events.peek_time() {
             if next > horizon {
                 break;
             }
             let ev = self.events.pop().expect("peeked event");
             self.dispatch(ev.payload);
+        }
+    }
+
+    /// The profiled twin of the `run_until` loop: identical event order
+    /// and dispatch, plus wall-clock attribution per event class and
+    /// deterministic occupancy samples every 1024 executed events (keyed
+    /// off the calendar's event counter, so two same-seed profiled runs
+    /// sample at identical points).
+    fn run_until_profiled(&mut self, horizon: SimTime) {
+        let run_t0 = std::time::Instant::now();
+        while let Some(next) = self.events.peek_time() {
+            if next > horizon {
+                break;
+            }
+            let t0 = std::time::Instant::now();
+            let ev = self.events.pop().expect("peeked event");
+            let t1 = std::time::Instant::now();
+            let phase = Self::phase_of(&ev.payload);
+            self.dispatch(ev.payload);
+            let dispatch_ns = t1.elapsed().as_nanos() as u64;
+            self.profiler.phase_add(Phase::Pop, (t1 - t0).as_nanos() as u64);
+            self.profiler.phase_add(phase, dispatch_ns);
+            if self.events.events_executed() & 1023 == 0 {
+                let (ready, wheel, overflow) = self.events.occupancy_breakdown();
+                self.profiler
+                    .record(HistKind::CalendarLen, (ready + wheel + overflow) as u64);
+                self.profiler
+                    .record(HistKind::CalendarOverflow, overflow as u64);
+                self.profiler
+                    .record(HistKind::ArenaLive, self.arena.live() as u64);
+            }
+        }
+        self.profiler.add_run_ns(run_t0.elapsed().as_nanos() as u64);
+    }
+
+    /// The profiling phase charged with an event's handler dispatch.
+    fn phase_of(ev: &Event) -> Phase {
+        match ev {
+            Event::FlowStart(_) => Phase::FlowStart,
+            Event::UdpSend { .. } => Phase::UdpSend,
+            Event::LinkFree(_) => Phase::LinkFree,
+            Event::LinkArrival { .. } => Phase::LinkArrival,
+            Event::RtoTimer { .. } => Phase::RtoTimer,
+            Event::GatewayDone { .. } => Phase::Gateway,
+            Event::ReInject { .. } => Phase::ReInject,
+            Event::HostForward { .. } => Phase::HostForward,
+            Event::Migrate(_) => Phase::Migrate,
+            Event::FaultStart(_) | Event::FaultEnd(_) => Phase::Fault,
+            Event::ChurnMark(_) => Phase::ChurnMark,
+            Event::TelemetrySample => Phase::TelemetrySample,
         }
     }
 

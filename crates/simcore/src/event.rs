@@ -174,6 +174,18 @@ impl<E> EventQueue<E> {
         self.peak_len
     }
 
+    /// Where the pending events currently sit: `(ready, wheel, overflow)`.
+    /// `ready` and `overflow` are the two heaps (the only `O(log n)`
+    /// structures); `wheel` is everything parked in `O(1)` slots. The
+    /// profiler samples this to histogram calendar occupancy — a growing
+    /// overflow share would mean the wheel horizon no longer fits the
+    /// workload's timer spread.
+    pub fn occupancy_breakdown(&self) -> (usize, usize, usize) {
+        let ready = self.ready.len();
+        let overflow = self.overflow.len();
+        (ready, self.pending - ready - overflow, overflow)
+    }
+
     #[inline]
     fn slot_of(t: SimTime) -> u64 {
         t.as_nanos() >> SLOT_NS_SHIFT
@@ -502,6 +514,24 @@ mod tests {
         // Draining below the peak must not lower it.
         assert_eq!(q.peak_len(), 3);
         assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn occupancy_breakdown_partitions_pending() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.occupancy_breakdown(), (0, 0, 0));
+        q.schedule_at(SimTime::from_nanos(10), 1); // slot 0: straight to ready
+        q.schedule_at(SimTime::from_nanos(500_000), 2); // within horizon: wheel
+        q.schedule_at(SimTime::from_millis(50), 3); // beyond horizon: overflow
+        let (ready, wheel, overflow) = q.occupancy_breakdown();
+        assert_eq!(ready + wheel + overflow, q.len());
+        assert_eq!(overflow, 1);
+        assert_eq!(ready, 1);
+        assert_eq!(wheel, 1);
+        q.pop();
+        q.pop();
+        q.pop();
+        assert_eq!(q.occupancy_breakdown(), (0, 0, 0));
     }
 
     #[test]

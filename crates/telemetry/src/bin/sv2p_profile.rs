@@ -1,0 +1,276 @@
+//! `sv2p-profile`: render an engine self-profile report produced by
+//! `--profile DIR`.
+//!
+//! ```sh
+//! sv2p-profile results/profile/table4.SwitchV2P.ft8.c64.s42.profile.json
+//! sv2p-profile report.profile.json --top 3   # top-3 histogram tails only
+//! sv2p-profile report.profile.json --check   # validate; exit nonzero on
+//!                                            # malformed or insane fracs
+//! ```
+//!
+//! The default view is a phase-breakdown table sorted by wall-clock share,
+//! a per-shard imbalance summary (replay vs barrier-idle time), histogram
+//! tails, and a one-line verdict naming the dominant sharding overhead.
+//! `--check` validates what the CI profile-smoke job needs: the report
+//! parses, phase fractions are each in `[0, 1]`, and they sum to at most
+//! 1.05.
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use sv2p_telemetry::json::JsonValue;
+use sv2p_telemetry::profile::{ProfileDoc, Row};
+
+struct Args {
+    file: String,
+    top: usize,
+    check: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: sv2p-profile <run.profile.json> [--top K] [--check]");
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, ExitCode> {
+    let mut args = Args {
+        file: String::new(),
+        top: usize::MAX,
+        check: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--check" => args.check = true,
+            "--top" => {
+                args.top = it.next().and_then(|v| v.parse().ok()).ok_or_else(|| {
+                    eprintln!("--top needs a numeric argument");
+                    usage()
+                })?;
+            }
+            "--help" | "-h" => return Err(usage()),
+            _ if args.file.is_empty() && !a.starts_with('-') => args.file = a,
+            other => {
+                eprintln!("unknown argument {other:?}");
+                return Err(usage());
+            }
+        }
+    }
+    if args.file.is_empty() {
+        return Err(usage());
+    }
+    Ok(args)
+}
+
+fn get_u64(row: &Row, k: &str) -> u64 {
+    row.get(k).and_then(JsonValue::as_u64).unwrap_or(0)
+}
+
+fn get_f64(row: &Row, k: &str) -> f64 {
+    row.get(k).and_then(JsonValue::as_f64).unwrap_or(0.0)
+}
+
+fn get_str<'a>(row: &'a Row, k: &str) -> &'a str {
+    row.get(k).and_then(JsonValue::as_str).unwrap_or("?")
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Validates the invariants the CI smoke job asserts. Returns a list of
+/// violations (empty = sane).
+fn check(doc: &ProfileDoc) -> Vec<String> {
+    let mut bad = Vec::new();
+    if doc.meta.is_empty() {
+        bad.push("missing meta row".into());
+    }
+    if doc.summary.is_empty() {
+        bad.push("missing summary row".into());
+    }
+    let mut frac_sum = 0.0;
+    for p in &doc.phases {
+        let f = get_f64(p, "frac");
+        if !(0.0..=1.0).contains(&f) {
+            bad.push(format!("phase {} frac {f} outside [0,1]", get_str(p, "name")));
+        }
+        frac_sum += f;
+    }
+    if frac_sum > 1.05 {
+        bad.push(format!("phase fracs sum to {frac_sum:.3} > 1.05"));
+    }
+    for k in ["oracle_frac", "barrier_frac", "merge_frac", "global_frac"] {
+        let f = get_f64(&doc.summary, k);
+        if !(0.0..=1.0).contains(&f) {
+            bad.push(format!("summary {k} {f} outside [0,1]"));
+        }
+    }
+    if doc.phases.is_empty() {
+        bad.push("no phase rows".into());
+    }
+    bad
+}
+
+fn render(doc: &ProfileDoc, top: usize, out: &mut impl Write) -> std::io::Result<()> {
+    let m = &doc.meta;
+    writeln!(
+        out,
+        "{} [{}] engine={} shards={} seed={} events={} host_cores={} peak_rss={:.1} MiB",
+        get_str(m, "bin"),
+        get_str(m, "label"),
+        get_str(m, "engine"),
+        get_u64(m, "shards"),
+        get_u64(m, "seed"),
+        get_u64(m, "events_executed"),
+        get_u64(m, "host_cores"),
+        get_u64(m, "peak_rss_bytes") as f64 / (1024.0 * 1024.0),
+    )?;
+    let run_ns = get_u64(m, "run_wall_ns");
+    writeln!(out, "run wall-clock: {} (timings are non-deterministic)", fmt_ns(run_ns))?;
+
+    // Phase table, sorted by wall-clock share descending.
+    writeln!(out, "\n  {:<18} {:>12} {:>12} {:>7}", "phase", "calls", "total", "frac")?;
+    let mut phases: Vec<&Row> = doc.phases.iter().collect();
+    phases.sort_by(|a, b| {
+        get_f64(b, "frac")
+            .partial_cmp(&get_f64(a, "frac"))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    for p in &phases {
+        writeln!(
+            out,
+            "  {:<18} {:>12} {:>12} {:>6.1}%",
+            get_str(p, "name"),
+            get_u64(p, "calls"),
+            fmt_ns(get_u64(p, "total_ns")),
+            get_f64(p, "frac") * 100.0,
+        )?;
+    }
+
+    // Shard imbalance summary.
+    if !doc.shards.is_empty() {
+        writeln!(
+            out,
+            "\n  {:<6} {:>10} {:>10} {:>12} {:>14}",
+            "shard", "blocks", "windows", "replay", "barrier_idle"
+        )?;
+        for s in &doc.shards {
+            writeln!(
+                out,
+                "  {:<6} {:>10} {:>10} {:>12} {:>14}",
+                get_u64(s, "shard"),
+                get_u64(s, "blocks"),
+                get_u64(s, "windows"),
+                fmt_ns(get_u64(s, "replay_ns")),
+                fmt_ns(get_u64(s, "barrier_wait_ns")),
+            )?;
+        }
+        writeln!(
+            out,
+            "  imbalance_cv={:.3} (stddev/mean of per-shard replay time)",
+            get_f64(&doc.summary, "imbalance_cv")
+        )?;
+    }
+
+    // Histogram tails.
+    if !doc.hists.is_empty() {
+        writeln!(
+            out,
+            "\n  {:<18} {:>10} {:>10} {:>10} {:>10} {:>10}  det",
+            "histogram", "count", "p50", "p90", "p99", "max"
+        )?;
+        for h in doc.hists.iter().take(top) {
+            writeln!(
+                out,
+                "  {:<18} {:>10} {:>10} {:>10} {:>10} {:>10}  {}",
+                get_str(h, "name"),
+                get_u64(h, "count"),
+                get_u64(h, "p50"),
+                get_u64(h, "p90"),
+                get_u64(h, "p99"),
+                get_u64(h, "max"),
+                if h.get("deterministic").and_then(JsonValue::as_bool) == Some(true) {
+                    "yes"
+                } else {
+                    "no"
+                },
+            )?;
+        }
+    }
+
+    // Verdict: where did the sharding overhead go?
+    let s = &doc.summary;
+    if get_str(m, "engine") == "sharded" {
+        let pairs = [
+            ("oracle replay", get_f64(s, "oracle_frac")),
+            ("barrier wait", get_f64(s, "barrier_frac")),
+            ("journal merge", get_f64(s, "merge_frac")),
+            ("global events", get_f64(s, "global_frac")),
+        ];
+        let overhead: f64 = pairs.iter().map(|(_, f)| f).sum();
+        let dominant = pairs
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .copied()
+            .unwrap_or(("none", 0.0));
+        writeln!(
+            out,
+            "\nsharding overhead: {:.1}% of wall-clock (oracle {:.1}%, barrier {:.1}%, \
+             merge {:.1}%, global {:.1}%); dominant: {} ({:.1}%)",
+            overhead * 100.0,
+            pairs[0].1 * 100.0,
+            pairs[1].1 * 100.0,
+            pairs[2].1 * 100.0,
+            pairs[3].1 * 100.0,
+            dominant.0,
+            dominant.1 * 100.0,
+        )?;
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    let text = match std::fs::read_to_string(&args.file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", args.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(doc) = ProfileDoc::parse(&text) else {
+        eprintln!("{}: not a sv2p-profile/v1 report", args.file);
+        return ExitCode::FAILURE;
+    };
+    if args.check {
+        let bad = check(&doc);
+        if bad.is_empty() {
+            println!("{}: ok ({} phases, {} shards)", args.file, doc.phases.len(), doc.shards.len());
+            return ExitCode::SUCCESS;
+        }
+        for b in &bad {
+            eprintln!("{}: {b}", args.file);
+        }
+        return ExitCode::FAILURE;
+    }
+    let mut out = std::io::BufWriter::new(std::io::stdout().lock());
+    match render(&doc, args.top, &mut out).and_then(|()| out.flush()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("write failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -19,9 +19,17 @@
 //!   time appears *only* here; traces and samples carry virtual time
 //!   exclusively, which is what makes same-seed runs byte-identical.
 //!
+//! * **Profiles** — engine self-profiling reports ([`profile`]): wall-clock
+//!   phase accounting and log-linear histograms for both engines, emitted
+//!   as `*.profile.json` by `--profile DIR`. Like manifests, wall-clock
+//!   lives only here; the deterministic counter sections are pinned by the
+//!   same byte-identity discipline as traces.
+//!
 //! The `sv2p-trace` binary (this crate's `src/bin/`) filters trace files by
 //! flow/switch/kind and reconstructs a packet's hop-by-hop path with
-//! per-hop latency; the reusable logic lives in [`inspect`].
+//! per-hop latency; the reusable logic lives in [`inspect`]. The
+//! `sv2p-profile` binary renders a profile report as a phase-breakdown
+//! table with a shard-imbalance summary.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,7 +38,11 @@ pub mod event;
 pub mod inspect;
 pub mod json;
 pub mod manifest;
+pub mod profile;
 
 pub use event::{EventKind, LayerName, Sample, TelemetryConfig, TraceEvent, Tracer};
 pub use inspect::{parse_events, parse_samples, reconstruct_path, Hop, PathReport};
 pub use manifest::RunManifest;
+pub use profile::{
+    deterministic_projection, HistKind, Histogram, Phase, ProfileDoc, ProfileMeta, Profiler,
+};

@@ -55,6 +55,10 @@ pub struct RunManifest {
     /// Shards the engine actually executed in parallel (1 for the
     /// single-threaded engine, including sharded-engine fallback).
     pub shards: u64,
+    /// Process peak resident set size at manifest time (`VmHWM` from
+    /// `/proc/self/status` on Linux; 0 where unknown). Monotonic per
+    /// process, so later runs in one bin report the running maximum.
+    pub peak_rss_bytes: u64,
 }
 
 impl RunManifest {
@@ -78,7 +82,8 @@ impl RunManifest {
             .u64("peak_arena", self.peak_arena)
             .bool("telemetry_enabled", self.telemetry_enabled)
             .u64("host_cores", self.host_cores)
-            .u64("shards", self.shards);
+            .u64("shards", self.shards)
+            .u64("peak_rss_bytes", self.peak_rss_bytes);
         o.finish()
     }
 
@@ -133,6 +138,7 @@ mod tests {
             telemetry_enabled: false,
             host_cores: 1,
             shards: 1,
+            peak_rss_bytes: 2048 * 1024,
         }
     }
 
@@ -146,6 +152,7 @@ mod tests {
         assert_eq!(m["telemetry_enabled"].as_bool(), Some(false));
         assert_eq!(m["host_cores"].as_u64(), Some(1));
         assert_eq!(m["shards"].as_u64(), Some(1));
+        assert_eq!(m["peak_rss_bytes"].as_u64(), Some(2048 * 1024));
     }
 
     #[test]

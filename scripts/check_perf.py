@@ -3,37 +3,100 @@
 
 Usage: check_perf.py COMMITTED.json FRESH.json [MIN_RATIO]
 
-Both files are `sv2p-perfbench/v2` baselines (see EXPERIMENTS.md for the
-schema). For every (workload, strategy, shards) cell present in both, the
-fresh run must reach at least MIN_RATIO (default 0.5) of the committed
-events/sec; otherwise the script prints the offending cells and exits 1.
-Committed cells absent from the fresh run are skipped (a `--shards 1` CI
-leg measures only the single-threaded rows of a baseline that also carries
-sharded rows), but at least one cell must be comparable.
+Both files are `sv2p-perfbench/v2` or `/v3` baselines (see EXPERIMENTS.md
+for the schema; v3 adds the profiler columns). For every (workload,
+strategy, shards) cell present in both, the fresh run must reach at least
+MIN_RATIO (default 0.5) of the committed events/sec; otherwise the script
+prints the offending cells and exits 1. Committed cells absent from the
+fresh run are skipped (a `--shards 1` CI leg measures only the
+single-threaded rows of a baseline that also carries sharded rows), but at
+least one cell must be comparable.
 
 The 0.5 floor is deliberately loose: CI runners are noisy and shared, so
 the gate only catches order-of-magnitude regressions (an accidental debug
 build, a hot-path data structure going quadratic), not few-percent drift.
+
+For v3 fresh baselines the script additionally sanity-checks the engine
+self-profiler columns: every cell must carry oracle_frac / barrier_frac /
+merge_frac / imbalance_cv / peak_rss_bytes, each fraction must lie in
+[0, 1], and the sharding-overhead fractions must sum to at most 1.05 (a
+little slack for clock skew between the outer run timer and the phase
+timers). A host with fewer cores than the widest sharded cell gets a
+WARNING — speedup numbers from an oversubscribed host measure scheduling,
+not the engine — but does not fail the gate.
 """
 
 import json
 import sys
 
+SCHEMAS = ("sv2p-perfbench/v2", "sv2p-perfbench/v3")
+FRAC_KEYS = ("oracle_frac", "barrier_frac", "merge_frac", "imbalance_cv")
+# imbalance_cv is a coefficient of variation, not a fraction of the run:
+# it is >= 0 but not bounded by 1 and never enters the phase-sum check.
+SUM_KEYS = ("oracle_frac", "barrier_frac", "merge_frac")
+FRAC_SUM_CEILING = 1.05
 
-def cells(path):
+
+def load(path):
     with open(path) as f:
         doc = json.load(f)
-    if doc.get("schema") != "sv2p-perfbench/v2":
+    if doc.get("schema") not in SCHEMAS:
         sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return doc
+
+
+def cells(doc):
     return {(c["workload"], c["strategy"], c.get("shards", 1)): c for c in doc["cells"]}
+
+
+def check_profile_columns(doc, path):
+    """v3 sanity assertions on the fresh baseline's profiler columns."""
+    failures = []
+    for key, c in sorted(cells(doc).items()):
+        missing = [k for k in FRAC_KEYS + ("peak_rss_bytes",) if k not in c]
+        if missing:
+            failures.append(f"{key}: missing profiler column(s) {missing}")
+            continue
+        for k in FRAC_KEYS:
+            lo, hi = (0.0, 1.0) if k != "imbalance_cv" else (0.0, float("inf"))
+            if not (lo <= c[k] <= hi):
+                failures.append(f"{key}: {k}={c[k]} outside [{lo}, {hi}]")
+        total = sum(c[k] for k in SUM_KEYS)
+        if total > FRAC_SUM_CEILING:
+            failures.append(
+                f"{key}: phase fractions sum to {total:.3f} "
+                f"(> {FRAC_SUM_CEILING}) — phase timers overlap the run"
+            )
+    if failures:
+        print(f"\nprofiler-column check failed for {path}:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        sys.exit(1)
+    n = len(doc["cells"])
+    print(f"profiler columns ok: {n} cell(s) carry sane phase fractions")
 
 
 def main():
     if len(sys.argv) not in (3, 4):
         sys.exit(__doc__)
-    committed = cells(sys.argv[1])
-    fresh = cells(sys.argv[2])
+    committed = cells(load(sys.argv[1]))
+    fresh_doc = load(sys.argv[2])
+    fresh = cells(fresh_doc)
     min_ratio = float(sys.argv[3]) if len(sys.argv) == 4 else 0.5
+
+    host_cores = fresh_doc.get("host_cores", 0)
+    widest = max((shards for _, _, shards in fresh), default=1)
+    if host_cores and widest > host_cores:
+        print(
+            f"WARNING: fresh run used up to {widest} shards on a "
+            f"{host_cores}-core host; sharded speedup numbers measure OS "
+            "scheduling, not the engine, and the committed baseline should "
+            "not be refreshed from this machine.\n"
+        )
+
+    if fresh_doc.get("schema") == "sv2p-perfbench/v3":
+        check_profile_columns(fresh_doc, sys.argv[2])
+        print()
 
     compared = 0
     skipped = []
