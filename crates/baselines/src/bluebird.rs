@@ -218,6 +218,7 @@ mod tests {
     use sv2p_packet::packet::Protocol;
     use sv2p_packet::{FlowId, InnerHeader, OuterHeader, PacketId, TcpFlags, TunnelOptions};
     use sv2p_simcore::SimRng;
+    use sv2p_vnet::MappingOp;
 
     fn mk_ctx<'a>(db: &'a MappingDb, rng: &'a mut SimRng, now: SimTime) -> SwitchCtx<'a> {
         SwitchCtx {
@@ -269,7 +270,7 @@ mod tests {
 
     fn agent_and_db() -> (Box<dyn SwitchAgent>, MappingDb) {
         let mut db = MappingDb::new();
-        db.insert(Vip(5), Pip(55));
+        db.apply(MappingOp::Install { vip: Vip(5), pip: Pip(55) });
         let agent = Bluebird::default().make_switch_agent(
             NodeId(0),
             SwitchRole::Tor,
@@ -327,7 +328,7 @@ mod tests {
         );
         let mut db = MappingDb::new();
         for v in 0..100 {
-            db.insert(Vip(v), Pip(1000 + v));
+            db.apply(MappingOp::Install { vip: Vip(v), pip: Pip(1000 + v) });
         }
         let mut rng = SimRng::new(1);
         let mut dropped = 0;

@@ -138,10 +138,11 @@ impl Strategy for OnDemand {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sv2p_vnet::MappingOp;
 
     fn db() -> MappingDb {
         let mut db = MappingDb::new();
-        db.insert(Vip(1), Pip(10));
+        db.apply(MappingOp::Install { vip: Vip(1), pip: Pip(10) });
         db
     }
 
@@ -176,7 +177,7 @@ mod tests {
             "subsequent packets go direct"
         );
         // The rule is NOT refreshed on migration: stays stale.
-        db.migrate(Vip(1), Pip(20));
+        db.apply(MappingOp::Migrate { vip: Vip(1), to_pip: Pip(20), at_ns: None });
         assert_eq!(
             agent.resolve(SimTime::ZERO, &db, Vip(1), 0),
             HostResolution::Direct(Pip(10)),

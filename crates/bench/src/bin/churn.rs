@@ -49,10 +49,10 @@ fn churn_spec(intensity: &str, seed: u64, horizon_us: u64) -> ChurnSpec {
         other => panic!("unknown intensity {other}"),
     };
     let a = cli::args();
-    if let Some(w) = a.churn_waves {
+    if let Some(w) = a.churn.waves {
         spec.waves = w;
     }
-    if let Some(f) = a.churn_wave_fraction {
+    if let Some(f) = a.churn.wave_fraction {
         spec.wave_fraction = f;
     }
     spec
@@ -106,11 +106,11 @@ fn run_scenario(intensity: &str, strategy: StrategyKind, horizon_us: u64, queue_
 
 fn main() {
     let a = cli::init("churn");
-    let horizon_us = a.churn_horizon_us.unwrap_or(match a.scale {
+    let horizon_us = a.churn.horizon_us.unwrap_or(match a.scale {
         Scale::Quick => 20_000,
         Scale::Full => 80_000,
     });
-    let queue_cap = a.churn_queue_cap.unwrap_or(DEFAULT_QUEUE_CAP);
+    let queue_cap = a.churn.queue_cap.unwrap_or(DEFAULT_QUEUE_CAP);
     for intensity in ["light", "medium", "heavy"] {
         println!(
             "\nContinuous churn — {intensity} (horizon {horizon_us} us, \

@@ -44,7 +44,36 @@ use sv2p_topology::FatTreeConfig;
 use crate::harness::ExperimentSpec;
 use crate::Scale;
 
-/// Arguments shared by every bench binary.
+/// Engine-selection arguments (`--shards`).
+#[derive(Debug, Clone, Default)]
+pub struct ShardArgs {
+    /// `--shards N`: run simulations on the sharded engine.
+    pub shards: Option<u16>,
+}
+
+/// Churn-experiment overrides (`--churn-*`; honoured by the `churn` bin).
+#[derive(Debug, Clone, Default)]
+pub struct ChurnArgs {
+    /// `--churn-horizon-us N`: churn timeline length override.
+    pub horizon_us: Option<u64>,
+    /// `--churn-waves N`: migration-wave count override.
+    pub waves: Option<u32>,
+    /// `--churn-wave-fraction F`: per-wave migrated fraction override.
+    pub wave_fraction: Option<f64>,
+    /// `--churn-queue-cap N`: gateway bounded-queue capacity override.
+    pub queue_cap: Option<u32>,
+}
+
+/// Side-output arguments (`--telemetry`, `--profile`).
+#[derive(Debug, Clone, Default)]
+pub struct OutputArgs {
+    /// `--telemetry DIR`: trace every run into DIR.
+    pub telemetry: Option<PathBuf>,
+    /// `--profile DIR`: write an engine self-profile per run into DIR.
+    pub profile: Option<PathBuf>,
+}
+
+/// Arguments shared by every bench binary, grouped by concern.
 #[derive(Debug, Clone)]
 pub struct BenchArgs {
     /// Quick or paper-scale parameters (`--full`).
@@ -53,35 +82,30 @@ pub struct BenchArgs {
     pub dataset: Option<String>,
     /// `--seed N` override.
     pub seed: Option<u64>,
-    /// `--shards N`: run simulations on the sharded engine.
-    pub shards: Option<u16>,
-    /// `--telemetry DIR`: trace every run into DIR.
-    pub telemetry: Option<PathBuf>,
-    /// `--profile DIR`: write an engine self-profile per run into DIR.
-    pub profile: Option<PathBuf>,
-    /// `--churn-horizon-us N`: churn timeline length override.
-    pub churn_horizon_us: Option<u64>,
-    /// `--churn-waves N`: migration-wave count override.
-    pub churn_waves: Option<u32>,
-    /// `--churn-wave-fraction F`: per-wave migrated fraction override.
-    pub churn_wave_fraction: Option<f64>,
-    /// `--churn-queue-cap N`: gateway bounded-queue capacity override.
-    pub churn_queue_cap: Option<u32>,
+    /// Engine selection.
+    pub shard: ShardArgs,
+    /// Churn-experiment overrides.
+    pub churn: ChurnArgs,
+    /// Side outputs (telemetry traces, self-profiles).
+    pub output: OutputArgs,
 }
 
 impl BenchArgs {
-    fn parse(argv: impl Iterator<Item = String>) -> BenchArgs {
+    /// Parses the process's command line. The one public entry point —
+    /// every bin reaches it through [`init`]/[`args`], which parse once
+    /// and cache.
+    pub fn parse() -> BenchArgs {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    fn parse_from(argv: impl Iterator<Item = String>) -> BenchArgs {
         let mut out = BenchArgs {
             scale: Scale::Quick,
             dataset: None,
             seed: None,
-            shards: None,
-            telemetry: None,
-            profile: None,
-            churn_horizon_us: None,
-            churn_waves: None,
-            churn_wave_fraction: None,
-            churn_queue_cap: None,
+            shard: ShardArgs::default(),
+            churn: ChurnArgs::default(),
+            output: OutputArgs::default(),
         };
         let mut it = argv.peekable();
         while let Some(arg) = it.next() {
@@ -94,33 +118,33 @@ impl BenchArgs {
                 }
                 "--shards" => {
                     let v = it.next().unwrap_or_else(|| die("--shards needs a value"));
-                    out.shards =
+                    out.shard.shards =
                         Some(v.parse().unwrap_or_else(|_| die("--shards needs an integer")));
                 }
                 "--telemetry" => {
                     let v = it
                         .next()
                         .unwrap_or_else(|| die("--telemetry needs a directory"));
-                    out.telemetry = Some(PathBuf::from(v));
+                    out.output.telemetry = Some(PathBuf::from(v));
                 }
                 "--profile" => {
                     let v = it
                         .next()
                         .unwrap_or_else(|| die("--profile needs a directory"));
-                    out.profile = Some(PathBuf::from(v));
+                    out.output.profile = Some(PathBuf::from(v));
                 }
                 "--churn-horizon-us" => {
                     let v = it
                         .next()
                         .unwrap_or_else(|| die("--churn-horizon-us needs a value"));
-                    out.churn_horizon_us = Some(
+                    out.churn.horizon_us = Some(
                         v.parse()
                             .unwrap_or_else(|_| die("--churn-horizon-us needs an integer")),
                     );
                 }
                 "--churn-waves" => {
                     let v = it.next().unwrap_or_else(|| die("--churn-waves needs a value"));
-                    out.churn_waves = Some(
+                    out.churn.waves = Some(
                         v.parse()
                             .unwrap_or_else(|_| die("--churn-waves needs an integer")),
                     );
@@ -129,7 +153,7 @@ impl BenchArgs {
                     let v = it
                         .next()
                         .unwrap_or_else(|| die("--churn-wave-fraction needs a value"));
-                    out.churn_wave_fraction = Some(
+                    out.churn.wave_fraction = Some(
                         v.parse()
                             .unwrap_or_else(|_| die("--churn-wave-fraction needs a number")),
                     );
@@ -138,7 +162,7 @@ impl BenchArgs {
                     let v = it
                         .next()
                         .unwrap_or_else(|| die("--churn-queue-cap needs a value"));
-                    out.churn_queue_cap = Some(
+                    out.churn.queue_cap = Some(
                         v.parse()
                             .unwrap_or_else(|_| die("--churn-queue-cap needs an integer")),
                     );
@@ -161,7 +185,7 @@ impl BenchArgs {
     /// The requested shard count: `--shards N` if given, else 1 (the
     /// single-threaded engine).
     pub fn shards(&self) -> u16 {
-        self.shards.unwrap_or(1)
+        self.shard.shards.unwrap_or(1)
     }
 
     /// The dataset selector, defaulting to `fallback`.
@@ -181,7 +205,7 @@ static SINK: Mutex<Vec<RunManifest>> = Mutex::new(Vec::new());
 
 /// Parses (once) and returns the process's bench arguments.
 pub fn args() -> &'static BenchArgs {
-    ARGS.get_or_init(|| BenchArgs::parse(std::env::args().skip(1)))
+    ARGS.get_or_init(BenchArgs::parse)
 }
 
 /// Registers the binary's name (used for the manifest path and trace-file
@@ -193,12 +217,12 @@ pub fn init(bin: &str) -> &'static BenchArgs {
 
 /// The `--telemetry` output directory, if tracing was requested.
 pub fn telemetry_dir() -> Option<&'static Path> {
-    args().telemetry.as_deref()
+    args().output.telemetry.as_deref()
 }
 
 /// The `--profile` output directory, if self-profiling was requested.
 pub fn profile_dir() -> Option<&'static Path> {
-    args().profile.as_deref()
+    args().output.profile.as_deref()
 }
 
 /// The telemetry configuration implied by the CLI (for bins that build
@@ -440,7 +464,7 @@ mod tests {
     use super::*;
 
     fn parse(args: &[&str]) -> BenchArgs {
-        BenchArgs::parse(args.iter().map(|s| s.to_string()))
+        BenchArgs::parse_from(args.iter().map(|s| s.to_string()))
     }
 
     #[test]
@@ -461,8 +485,8 @@ mod tests {
         assert_eq!(a.dataset.as_deref(), Some("hadoop"));
         assert_eq!(a.seed(), 7);
         assert_eq!(a.shards(), 4);
-        assert_eq!(a.telemetry.as_deref(), Some(Path::new("out")));
-        assert_eq!(a.profile.as_deref(), Some(Path::new("prof")));
+        assert_eq!(a.output.telemetry.as_deref(), Some(Path::new("out")));
+        assert_eq!(a.output.profile.as_deref(), Some(Path::new("prof")));
     }
 
     #[test]
@@ -477,10 +501,10 @@ mod tests {
             "--churn-queue-cap",
             "32",
         ]);
-        assert_eq!(a.churn_horizon_us, Some(30_000));
-        assert_eq!(a.churn_waves, Some(5));
-        assert_eq!(a.churn_wave_fraction, Some(0.4));
-        assert_eq!(a.churn_queue_cap, Some(32));
+        assert_eq!(a.churn.horizon_us, Some(30_000));
+        assert_eq!(a.churn.waves, Some(5));
+        assert_eq!(a.churn.wave_fraction, Some(0.4));
+        assert_eq!(a.churn.queue_cap, Some(32));
     }
 
     #[test]
@@ -490,8 +514,8 @@ mod tests {
         assert_eq!(a.seed(), 1);
         assert_eq!(a.shards(), 1);
         assert!(a.dataset.is_none());
-        assert!(a.telemetry.is_none());
-        assert!(a.profile.is_none());
+        assert!(a.output.telemetry.is_none());
+        assert!(a.output.profile.is_none());
         assert_eq!(a.dataset_or("all"), "all");
     }
 

@@ -1,0 +1,411 @@
+//! `sv2p-ctlbench` — closed-loop load generator for the V2P control plane.
+//!
+//! Drives batched lookups with a configurable invalidation fraction
+//! against either an in-process loopback server (default) or an external
+//! `sv2p-ctld` (`--addr`). Every invalidation is immediately followed, in
+//! the same batch, by a reinstall of the same VIP, so the table holds a
+//! steady `--mappings` entries for the whole run.
+//!
+//! ```text
+//! sv2p-ctlbench [--addr HOST:PORT] [--mappings N] [--ops N] [--batch N]
+//!               [--conns N] [--invalidate-pct P] [--stripes N] [--seed S]
+//!               [--json PATH]
+//! ```
+//!
+//! Prints a human summary and, with `--json PATH`, writes a
+//! `sv2p-ctlbench/v1` report (the `BENCH_ctl.json` schema validated by
+//! `scripts/check_perf.py --ctl`).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use sv2p_simcore::SimRng;
+use sv2p_telemetry::profile::Histogram;
+use v2p_controlplane::{
+    seed_pip, seed_vip, CtlClient, CtlOp, CtlReply, CtlServer, RequestBatch, ServiceStats,
+    StripedControlPlane, DEFAULT_STRIPES,
+};
+
+struct Args {
+    addr: Option<String>,
+    mappings: u32,
+    ops: u64,
+    batch: usize,
+    conns: usize,
+    invalidate_pct: f64,
+    stripes: usize,
+    seed: u64,
+    json: Option<String>,
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("sv2p-ctlbench: {msg}");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        addr: None,
+        mappings: 1_000_000,
+        ops: 2_000_000,
+        batch: 256,
+        conns: 1,
+        invalidate_pct: 5.0,
+        stripes: DEFAULT_STRIPES,
+        seed: 1,
+        json: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut take = |flag: &str| it.next().unwrap_or_else(|| die(&format!("{flag} needs a value")));
+        match arg.as_str() {
+            "--addr" => out.addr = Some(take("--addr")),
+            "--mappings" => {
+                out.mappings = take("--mappings")
+                    .parse()
+                    .unwrap_or_else(|_| die("--mappings needs an integer"))
+            }
+            "--ops" => {
+                out.ops = take("--ops")
+                    .parse()
+                    .unwrap_or_else(|_| die("--ops needs an integer"))
+            }
+            "--batch" => {
+                out.batch = take("--batch")
+                    .parse()
+                    .unwrap_or_else(|_| die("--batch needs an integer"))
+            }
+            "--conns" => {
+                out.conns = take("--conns")
+                    .parse()
+                    .unwrap_or_else(|_| die("--conns needs an integer"))
+            }
+            "--invalidate-pct" => {
+                out.invalidate_pct = take("--invalidate-pct")
+                    .parse()
+                    .unwrap_or_else(|_| die("--invalidate-pct needs a number"))
+            }
+            "--stripes" => {
+                out.stripes = take("--stripes")
+                    .parse()
+                    .unwrap_or_else(|_| die("--stripes needs an integer"))
+            }
+            "--seed" => {
+                out.seed = take("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| die("--seed needs an integer"))
+            }
+            "--json" => out.json = Some(take("--json")),
+            "--help" | "-h" => {
+                println!(
+                    "usage: sv2p-ctlbench [--addr HOST:PORT] [--mappings N] [--ops N] \
+                     [--batch N] [--conns N] [--invalidate-pct P] [--stripes N] \
+                     [--seed S] [--json PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown argument {other}")),
+        }
+    }
+    if out.batch == 0 {
+        die("--batch must be at least 1");
+    }
+    if out.conns == 0 {
+        die("--conns must be at least 1");
+    }
+    if !(0.0..=100.0).contains(&out.invalidate_pct) {
+        die("--invalidate-pct must be in [0, 100]");
+    }
+    out
+}
+
+/// What one connection thread did.
+#[derive(Default)]
+struct ConnTally {
+    ops: u64,
+    lookups: u64,
+    hits: u64,
+    invalidates: u64,
+    installs: u64,
+    batches: u64,
+    rtt_ns: Histogram,
+}
+
+fn run_conn(
+    addr: std::net::SocketAddr,
+    mut rng: SimRng,
+    mappings: u32,
+    target_ops: u64,
+    batch: usize,
+    invalidate_pct: f64,
+) -> ConnTally {
+    let mut client = CtlClient::connect(addr).unwrap_or_else(|e| die(&format!("connect: {e}")));
+    let mut tally = ConnTally::default();
+    let p_inv = invalidate_pct / 100.0;
+    let mut req = RequestBatch::new(0);
+    while tally.ops < target_ops {
+        req.id += 1;
+        req.ops.clear();
+        while req.ops.len() < batch {
+            let vip_idx = rng.gen_range(0..mappings);
+            // Invalidations travel as invalidate+reinstall pairs so the
+            // table's size holds steady across the run.
+            if req.ops.len() + 1 < batch && rng.chance(p_inv) {
+                req.ops.push(CtlOp::Invalidate { vip: seed_vip(vip_idx) });
+                req.ops.push(CtlOp::Install {
+                    vip: seed_vip(vip_idx),
+                    pip: seed_pip(vip_idx),
+                });
+                tally.invalidates += 1;
+                tally.installs += 1;
+            } else {
+                req.ops.push(CtlOp::Lookup { vip: seed_vip(vip_idx) });
+                tally.lookups += 1;
+            }
+        }
+        let start = Instant::now();
+        let rep = client
+            .call(&req)
+            .unwrap_or_else(|e| die(&format!("call: {e}")));
+        tally.rtt_ns.record(start.elapsed().as_nanos() as u64);
+        tally.ops += req.ops.len() as u64;
+        tally.batches += 1;
+        for r in &rep.replies {
+            if matches!(r, CtlReply::Found { .. }) {
+                tally.hits += 1;
+            }
+        }
+    }
+    tally
+}
+
+/// Fetches the server's cumulative [`ServiceStats`].
+fn fetch_stats(addr: std::net::SocketAddr) -> ServiceStats {
+    let mut client = CtlClient::connect(addr).unwrap_or_else(|e| die(&format!("connect: {e}")));
+    let mut req = RequestBatch::new(u64::MAX);
+    req.ops.push(CtlOp::Stats);
+    let rep = client
+        .call(&req)
+        .unwrap_or_else(|e| die(&format!("stats: {e}")));
+    match rep.replies.first() {
+        Some(CtlReply::Stats { stats }) => *stats,
+        other => die(&format!("unexpected stats reply: {other:?}")),
+    }
+}
+
+/// Installs the seed table over the wire (external servers started empty).
+fn preload_remote(addr: std::net::SocketAddr, mappings: u32, batch: usize) -> u64 {
+    let mut client = CtlClient::connect(addr).unwrap_or_else(|e| die(&format!("connect: {e}")));
+    let mut installed = 0u64;
+    let mut i = 0u32;
+    while i < mappings {
+        let mut req = RequestBatch::new(u64::from(i));
+        while req.ops.len() < batch && i < mappings {
+            req.ops.push(CtlOp::Install { vip: seed_vip(i), pip: seed_pip(i) });
+            i += 1;
+        }
+        installed += req.ops.len() as u64;
+        client
+            .call(&req)
+            .unwrap_or_else(|e| die(&format!("preload: {e}")));
+    }
+    installed
+}
+
+fn json_escape_free(s: &str) -> &str {
+    // Paths with quotes/backslashes would need escaping; refuse rather
+    // than emit broken JSON.
+    if s.contains('"') || s.contains('\\') {
+        die("--json path must not contain quotes or backslashes");
+    }
+    s
+}
+
+fn main() {
+    let args = parse_args();
+
+    // Default mode: spin up the server in-process on an ephemeral loopback
+    // port and preload it directly (uncounted, like ctld's --mappings).
+    let mut _local: Option<(Arc<StripedControlPlane>, CtlServer)> = None;
+    let (addr, mode) = match &args.addr {
+        Some(a) => {
+            let addr = a
+                .parse()
+                .unwrap_or_else(|_| die("--addr must be HOST:PORT"));
+            (addr, "external")
+        }
+        None => {
+            let state = Arc::new(StripedControlPlane::new(args.stripes));
+            state.preload((0..args.mappings).map(|i| (seed_vip(i), seed_pip(i))));
+            let server = CtlServer::spawn("127.0.0.1:0", Arc::clone(&state))
+                .unwrap_or_else(|e| die(&format!("bind loopback: {e}")));
+            let addr = server.addr();
+            _local = Some((state, server));
+            (addr, "loopback")
+        }
+    };
+
+    // External servers may have started empty; top the table up over the
+    // wire before timing anything.
+    let mut preload_installs = 0u64;
+    if mode == "external" {
+        let have = fetch_stats(addr).mappings;
+        if have < u64::from(args.mappings) {
+            preload_installs = preload_remote(addr, args.mappings, args.batch.max(256));
+        }
+    }
+
+    let per_conn = args.ops.div_ceil(args.conns as u64);
+    let master = SimRng::new(args.seed);
+    let wall = Instant::now();
+    let tallies: Vec<ConnTally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..args.conns)
+            .map(|c| {
+                let rng = master.fork(c as u64 + 1);
+                scope.spawn(move || {
+                    run_conn(addr, rng, args.mappings, per_conn, args.batch, args.invalidate_pct)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("conn thread")).collect()
+    });
+    let wall_s = wall.elapsed().as_secs_f64();
+
+    let mut rtt = Histogram::new();
+    let mut total = ConnTally::default();
+    for t in &tallies {
+        total.ops += t.ops;
+        total.lookups += t.lookups;
+        total.hits += t.hits;
+        total.invalidates += t.invalidates;
+        total.installs += t.installs;
+        total.batches += t.batches;
+        rtt.merge(&t.rtt_ns);
+    }
+    let stats = fetch_stats(addr);
+
+    // Cross-validate client tallies against the server's own counters: a
+    // codec or accounting bug shows up as a mismatch here.
+    let client_installs = total.installs + preload_installs;
+    if stats.lookups != total.lookups
+        || stats.invalidates != total.invalidates
+        || stats.installs != client_installs
+    {
+        die(&format!(
+            "server counters disagree with client tallies: \
+             server lookups={} invalidates={} installs={}, \
+             client lookups={} invalidates={} installs={}",
+            stats.lookups, stats.invalidates, stats.installs,
+            total.lookups, total.invalidates, client_installs,
+        ));
+    }
+
+    let ops_per_sec = total.ops as f64 / wall_s.max(1e-9);
+    let lookups_per_sec = total.lookups as f64 / wall_s.max(1e-9);
+    let hit_rate = if total.lookups > 0 {
+        total.hits as f64 / total.lookups as f64
+    } else {
+        0.0
+    };
+    let (rtt_p50, rtt_p99) = if rtt.count() > 0 {
+        (rtt.percentile(50.0), rtt.percentile(99.0))
+    } else {
+        (0, 0)
+    };
+
+    println!(
+        "sv2p-ctlbench: {mode} server, {} mappings, {} conns x batch {}",
+        args.mappings, args.conns, args.batch
+    );
+    println!(
+        "  {} ops in {:.3}s  ({:.0} ops/s, {:.0} lookups/s, hit rate {:.4})",
+        total.ops, wall_s, ops_per_sec, lookups_per_sec, hit_rate
+    );
+    println!(
+        "  batch RTT p50 {} ns  p99 {} ns   server exec p50 {} ns  p99 {} ns",
+        rtt_p50, rtt_p99, stats.exec_p50_ns, stats.exec_p99_ns
+    );
+    println!(
+        "  server: epoch {}  mappings {}  rejected {}",
+        stats.epoch, stats.mappings, stats.rejected
+    );
+
+    if let Some(path) = &args.json {
+        let json = format!(
+            concat!(
+                "{{\n",
+                "  \"schema\": \"sv2p-ctlbench/v1\",\n",
+                "  \"mode\": \"{mode}\",\n",
+                "  \"mappings\": {mappings},\n",
+                "  \"conns\": {conns},\n",
+                "  \"batch\": {batch},\n",
+                "  \"invalidate_pct\": {inv_pct},\n",
+                "  \"stripes\": {stripes},\n",
+                "  \"seed\": {seed},\n",
+                "  \"wall_s\": {wall_s:.6},\n",
+                "  \"ops\": {ops},\n",
+                "  \"lookups\": {lookups},\n",
+                "  \"hits\": {hits},\n",
+                "  \"invalidates\": {invalidates},\n",
+                "  \"installs\": {installs},\n",
+                "  \"batches\": {batches},\n",
+                "  \"ops_per_sec\": {ops_per_sec:.1},\n",
+                "  \"lookups_per_sec\": {lookups_per_sec:.1},\n",
+                "  \"hit_rate\": {hit_rate:.6},\n",
+                "  \"rtt_p50_ns\": {rtt_p50},\n",
+                "  \"rtt_p99_ns\": {rtt_p99},\n",
+                "  \"server\": {{\n",
+                "    \"batches\": {s_batches},\n",
+                "    \"ops\": {s_ops},\n",
+                "    \"lookups\": {s_lookups},\n",
+                "    \"hits\": {s_hits},\n",
+                "    \"installs\": {s_installs},\n",
+                "    \"invalidates\": {s_invalidates},\n",
+                "    \"migrates\": {s_migrates},\n",
+                "    \"rejected\": {s_rejected},\n",
+                "    \"snapshots\": {s_snapshots},\n",
+                "    \"epoch\": {s_epoch},\n",
+                "    \"mappings\": {s_mappings},\n",
+                "    \"exec_p50_ns\": {s_p50},\n",
+                "    \"exec_p99_ns\": {s_p99}\n",
+                "  }}\n",
+                "}}\n"
+            ),
+            mode = mode,
+            mappings = args.mappings,
+            conns = args.conns,
+            batch = args.batch,
+            inv_pct = args.invalidate_pct,
+            stripes = args.stripes,
+            seed = args.seed,
+            wall_s = wall_s,
+            ops = total.ops,
+            lookups = total.lookups,
+            hits = total.hits,
+            invalidates = total.invalidates,
+            installs = client_installs,
+            batches = total.batches,
+            ops_per_sec = ops_per_sec,
+            lookups_per_sec = lookups_per_sec,
+            hit_rate = hit_rate,
+            rtt_p50 = rtt_p50,
+            rtt_p99 = rtt_p99,
+            s_batches = stats.batches,
+            s_ops = stats.ops,
+            s_lookups = stats.lookups,
+            s_hits = stats.hits,
+            s_installs = stats.installs,
+            s_invalidates = stats.invalidates,
+            s_migrates = stats.migrates,
+            s_rejected = stats.rejected,
+            s_snapshots = stats.snapshots,
+            s_epoch = stats.epoch,
+            s_mappings = stats.mappings,
+            s_p50 = stats.exec_p50_ns,
+            s_p99 = stats.exec_p99_ns,
+        );
+        std::fs::write(json_escape_free(path), json)
+            .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+        println!("  report -> {path}");
+    }
+}

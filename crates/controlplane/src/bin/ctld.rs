@@ -1,0 +1,79 @@
+//! `sv2p-ctld` — the V2P control-plane daemon.
+//!
+//! Serves a [`StripedControlPlane`] over TCP, optionally preloaded with a
+//! deterministic mapping table (the same `seed_vip`/`seed_pip` layout
+//! `sv2p-ctlbench` queries).
+//!
+//! ```text
+//! sv2p-ctld [--addr HOST:PORT] [--mappings N] [--stripes N]
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use v2p_controlplane::{seed_pip, seed_vip, CtlServer, StripedControlPlane, DEFAULT_STRIPES};
+
+struct Args {
+    addr: String,
+    mappings: u32,
+    stripes: usize,
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("sv2p-ctld: {msg}");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        addr: "127.0.0.1:5770".to_string(),
+        mappings: 0,
+        stripes: DEFAULT_STRIPES,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => {
+                out.addr = it.next().unwrap_or_else(|| die("--addr needs HOST:PORT"));
+            }
+            "--mappings" => {
+                let v = it.next().unwrap_or_else(|| die("--mappings needs a value"));
+                out.mappings = v
+                    .parse()
+                    .unwrap_or_else(|_| die("--mappings needs an integer"));
+            }
+            "--stripes" => {
+                let v = it.next().unwrap_or_else(|| die("--stripes needs a value"));
+                out.stripes = v
+                    .parse()
+                    .unwrap_or_else(|_| die("--stripes needs an integer"));
+            }
+            "--help" | "-h" => {
+                println!("usage: sv2p-ctld [--addr HOST:PORT] [--mappings N] [--stripes N]");
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown argument {other}")),
+        }
+    }
+    out
+}
+
+fn main() {
+    let args = parse_args();
+    let state = Arc::new(StripedControlPlane::new(args.stripes));
+    state.preload((0..args.mappings).map(|i| (seed_vip(i), seed_pip(i))));
+    let server = CtlServer::spawn(args.addr.as_str(), Arc::clone(&state))
+        .unwrap_or_else(|e| die(&format!("bind {}: {e}", args.addr)));
+    // The exact "listening on" line is what scripts (and the CI smoke job)
+    // wait for before starting clients.
+    println!(
+        "sv2p-ctld listening on {} (mappings={} stripes={})",
+        server.addr(),
+        args.mappings,
+        state.stripes()
+    );
+    // Serve until killed.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,146 @@
+//! The design invariant of the control-plane extraction: an op log
+//! replayed through the simulator's in-process transport
+//! ([`LocalControlPlane`]) and through the TCP-served concurrent
+//! transport ([`StripedControlPlane`] behind [`CtlServer`]) produces
+//! identical `MappingDb` end states — same sorted entries, same epoch,
+//! same per-op replies.
+
+use std::sync::Arc;
+
+use sv2p_packet::{Pip, Vip};
+use sv2p_simcore::SimRng;
+use v2p_controlplane::{
+    ControlPlaneService, CtlClient, CtlOp, CtlServer, LocalControlPlane, RequestBatch,
+    StripedControlPlane,
+};
+
+/// A deterministic mixed op log: installs, lookups, migrations (with and
+/// without timestamps), invalidations — including migrations of
+/// never-placed VIPs that must be rejected identically by both paths.
+fn synth_ops(seed: u64, n: usize) -> Vec<CtlOp> {
+    let mut rng = SimRng::new(seed);
+    let mut ops = Vec::with_capacity(n);
+    for _ in 0..n {
+        let vip = Vip(rng.gen_range(0u32..200));
+        ops.push(match rng.gen_range(0u32..10) {
+            0..=2 => CtlOp::Install { vip, pip: Pip(rng.gen_range(0u32..1000)) },
+            3..=5 => CtlOp::Lookup { vip },
+            6 => CtlOp::Invalidate { vip },
+            7 => CtlOp::Migrate {
+                vip,
+                to_pip: Pip(rng.gen_range(0u32..1000)),
+                at_ns: None,
+            },
+            _ => CtlOp::Migrate {
+                vip,
+                to_pip: Pip(rng.gen_range(0u32..1000)),
+                at_ns: Some(rng.gen_range(0u64..1_000_000)),
+            },
+        });
+    }
+    ops
+}
+
+fn batches(ops: &[CtlOp], batch: usize) -> Vec<RequestBatch> {
+    ops.chunks(batch)
+        .enumerate()
+        .map(|(i, chunk)| RequestBatch {
+            id: i as u64,
+            ops: chunk.to_vec(),
+        })
+        .collect()
+}
+
+#[test]
+fn simulator_path_and_served_path_agree() {
+    let ops = synth_ops(42, 3000);
+    let reqs = batches(&ops, 64);
+
+    // Path 1: the in-process transport the simulator embeds.
+    let mut local = LocalControlPlane::new();
+    let local_reps: Vec<_> = reqs.iter().map(|r| local.execute(r)).collect();
+
+    // Path 2: the same log over TCP against the striped concurrent state.
+    let state = Arc::new(StripedControlPlane::new(8));
+    let mut server = CtlServer::spawn("127.0.0.1:0", Arc::clone(&state)).expect("bind");
+    let mut client = CtlClient::connect(server.addr()).expect("connect");
+    let served_reps: Vec<_> = reqs
+        .iter()
+        .map(|r| client.call(r).expect("call"))
+        .collect();
+
+    // Per-op replies and per-batch epochs are identical, not just the end
+    // state: both transports run the same service semantics.
+    assert_eq!(local_reps, served_reps);
+
+    // End states match entry-for-entry and epoch-for-epoch.
+    let mut local_snap_src = local.clone();
+    assert_eq!(local_snap_src.snapshot(), state.snapshot());
+    assert_eq!(local.epoch(), state.epoch());
+    assert!(local.epoch() > 0, "log must contain accepted writes");
+
+    server.shutdown();
+}
+
+#[test]
+fn served_path_agrees_for_multiple_seeds_and_batch_sizes() {
+    for (seed, batch) in [(1u64, 1usize), (7, 17), (1234, 500)] {
+        let ops = synth_ops(seed, 800);
+        let reqs = batches(&ops, batch);
+
+        let mut local = LocalControlPlane::new();
+        for r in &reqs {
+            local.execute(r);
+        }
+
+        let state = Arc::new(StripedControlPlane::new(4));
+        let mut server =
+            CtlServer::spawn("127.0.0.1:0", Arc::clone(&state)).expect("bind");
+        let mut client = CtlClient::connect(server.addr()).expect("connect");
+        for r in &reqs {
+            client.call(r).expect("call");
+        }
+
+        let mut local_for_snap = local.clone();
+        assert_eq!(
+            local_for_snap.snapshot(),
+            state.snapshot(),
+            "end states diverged for seed {seed} batch {batch}"
+        );
+        assert_eq!(local.epoch(), state.epoch());
+        server.shutdown();
+    }
+}
+
+#[test]
+fn stats_counters_match_between_transports() {
+    let ops = synth_ops(99, 1000);
+    let reqs = batches(&ops, 50);
+
+    let mut local = LocalControlPlane::new();
+    for r in &reqs {
+        local.execute(r);
+    }
+
+    let state = Arc::new(StripedControlPlane::new(8));
+    let mut server = CtlServer::spawn("127.0.0.1:0", Arc::clone(&state)).expect("bind");
+    let mut client = CtlClient::connect(server.addr()).expect("connect");
+    for r in &reqs {
+        client.call(r).expect("call");
+    }
+
+    let l = local.stats();
+    let s = state.stats();
+    assert_eq!(l.batches, s.batches);
+    assert_eq!(l.ops, s.ops);
+    assert_eq!(l.lookups, s.lookups);
+    assert_eq!(l.hits, s.hits);
+    assert_eq!(l.installs, s.installs);
+    assert_eq!(l.invalidates, s.invalidates);
+    assert_eq!(l.migrates, s.migrates);
+    assert_eq!(l.rejected, s.rejected);
+    assert_eq!(l.epoch, s.epoch);
+    assert_eq!(l.mappings, s.mappings);
+    assert!(l.rejected > 0, "log must exercise the rejection path");
+    server.shutdown();
+}

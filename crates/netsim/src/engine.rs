@@ -244,7 +244,7 @@ impl Engine {
     /// The ground-truth V2P database.
     pub fn db(&self) -> &MappingDb {
         match self {
-            Engine::Single(s) => &s.db,
+            Engine::Single(s) => s.db(),
             Engine::Sharded(s) => s.db(),
         }
     }

@@ -747,7 +747,7 @@ impl ShardedSimulation {
 
     /// The ground-truth V2P database.
     pub fn db(&self) -> &MappingDb {
-        &self.driver.db
+        self.driver.db()
     }
 
     /// Bytes processed by each switch (summed across shards before the

@@ -16,9 +16,11 @@ use sv2p_topology::{
 };
 use sv2p_transport::{SenderOps, TcpSender};
 use sv2p_vnet::{
-    AgentOutput, GatewayDirectory, HostAgent, HostResolution, MappingDb, Migration,
-    MisdeliveryPolicy, PacketAction, Placement, Strategy, SwitchAgent, SwitchCtx,
+    AgentOutput, GatewayDirectory, HostAgent, HostResolution, MappingDb, MappingOp,
+    Migration, MisdeliveryPolicy, PacketAction, Placement, Strategy, SwitchAgent,
+    SwitchCtx,
 };
+use v2p_controlplane::LocalControlPlane;
 
 use crate::arena::{PacketArena, PacketRef};
 use crate::churn::{ChurnMark, ChurnPlan};
@@ -59,8 +61,10 @@ pub struct Simulation {
     topo: Topology,
     routing: Routing,
     roles: RoleMap,
-    /// Ground-truth V2P database (single writer: the control plane).
-    pub db: MappingDb,
+    /// The embedded control plane owning the ground-truth V2P database
+    /// (the simulator is one in-process client of `v2p-controlplane`;
+    /// reads go through [`Simulation::db`], writes through `ctl.apply`).
+    ctl: LocalControlPlane,
     dir: GatewayDirectory,
     /// VM placement (kept in sync with `db` across migrations).
     pub placement: Placement,
@@ -137,7 +141,7 @@ impl Simulation {
         let routing = Routing::new(ft, &topo);
         let roles = RoleMap::classify(&topo);
         let placement = Placement::uniform(&topo, vms_per_server);
-        let db = placement.seed_db();
+        let ctl = LocalControlPlane::with_db(placement.seed_db());
         let dir = GatewayDirectory::from_topology(&topo);
 
         let mut hosted: FxHashMap<NodeId, FxHashSet<Vip>> = FxHashMap::default();
@@ -244,7 +248,7 @@ impl Simulation {
             topo,
             routing,
             roles,
-            db,
+            ctl,
             dir,
             placement,
             hosted,
@@ -289,6 +293,17 @@ impl Simulation {
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.events.now()
+    }
+
+    /// Read view of the ground-truth V2P database (served by the embedded
+    /// control plane; all writes go through `v2p-controlplane`).
+    pub fn db(&self) -> &MappingDb {
+        self.ctl.db()
+    }
+
+    /// The embedded control plane's cumulative op counters.
+    pub fn ctl_stats(&self) -> v2p_controlplane::ServiceStats {
+        self.ctl.stats()
     }
 
     /// Events executed by the calendar so far (run manifests).
@@ -641,7 +656,7 @@ impl Simulation {
         for sw in self.topo.switches() {
             if let Some(agent) = self.agents[sw.id.0 as usize].as_ref() {
                 for (vip, pip) in agent.entries() {
-                    if self.db.lookup(vip) != Some(pip) {
+                    if self.ctl.db().lookup(vip) != Some(pip) {
                         out.push((sw.id, vip, pip));
                     }
                 }
@@ -949,7 +964,7 @@ impl Simulation {
             let agent = self.host_agents[src_node.0 as usize]
                 .as_mut()
                 .expect("sending node has a host agent");
-            agent.resolve(now, &self.db, dst_vip, gw_key)
+            agent.resolve(now, self.ctl.db(), dst_vip, gw_key)
         };
         let (dst_pip, resolved) = match resolution {
             HostResolution::Direct(pip) => (pip, true),
@@ -1158,7 +1173,7 @@ impl Simulation {
                 my_pod: node_info.kind.pod(),
                 ingress_host: ingress,
                 dst_attached,
-                db: &self.db,
+                db: self.ctl.db(),
                 rng: &mut self.agent_rngs[idx],
                 base_rtt: self.cfg.base_rtt,
                 pod_of: &pod_of,
@@ -1182,7 +1197,7 @@ impl Simulation {
                     let p = self.arena.get(pkt);
                     (p.inner.dst_vip, p.outer.dst_pip)
                 };
-                if self.db.lookup(vip) != Some(cur_dst) {
+                if self.ctl.db().lookup(vip) != Some(cur_dst) {
                     let age = self.metrics.record_stale_hit(vip.0, now);
                     if trace {
                         let mut ev = TraceEvent::new(now.as_nanos(), EventKind::StaleHit)
@@ -1374,7 +1389,7 @@ impl Simulation {
             return;
         }
         let dst_vip = self.arena.get(pkt).inner.dst_vip;
-        match self.db.lookup(dst_vip) {
+        match self.ctl.db().lookup(dst_vip) {
             Some(pip) => {
                 let (flow, id) = {
                     let p = self.arena.get_mut(pkt);
@@ -1557,8 +1572,12 @@ impl Simulation {
             .index_of(m.vip)
             .expect("migrating unknown VIP");
         let old_node = self.placement.node_of(vm);
-        let old_pip = self.db.migrate_at(m.vip, m.to_pip, m.at.as_nanos());
-        debug_assert_eq!(old_pip, self.placement.pip_of(vm));
+        let delta = self.ctl.apply(MappingOp::Migrate {
+            vip: m.vip,
+            to_pip: m.to_pip,
+            at_ns: Some(m.at.as_nanos()),
+        });
+        debug_assert_eq!(delta.old, Some(self.placement.pip_of(vm)));
         self.placement.relocate(vm, m.to_node, m.to_pip);
         if let Some(set) = self.hosted.get_mut(&old_node) {
             set.remove(&m.vip);

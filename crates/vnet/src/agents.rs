@@ -172,7 +172,7 @@ pub enum PacketAction {
 }
 
 /// Result of processing one packet at one switch.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct AgentOutput {
     /// Disposition of the processed packet.
     pub action: PacketAction,

@@ -28,6 +28,6 @@ pub use agents::{
     Strategy, SwitchAgent, SwitchCtx,
 };
 pub use gateway::{GatewayConfig, GatewayDirectory};
-pub use mapping::MappingDb;
+pub use mapping::{ApplyError, MappingDb, MappingDelta, MappingOp};
 pub use migration::Migration;
 pub use placement::Placement;

@@ -3,9 +3,92 @@
 //! A single writer (the virtual-network control plane) updates it; gateways
 //! read it on every translation. In-network caches are *not* kept coherent
 //! with it — that is the whole point of the paper's lazy invalidation design.
+//!
+//! All mutation flows through one audited entry point, [`MappingDb::apply`]
+//! (and its non-panicking sibling [`MappingDb::try_apply`]): the simulator,
+//! the churn engine, and the servable `v2p-controlplane` library mutate
+//! state by submitting a [`MappingOp`] and observing the returned
+//! [`MappingDelta`]. The historical `insert`/`migrate`/`migrate_at` methods
+//! remain as thin deprecated wrappers for one release.
 
 use sv2p_packet::{Pip, Vip};
 use sv2p_simcore::FxHashMap;
+
+/// One control-plane mutation against the V2P table.
+///
+/// This is the write-side vocabulary of the control plane: everything that
+/// can change the authoritative mapping state is one of these three ops, so
+/// a log of `MappingOp`s fully determines a database's end state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MappingOp {
+    /// Install or overwrite a mapping (tenant VM placement / re-placement).
+    Install {
+        /// The virtual address being placed.
+        vip: Vip,
+        /// The physical location it resolves to.
+        pip: Pip,
+    },
+    /// Remove a mapping entirely (tenant departure). Removing an absent VIP
+    /// is a no-op that still advances the epoch (the write was accepted).
+    Invalidate {
+        /// The virtual address being withdrawn.
+        vip: Vip,
+    },
+    /// Move an existing mapping to a new physical location (VM migration),
+    /// optionally recording *when* (virtual ns) so stale-cache hits can be
+    /// aged against the instant.
+    Migrate {
+        /// The migrating virtual address.
+        vip: Vip,
+        /// Destination physical address.
+        to_pip: Pip,
+        /// Migration instant in virtual nanoseconds, if tracked.
+        at_ns: Option<u64>,
+    },
+}
+
+impl MappingOp {
+    /// The VIP this op touches.
+    pub fn vip(&self) -> Vip {
+        match *self {
+            MappingOp::Install { vip, .. }
+            | MappingOp::Invalidate { vip }
+            | MappingOp::Migrate { vip, .. } => vip,
+        }
+    }
+}
+
+/// What one applied [`MappingOp`] changed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MappingDelta {
+    /// The VIP that was written.
+    pub vip: Vip,
+    /// The mapping before the op (`None`: the VIP did not exist).
+    pub old: Option<Pip>,
+    /// The mapping after the op (`None`: the VIP no longer exists).
+    pub new: Option<Pip>,
+    /// The database epoch *after* this op was applied.
+    pub epoch: u64,
+}
+
+/// Why [`MappingDb::try_apply`] rejected an op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApplyError {
+    /// A `Migrate` named a VIP that was never placed.
+    UnknownVip(Vip),
+}
+
+impl std::fmt::Display for ApplyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApplyError::UnknownVip(vip) => {
+                write!(f, "migrating a VIP that was never placed: {vip}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ApplyError {}
 
 /// The authoritative virtual-to-physical mapping table.
 #[derive(Debug, Clone, Default)]
@@ -15,8 +98,8 @@ pub struct MappingDb {
     /// reads-after-write from stale cache serving.
     epoch: u64,
     /// When each VIP last migrated, virtual nanoseconds. Only written by
-    /// [`Self::migrate_at`]; the stale-entry age a cache hit exposes is
-    /// measured against this instant.
+    /// a timestamped [`MappingOp::Migrate`]; the stale-entry age a cache
+    /// hit exposes is measured against this instant.
     last_migration: FxHashMap<Vip, u64>,
 }
 
@@ -26,10 +109,67 @@ impl MappingDb {
         Self::default()
     }
 
+    /// Applies one control-plane op; every accepted write advances the
+    /// epoch by exactly one. `Err` leaves the database untouched.
+    pub fn try_apply(&mut self, op: MappingOp) -> Result<MappingDelta, ApplyError> {
+        let delta = match op {
+            MappingOp::Install { vip, pip } => {
+                let old = self.map.insert(vip, pip);
+                self.epoch += 1;
+                MappingDelta {
+                    vip,
+                    old,
+                    new: Some(pip),
+                    epoch: self.epoch,
+                }
+            }
+            MappingOp::Invalidate { vip } => {
+                let old = self.map.remove(&vip);
+                self.last_migration.remove(&vip);
+                self.epoch += 1;
+                MappingDelta {
+                    vip,
+                    old,
+                    new: None,
+                    epoch: self.epoch,
+                }
+            }
+            MappingOp::Migrate { vip, to_pip, at_ns } => {
+                let Some(slot) = self.map.get_mut(&vip) else {
+                    return Err(ApplyError::UnknownVip(vip));
+                };
+                let old = std::mem::replace(slot, to_pip);
+                self.epoch += 1;
+                if let Some(at) = at_ns {
+                    self.last_migration.insert(vip, at);
+                }
+                MappingDelta {
+                    vip,
+                    old: Some(old),
+                    new: Some(to_pip),
+                    epoch: self.epoch,
+                }
+            }
+        };
+        Ok(delta)
+    }
+
+    /// [`Self::try_apply`] for callers where a rejected op is a harness
+    /// bug, not a runtime condition (the simulator's control plane).
+    ///
+    /// Panics if the op is rejected — e.g. migrating a VIP that was never
+    /// placed.
+    pub fn apply(&mut self, op: MappingOp) -> MappingDelta {
+        match self.try_apply(op) {
+            Ok(delta) => delta,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
     /// Installs or overwrites a mapping (control-plane write).
+    #[deprecated(note = "use `apply(MappingOp::Install { vip, pip })`")]
     pub fn insert(&mut self, vip: Vip, pip: Pip) {
-        self.map.insert(vip, pip);
-        self.epoch += 1;
+        self.apply(MappingOp::Install { vip, pip });
     }
 
     /// Resolves a VIP (gateway read). `None` means the VIP does not exist —
@@ -38,30 +178,42 @@ impl MappingDb {
         self.map.get(&vip).copied()
     }
 
+    /// True if `vip` is currently mapped.
+    pub fn contains(&self, vip: Vip) -> bool {
+        self.map.contains_key(&vip)
+    }
+
     /// Moves `vip` to a new physical location (VM migration). Returns the
     /// previous location.
     ///
     /// Panics if the VIP was never placed: migrating an unknown VM is a
     /// harness bug, not a runtime condition.
+    #[deprecated(note = "use `apply(MappingOp::Migrate { vip, to_pip, at_ns: None })`")]
     pub fn migrate(&mut self, vip: Vip, new_pip: Pip) -> Pip {
-        let old = self
-            .map
-            .insert(vip, new_pip)
-            .expect("migrating a VIP that was never placed");
-        self.epoch += 1;
-        old
+        self.apply(MappingOp::Migrate {
+            vip,
+            to_pip: new_pip,
+            at_ns: None,
+        })
+        .old
+        .expect("migrate delta carries the old location")
     }
 
     /// [`Self::migrate`], additionally recording *when* (virtual ns) the
     /// move happened so stale-cache hits can be aged against it.
+    #[deprecated(note = "use `apply(MappingOp::Migrate { vip, to_pip, at_ns: Some(ns) })`")]
     pub fn migrate_at(&mut self, vip: Vip, new_pip: Pip, at_ns: u64) -> Pip {
-        let old = self.migrate(vip, new_pip);
-        self.last_migration.insert(vip, at_ns);
-        old
+        self.apply(MappingOp::Migrate {
+            vip,
+            to_pip: new_pip,
+            at_ns: Some(at_ns),
+        })
+        .old
+        .expect("migrate delta carries the old location")
     }
 
-    /// When `vip` last migrated (virtual ns), if it ever did via
-    /// [`Self::migrate_at`].
+    /// When `vip` last migrated (virtual ns), if it ever did via a
+    /// timestamped [`MappingOp::Migrate`].
     pub fn last_migration_ns(&self, vip: Vip) -> Option<u64> {
         self.last_migration.get(&vip).copied()
     }
@@ -93,22 +245,37 @@ mod tests {
     use super::*;
 
     #[test]
-    fn insert_lookup_roundtrip() {
+    fn install_lookup_roundtrip() {
         let mut db = MappingDb::new();
         assert!(db.is_empty());
-        db.insert(Vip(1), Pip(10));
+        let d = db.apply(MappingOp::Install {
+            vip: Vip(1),
+            pip: Pip(10),
+        });
+        assert_eq!(d.old, None);
+        assert_eq!(d.new, Some(Pip(10)));
+        assert_eq!(d.epoch, 1);
         assert_eq!(db.lookup(Vip(1)), Some(Pip(10)));
         assert_eq!(db.lookup(Vip(2)), None);
+        assert!(db.contains(Vip(1)));
+        assert!(!db.contains(Vip(2)));
         assert_eq!(db.len(), 1);
     }
 
     #[test]
     fn migrate_returns_old_location_and_bumps_epoch() {
         let mut db = MappingDb::new();
-        db.insert(Vip(1), Pip(10));
+        db.apply(MappingOp::Install {
+            vip: Vip(1),
+            pip: Pip(10),
+        });
         let e0 = db.epoch();
-        let old = db.migrate(Vip(1), Pip(20));
-        assert_eq!(old, Pip(10));
+        let d = db.apply(MappingOp::Migrate {
+            vip: Vip(1),
+            to_pip: Pip(20),
+            at_ns: None,
+        });
+        assert_eq!(d.old, Some(Pip(10)));
         assert_eq!(db.lookup(Vip(1)), Some(Pip(20)));
         assert!(db.epoch() > e0);
     }
@@ -117,27 +284,124 @@ mod tests {
     #[should_panic(expected = "never placed")]
     fn migrating_unknown_vip_panics() {
         let mut db = MappingDb::new();
-        db.migrate(Vip(1), Pip(20));
+        db.apply(MappingOp::Migrate {
+            vip: Vip(1),
+            to_pip: Pip(20),
+            at_ns: None,
+        });
+    }
+
+    #[test]
+    fn try_apply_rejects_unknown_migration_without_mutating() {
+        let mut db = MappingDb::new();
+        let err = db
+            .try_apply(MappingOp::Migrate {
+                vip: Vip(9),
+                to_pip: Pip(1),
+                at_ns: None,
+            })
+            .unwrap_err();
+        assert_eq!(err, ApplyError::UnknownVip(Vip(9)));
+        assert_eq!(db.epoch(), 0);
+        assert!(db.is_empty());
     }
 
     #[test]
     fn migrate_at_records_instant() {
         let mut db = MappingDb::new();
-        db.insert(Vip(1), Pip(10));
+        db.apply(MappingOp::Install {
+            vip: Vip(1),
+            pip: Pip(10),
+        });
         assert_eq!(db.last_migration_ns(Vip(1)), None);
-        let old = db.migrate_at(Vip(1), Pip(20), 5_000);
-        assert_eq!(old, Pip(10));
+        let d = db.apply(MappingOp::Migrate {
+            vip: Vip(1),
+            to_pip: Pip(20),
+            at_ns: Some(5_000),
+        });
+        assert_eq!(d.old, Some(Pip(10)));
         assert_eq!(db.last_migration_ns(Vip(1)), Some(5_000));
-        db.migrate_at(Vip(1), Pip(30), 9_000);
+        db.apply(MappingOp::Migrate {
+            vip: Vip(1),
+            to_pip: Pip(30),
+            at_ns: Some(9_000),
+        });
         assert_eq!(db.last_migration_ns(Vip(1)), Some(9_000));
     }
 
     #[test]
-    fn reinsert_overwrites() {
+    fn reinstall_overwrites() {
         let mut db = MappingDb::new();
-        db.insert(Vip(1), Pip(10));
-        db.insert(Vip(1), Pip(11));
+        db.apply(MappingOp::Install {
+            vip: Vip(1),
+            pip: Pip(10),
+        });
+        let d = db.apply(MappingOp::Install {
+            vip: Vip(1),
+            pip: Pip(11),
+        });
+        assert_eq!(d.old, Some(Pip(10)));
         assert_eq!(db.lookup(Vip(1)), Some(Pip(11)));
         assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn invalidate_removes_and_advances_epoch() {
+        let mut db = MappingDb::new();
+        db.apply(MappingOp::Install {
+            vip: Vip(1),
+            pip: Pip(10),
+        });
+        db.apply(MappingOp::Migrate {
+            vip: Vip(1),
+            to_pip: Pip(20),
+            at_ns: Some(1_000),
+        });
+        let e = db.epoch();
+        let d = db.apply(MappingOp::Invalidate { vip: Vip(1) });
+        assert_eq!(d.old, Some(Pip(20)));
+        assert_eq!(d.new, None);
+        assert_eq!(d.epoch, e + 1);
+        assert_eq!(db.lookup(Vip(1)), None);
+        // Migration history is withdrawn with the mapping.
+        assert_eq!(db.last_migration_ns(Vip(1)), None);
+        // Invalidating an absent VIP is accepted and still versioned.
+        let d2 = db.apply(MappingOp::Invalidate { vip: Vip(1) });
+        assert_eq!(d2.old, None);
+        assert_eq!(d2.epoch, e + 2);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_delegate_to_apply() {
+        let mut db = MappingDb::new();
+        db.insert(Vip(1), Pip(10));
+        assert_eq!(db.lookup(Vip(1)), Some(Pip(10)));
+        assert_eq!(db.migrate(Vip(1), Pip(20)), Pip(10));
+        assert_eq!(db.migrate_at(Vip(1), Pip(30), 7_000), Pip(20));
+        assert_eq!(db.last_migration_ns(Vip(1)), Some(7_000));
+        assert_eq!(db.epoch(), 3);
+    }
+
+    #[test]
+    fn op_vip_accessor() {
+        assert_eq!(
+            MappingOp::Install {
+                vip: Vip(3),
+                pip: Pip(4)
+            }
+            .vip(),
+            Vip(3)
+        );
+        assert_eq!(MappingOp::Invalidate { vip: Vip(5) }.vip(), Vip(5));
+        assert_eq!(
+            MappingOp::Migrate {
+                vip: Vip(6),
+                to_pip: Pip(7),
+                at_ns: None
+            }
+            .vip(),
+            Vip(6)
+        );
     }
 }

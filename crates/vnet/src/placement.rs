@@ -86,7 +86,10 @@ impl Placement {
     pub fn seed_db(&self) -> crate::MappingDb {
         let mut db = crate::MappingDb::new();
         for (i, &vip) in self.vips.iter().enumerate() {
-            db.insert(vip, self.pips[i]);
+            db.apply(crate::MappingOp::Install {
+                vip,
+                pip: self.pips[i],
+            });
         }
         db
     }

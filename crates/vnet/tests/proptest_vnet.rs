@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use sv2p_topology::FatTreeConfig;
-use sv2p_vnet::{GatewayDirectory, Placement};
+use sv2p_vnet::{GatewayDirectory, MappingOp, Placement};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -19,7 +19,7 @@ proptest! {
         for (vm, srv) in moves {
             let vm = vm % placement.len();
             let (node, pip) = servers[srv % servers.len()];
-            db.migrate(placement.vips[vm], pip);
+            db.apply(MappingOp::Migrate { vip: placement.vips[vm], to_pip: pip, at_ns: None });
             placement.relocate(vm, node, pip);
         }
         // Invariant: the DB and the placement answer identically for every VM.

@@ -1,7 +1,13 @@
 #!/usr/bin/env python3
-"""Perf-regression gate for the CI perf-smoke job.
+"""Perf-regression gate for the CI perf-smoke and ctl-smoke jobs.
 
 Usage: check_perf.py COMMITTED.json FRESH.json [MIN_RATIO]
+       check_perf.py --ctl REPORT.json [MIN_LOOKUPS_PER_SEC]
+
+The `--ctl` form validates a `sv2p-ctlbench/v1` report (see EXPERIMENTS.md):
+schema, internal counter consistency (the client's tallies must equal the
+server's own counters — a codec or accounting bug shows up here), steady
+table size, and a lookups/sec floor (default 500000).
 
 Both files are `sv2p-perfbench/v2` or `/v3` baselines (see EXPERIMENTS.md
 for the schema; v3 adds the profiler columns). For every (workload,
@@ -76,7 +82,79 @@ def check_profile_columns(doc, path):
     print(f"profiler columns ok: {n} cell(s) carry sane phase fractions")
 
 
+CTL_SCHEMA = "sv2p-ctlbench/v1"
+CTL_MIN_LOOKUPS_PER_SEC = 500_000.0
+
+
+def check_ctl(path, min_lookups_per_sec):
+    """Validates one sv2p-ctlbench report: schema, counters, throughput."""
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != CTL_SCHEMA:
+        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    srv = doc.get("server")
+    if not isinstance(srv, dict):
+        sys.exit(f"{path}: missing server stats object")
+
+    failures = []
+
+    def expect(cond, msg):
+        if not cond:
+            failures.append(msg)
+
+    # Client tallies and the server's own counters must agree exactly.
+    for k in ("lookups", "invalidates", "installs"):
+        expect(
+            srv[k] == doc[k],
+            f"server {k}={srv[k]} != client {k}={doc[k]}",
+        )
+    expect(srv["hits"] <= srv["lookups"], "server hits exceed lookups")
+    expect(
+        doc["ops"] == doc["lookups"] + doc["invalidates"] + doc["installs"],
+        "client op kinds do not sum to total ops",
+    )
+    # The server additionally served stats/preload batches, never fewer ops.
+    expect(srv["ops"] >= doc["ops"], "server executed fewer ops than the client sent")
+    expect(srv["rejected"] == 0, f"{srv['rejected']} writes rejected")
+    # Every invalidate is paired with a reinstall, so the table holds steady.
+    expect(
+        srv["mappings"] == doc["mappings"],
+        f"table drifted: {srv['mappings']} mappings, expected {doc['mappings']}",
+    )
+    expect(
+        srv["epoch"] >= doc["invalidates"] + doc["installs"],
+        "epoch below the number of accepted writes",
+    )
+    expect(
+        doc["hit_rate"] >= 0.98,
+        f"hit rate {doc['hit_rate']:.4f} below 0.98 on a steady table",
+    )
+    expect(
+        doc["lookups_per_sec"] >= min_lookups_per_sec,
+        f"{doc['lookups_per_sec']:.0f} lookups/sec below the "
+        f"{min_lookups_per_sec:.0f} floor",
+    )
+
+    print(
+        f"ctl report: {doc['mappings']} mappings, {doc['ops']} ops, "
+        f"{doc['lookups_per_sec']:.0f} lookups/s, hit rate {doc['hit_rate']:.4f}, "
+        f"rtt p99 {doc['rtt_p99_ns']} ns, server exec p99 {srv['exec_p99_ns']} ns"
+    )
+    if failures:
+        print(f"\nctl-smoke failed for {path}:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        sys.exit(1)
+    print("ctl-smoke ok: counters consistent, throughput above floor")
+
+
 def main():
+    if len(sys.argv) >= 2 and sys.argv[1] == "--ctl":
+        if len(sys.argv) not in (3, 4):
+            sys.exit(__doc__)
+        floor = float(sys.argv[3]) if len(sys.argv) == 4 else CTL_MIN_LOOKUPS_PER_SEC
+        check_ctl(sys.argv[2], floor)
+        return
     if len(sys.argv) not in (3, 4):
         sys.exit(__doc__)
     committed = cells(load(sys.argv[1]))
