@@ -40,16 +40,21 @@ struct Cell {
     peak_arena: u64,
     hit_rate: f64,
     /// Synchronization-overhead fractions from the engine self-profiler:
-    /// wall-clock shares of oracle replay (advance + dematerialize),
-    /// barrier idling, and journal merge. 0.0 for single-threaded rows —
-    /// the oracle IS the run there, so none of it is sharding overhead.
-    oracle_frac: f64,
+    /// wall-clock shares of barrier idling, journal merge, and cut-link
+    /// exchange (seq grants + cross-shard delivery). 0.0 for
+    /// single-threaded rows — there is no sharding overhead to measure.
     barrier_frac: f64,
     merge_frac: f64,
+    cut_exchange_frac: f64,
     /// Coefficient of variation of per-shard replay time (0 = balanced).
     imbalance_cv: f64,
-    /// Process peak RSS at cell completion (monotonic per process, so
-    /// later cells carry the running maximum).
+    /// Barrier windows the sharded engine dispatched (0 single-threaded).
+    window_count: u64,
+    /// Cut-link events exchanged between shards (0 single-threaded).
+    cut_events: u64,
+    /// Peak RSS over this cell alone: the kernel watermark is reset before
+    /// each cell (`cli::reset_peak_rss`), so cells don't inherit an earlier
+    /// cell's high-water mark.
     peak_rss_bytes: u64,
 }
 
@@ -59,6 +64,7 @@ fn run_cell(
     topology: &'static str,
     baseline_eps: Option<f64>,
 ) -> Cell {
+    cli::reset_peak_rss();
     let mut sim = spec.build();
     let start = std::time::Instant::now();
     sim.run();
@@ -70,18 +76,18 @@ fn run_cell(
     let shards = sim.shards() as u64;
     let speedup = baseline_eps.map_or(1.0, |base| eps / base.max(1e-9));
     let prof = sim.profiler();
-    let (oracle_frac, barrier_frac, merge_frac, imbalance_cv) = if prof.enabled() {
+    let (barrier_frac, merge_frac, cut_exchange_frac, imbalance_cv) = if prof.enabled() {
         (
-            prof.frac(Phase::OracleAdvance) + prof.frac(Phase::Dematerialize),
             prof.frac(Phase::BarrierWait),
             prof.frac(Phase::JournalMerge),
+            prof.frac(Phase::CutExchange),
             prof.imbalance_cv(),
         )
     } else {
         (0.0, 0.0, 0.0, 0.0)
     };
     println!(
-        "  {:<12} {:<14} x{:<2} {:>12} events {:>12.0} ev/s  speedup {:>5.2}x  wall {:>7.3}s  peak-q {:>7}  peak-arena {:>6}  oracle {:>4.1}%  barrier {:>4.1}%  merge {:>4.1}%  cv {:.2}",
+        "  {:<12} {:<14} x{:<2} {:>12} events {:>12.0} ev/s  speedup {:>5.2}x  wall {:>7.3}s  peak-q {:>7}  peak-arena {:>6}  windows {:>7}  cuts {:>8}  barrier {:>4.1}%  merge {:>4.1}%  cut-xchg {:>4.1}%  cv {:.2}",
         workload,
         spec.strategy.name(),
         shards,
@@ -91,9 +97,11 @@ fn run_cell(
         wall,
         sim.peak_queue(),
         sim.peak_arena(),
-        oracle_frac * 100.0,
+        sim.window_count(),
+        sim.cut_events(),
         barrier_frac * 100.0,
         merge_frac * 100.0,
+        cut_exchange_frac * 100.0,
         imbalance_cv,
     );
     Cell {
@@ -108,10 +116,12 @@ fn run_cell(
         peak_queue: sim.peak_queue() as u64,
         peak_arena: sim.peak_arena() as u64,
         hit_rate: s.hit_rate,
-        oracle_frac,
         barrier_frac,
         merge_frac,
+        cut_exchange_frac,
         imbalance_cv,
+        window_count: sim.window_count(),
+        cut_events: sim.cut_events(),
         peak_rss_bytes: cli::peak_rss_bytes(),
     }
 }
@@ -214,7 +224,7 @@ fn main() {
     // JSON object per cell (the vendored serde is a stub; JsonObj is the
     // workspace-wide serializer).
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"sv2p-perfbench/v3\",\n");
+    out.push_str("{\n  \"schema\": \"sv2p-perfbench/v4\",\n");
     out.push_str(&format!("  \"scale\": \"{}\",\n", cli::scale_str()));
     out.push_str(&format!("  \"seed\": {},\n", args.seed()));
     out.push_str(&format!("  \"host_cores\": {},\n", cli::host_cores()));
@@ -232,10 +242,12 @@ fn main() {
             .u64("peak_queue", c.peak_queue)
             .u64("peak_arena", c.peak_arena)
             .f64("hit_rate", c.hit_rate)
-            .f64("oracle_frac", c.oracle_frac)
             .f64("barrier_frac", c.barrier_frac)
             .f64("merge_frac", c.merge_frac)
+            .f64("cut_exchange_frac", c.cut_exchange_frac)
             .f64("imbalance_cv", c.imbalance_cv)
+            .u64("window_count", c.window_count)
+            .u64("cut_events", c.cut_events)
             .u64("peak_rss_bytes", c.peak_rss_bytes);
         out.push_str("    ");
         out.push_str(&obj.finish());

@@ -261,9 +261,21 @@ pub fn host_cores() -> u64 {
         .unwrap_or(0)
 }
 
+/// Resets the kernel's peak-RSS watermark (`VmHWM`) to the current RSS by
+/// writing `5` to `/proc/self/clear_refs`, so a measurement that follows
+/// reports the peak of that span alone instead of the process-lifetime
+/// maximum. Best-effort no-op where unsupported.
+pub fn reset_peak_rss() {
+    #[cfg(target_os = "linux")]
+    {
+        let _ = std::fs::write("/proc/self/clear_refs", "5");
+    }
+}
+
 /// Process peak resident set size in bytes: `VmHWM` from
-/// `/proc/self/status` on Linux, 0 where unavailable. Monotonic for the
-/// process lifetime, so a bin's later runs report the running maximum.
+/// `/proc/self/status` on Linux, 0 where unavailable. Monotonic since the
+/// last [`reset_peak_rss`] (or process start), so a bin's later runs report
+/// the running maximum unless they reset the watermark per span.
 pub fn peak_rss_bytes() -> u64 {
     #[cfg(target_os = "linux")]
     {

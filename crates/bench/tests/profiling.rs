@@ -106,8 +106,8 @@ fn sharded_report_parses_with_sane_phase_fractions() {
     // each lies in [0, 1] and together they cannot exceed the run by more
     // than timer-skew slack.
     let phases = [
-        Phase::OracleAdvance,
-        Phase::Dematerialize,
+        Phase::WindowAdvance,
+        Phase::CutExchange,
         Phase::WorkerReplay,
         Phase::BarrierWait,
         Phase::JournalMerge,

@@ -77,6 +77,24 @@ impl Engine {
         }
     }
 
+    /// Barrier windows the sharded engine dispatched so far (0 for the
+    /// single-threaded engine and the sharded fallback).
+    pub fn window_count(&self) -> u64 {
+        match self {
+            Engine::Single(_) => 0,
+            Engine::Sharded(s) => s.window_count(),
+        }
+    }
+
+    /// Cut-link events exchanged between shards so far (0 for the
+    /// single-threaded engine and the sharded fallback).
+    pub fn cut_events(&self) -> u64 {
+        match self {
+            Engine::Single(_) => 0,
+            Engine::Sharded(s) => s.cut_events(),
+        }
+    }
+
     /// Registers the workload.
     pub fn add_flows(&mut self, specs: impl IntoIterator<Item = FlowSpec>) {
         match self {

@@ -1,34 +1,47 @@
-//! The deterministic multi-core engine: a pod-partitioned simulation that
-//! reproduces the single-threaded execution bit-for-bit.
+//! The deterministic multi-core engine: conservative pod-partitioned PDES
+//! that reproduces the single-threaded execution bit-for-bit.
 //!
 //! # Architecture
 //!
 //! A [`ShardedSimulation`] holds one **driver** [`Simulation`] plus one
 //! **worker** replica per shard of a [`PodPartition`] (each pod group is a
-//! shard; core switches share a shard). The driver's calendar is the
-//! single source of global `(time, seq)` order — every event that has ever
-//! been "in the future" lives there. The run proceeds in conservative
-//! lookahead windows:
+//! shard; core switches share a shard). Unlike the retired oracle design —
+//! where the driver's calendar held *every* event and workers merely
+//! replayed dematerialized window batches — each worker owns the
+//! *persistent* calendar of its partition: workload events are inserted at
+//! the owner shard at registration and live there until they execute. The
+//! driver's calendar holds only global events (faults, migrations, churn
+//! marks, telemetry samples), and its sequence counter is the global
+//! `(time, seq)` authority.
 //!
-//! 1. The driver pops the window's events in global order and hands each
-//!    shard its slice (packets travel by value as wire events).
-//! 2. Workers execute their slices in parallel on scoped threads. A
-//!    follow-up event that the same shard owns and that lands inside the
-//!    window executes locally; everything else — cross-shard link
-//!    arrivals, post-window timers — returns to the driver. The window
-//!    length never exceeds the partition's lookahead (the minimum
-//!    inter-shard link latency), so no cross-shard event can land inside
-//!    the window of another shard: shards never need to communicate
-//!    mid-window.
-//! 3. Workers journal every order-sensitive side effect (schedulings,
-//!    flow-lifecycle metrics, trace events, packet-id allocations). The
-//!    driver k-way-merges the journals back into global order and replays
-//!    them onto the master metrics, tracer and calendar — so summaries and
-//!    telemetry are byte-identical to a single-threaded run regardless of
-//!    shard count.
-//! 4. Global events (faults, migrations, churn marks, telemetry samples)
-//!    pause the windowing: the driver executes them itself at their exact
-//!    global position and broadcasts state changes to every worker.
+//! The run proceeds in conservative lookahead windows:
+//!
+//! 1. The driver computes the window boundary: one lookahead (the
+//!    partition's minimum cut-link delay) past the earliest pending event
+//!    anywhere, clipped to the `(time, seq)` key of the next global event.
+//!    Every shard with work before the boundary drains its own calendar in
+//!    parallel on scoped threads — pod-local follow-up events that land
+//!    inside the window execute immediately under a provisional key;
+//!    events past the boundary park in a pending buffer, arena handles
+//!    intact. Because the boundary never exceeds the lookahead, no
+//!    cut-link packet emitted inside a window can be *due* inside that
+//!    same window on another shard: shards never communicate mid-window.
+//! 2. Workers journal only the order-sensitive residue of each executed
+//!    event: how many schedulings it performed, any cut-link events bound
+//!    for other shards, and the observables (flow-lifecycle metrics, trace
+//!    events, packet-id allocations). The driver k-way-merges the blocks
+//!    back into global `(time, seq)` order, granting each scheduling the
+//!    exact global sequence number the single-threaded engine would have
+//!    assigned — so summaries and telemetry are byte-identical to a
+//!    single-threaded run regardless of shard count.
+//! 3. Cut exchange: the routed cut-link events (resolved to their granted
+//!    seqs) and the grants for parked events are delivered right after the
+//!    merge, before any later command (channels are FIFO), so every
+//!    calendar is globally consistent at each boundary and between
+//!    `run_until` calls.
+//! 4. Global events execute at their exact `(time, seq)` position between
+//!    windows: the driver applies them to the composed state and
+//!    broadcasts state changes to every worker.
 //!
 //! # Migrations
 //!
@@ -38,14 +51,17 @@
 //! the new shard for everything scheduled afterwards. When the old and new
 //! hosts live on different shards, the driver additionally moves the
 //! affected flows' transport state (TCP sender/receiver machines, RTO
-//! generations, UDP delivery counters) from the old owner replica to the
-//! new one — both shards are quiescent between windows, so the transfer
-//! is race-free and the run stays byte-identical to the oracle.
+//! generations, UDP delivery counters) *and their still-pending calendar
+//! events* — global `(time, seq)` keys intact — from the old owner replica
+//! to the new one. Both shards are quiescent between windows, so the
+//! transfer is race-free and the run stays byte-identical to the
+//! single-threaded engine (the `#[cfg(test)]` equivalence reference in
+//! `tests/sharded_equiv.rs`).
 //!
 //! # Limitations
 //!
 //! Degenerate partitions (one shard, or zero lookahead) run the driver
-//! alone as a single-threaded fallback: the driver is a complete oracle
+//! alone as a single-threaded fallback: the driver is a complete
 //! simulation and simply runs everything itself.
 
 use std::sync::mpsc;
@@ -65,41 +81,54 @@ use crate::faults::FaultPlan;
 use crate::flows::FlowSpec;
 use crate::sim::{Event, Simulation};
 use crate::wire::{
-    ExecBlock, FlowXfer, GlobalEvent, JournalOp, MetricOp, ShardSnapshot, WireEvent,
+    ExecBlock, FlowXfer, GlobalEvent, JournalOp, MetricOp, MovedEvent, ShardSnapshot,
 };
 
 /// Driver → worker commands. The channel is bounded: the protocol is
 /// strict request/response per window, so a small depth suffices.
 enum ToWorker {
-    Window {
-        batch: Vec<(SimTime, u64, WireEvent)>,
-        end: SimTime,
+    /// Drain the shard calendar up to (strictly before) boundary key
+    /// `(bt, bseq)`; answered with `FromWorker::Report`.
+    Window { bt: SimTime, bseq: u64 },
+    /// Deliver the merge's results: real global seqs for this window's
+    /// schedulings (indexed by window ordinal — the parked events flush
+    /// under theirs) plus incoming cross-shard events, already carrying
+    /// real `(time, seq)` keys. Sent right after every merge and applied
+    /// before any later command (the channel is FIFO), so calendars are
+    /// consistent before the next window, snapshot, or migration transfer.
+    Apply {
+        grants: Vec<u64>,
+        incoming: Vec<MovedEvent>,
     },
     Global(GlobalEvent),
-    /// Extract (and zero) the transport state of flows whose endpoint VM
-    /// `vm` just migrated off this shard; answered with `FromWorker::Flows`.
-    TakeMigrated {
-        vm: usize,
+    /// Extract the transport state and pending calendar events of flows
+    /// whose endpoint VM `vm` just migrated off this shard; answered with
+    /// `FromWorker::Migrated`.
+    TakeMigrated { vm: usize },
+    /// Install transport state and calendar events extracted from the old
+    /// owner shard.
+    PutMigrated {
+        flows: Vec<FlowXfer>,
+        moved: Vec<MovedEvent>,
     },
-    /// Install transport state extracted from the old owner shard.
-    PutMigrated(Vec<FlowXfer>),
-    Snapshot {
-        widx: usize,
-    },
+    Snapshot { widx: usize },
     Finish,
 }
 
 /// Worker → driver responses.
 enum FromWorker {
-    /// A replayed window's journal, plus the worker-side wall-clock spent
-    /// replaying it (`0` when profiling is off — the worker times itself
-    /// because the driver's barrier span cannot separate one shard's work
-    /// from another's).
-    Journal {
-        blocks: Vec<ExecBlock>,
+    /// A drained window's journal and scalars, plus the worker-side
+    /// wall-clock spent draining it (`0` when profiling is off — the
+    /// worker times itself because the driver's barrier span cannot
+    /// separate one shard's work from another's).
+    Report {
+        report: crate::wire::WindowReport,
         replay_ns: u64,
     },
-    Flows(Vec<FlowXfer>),
+    Migrated {
+        flows: Vec<FlowXfer>,
+        moved: Vec<MovedEvent>,
+    },
     Snapshot(ShardSnapshot),
 }
 
@@ -109,14 +138,20 @@ pub struct ShardedSimulation {
     driver: Simulation,
     replicas: Vec<Simulation>,
     partition: PodPartition,
-    /// Oracle-equivalent executed-event count (replayed journal blocks
-    /// plus driver-executed global events).
+    /// Executed-event count matching the single-threaded engine's
+    /// (shard-window scalars plus driver-executed global events).
     exec_count: u64,
-    /// Time of the last replayed journal block; the driver's calendar
-    /// clock can lag it (locally executed children never pop there).
+    /// Time of the last executed event anywhere; the driver's calendar
+    /// clock can lag it (shard-local events never pop there).
     last_block_time: SimTime,
     /// Provisional → global packet-id map (tracing only).
     pkt_map: FxHashMap<u64, u64>,
+    /// Barrier windows dispatched over the run (tracked even when
+    /// profiling is off; perfbench schema v4's `window_count`).
+    windows: u64,
+    /// Cut-link events exchanged between shards over the run (tracked even
+    /// when profiling is off; perfbench schema v4's `cut_events`).
+    cut_count: u64,
     /// Run the driver alone, single-threaded (degenerate partition: one
     /// shard, or zero lookahead).
     fallback: bool,
@@ -163,6 +198,8 @@ impl ShardedSimulation {
             exec_count: 0,
             last_block_time: SimTime::ZERO,
             pkt_map: FxHashMap::default(),
+            windows: 0,
+            cut_count: 0,
             fallback,
             folded: false,
             profiler,
@@ -189,21 +226,52 @@ impl ShardedSimulation {
         self.fallback
     }
 
-    /// Registers the workload on the driver's calendar and mirrors the
-    /// flow table into every worker replica.
+    /// Barrier windows dispatched to the workers so far (0 in fallback).
+    pub fn window_count(&self) -> u64 {
+        self.windows
+    }
+
+    /// Cut-link events exchanged between shards so far (0 in fallback).
+    pub fn cut_events(&self) -> u64 {
+        self.cut_count
+    }
+
+    /// The shard a VM's current host belongs to.
+    fn owner_shard_of_vm(&self, vm: usize) -> usize {
+        self.partition.shard_map()[self.driver.placement.node_of(vm).0 as usize] as usize
+    }
+
+    /// Registers the workload: the flow table is mirrored fleet-wide, and
+    /// each start event is inserted directly at its owner shard's calendar
+    /// under the global sequence number the single-threaded engine would
+    /// have assigned it (the driver's counter stays the authority).
     pub fn add_flows(&mut self, specs: impl IntoIterator<Item = FlowSpec>) {
         let specs: Vec<FlowSpec> = specs.into_iter().collect();
+        if self.fallback {
+            self.driver.add_flows(specs);
+            return;
+        }
         for rep in &mut self.replicas {
             rep.register_flows(specs.iter().cloned());
         }
-        self.driver.add_flows(specs);
+        for spec in specs {
+            let idx = self.driver.flows.len();
+            let start = spec.start;
+            let owner = self.owner_shard_of_vm(spec.src_vm);
+            self.driver.register_flows([spec]);
+            let seq = self.driver.events.reserve_seq();
+            self.replicas[owner]
+                .events
+                .schedule_at_seq(start, seq, Event::FlowStart(idx));
+        }
     }
 
-    /// Registers a VM migration on the driver's calendar and mirrors the
-    /// migration table into every worker replica (broadcast `Migrate`
-    /// events carry table indices). At the migration instant the driver
-    /// closes the window, broadcasts the placement/database update, and
-    /// moves the affected flows' transport state between owner shards.
+    /// Registers a VM migration on the driver's calendar (migrations are
+    /// global events) and mirrors the migration table into every worker
+    /// replica (broadcast `Migrate` events carry table indices). At the
+    /// migration instant the driver closes the window, broadcasts the
+    /// placement/database update, and moves the affected flows' transport
+    /// state and pending calendar events between owner shards.
     pub fn add_migration(&mut self, m: Migration) {
         for rep in &mut self.replicas {
             rep.register_migrations([m]);
@@ -211,19 +279,24 @@ impl ShardedSimulation {
         self.driver.add_migration(m);
     }
 
-    /// Registers a churn plan fleet-wide: the flow table and the migration
-    /// table are mirrored into every replica; the driver owns the calendar
-    /// and the churn-mark timeline (marks never touch worker state).
+    /// Registers a churn plan fleet-wide, consuming driver sequence
+    /// numbers in the exact order the single-threaded engine would: flows
+    /// first, then migrations, then timeline marks.
     pub fn apply_churn_plan(&mut self, plan: &ChurnPlan) {
-        for rep in &mut self.replicas {
-            rep.register_flows(plan.flows.iter().cloned());
-            rep.register_migrations(plan.migrations.iter().copied());
+        if self.fallback {
+            self.driver.apply_churn_plan(plan);
+            return;
         }
-        self.driver.apply_churn_plan(plan);
+        self.add_flows(plan.flows.iter().cloned());
+        for &m in &plan.migrations {
+            self.add_migration(m);
+        }
+        self.driver.add_churn_marks(plan.marks.iter().copied());
     }
 
-    /// Registers a fault plan on the driver and mirrors the plan table
-    /// into every replica (broadcast fault events carry plan indices).
+    /// Registers a fault plan on the driver (fault events are global) and
+    /// mirrors the plan table into every replica (broadcast fault events
+    /// carry plan indices).
     pub fn apply_fault_plan(&mut self, plan: FaultPlan) {
         for rep in &mut self.replicas {
             rep.register_fault_events(&plan);
@@ -231,13 +304,17 @@ impl ShardedSimulation {
         self.driver.apply_fault_plan(plan);
     }
 
-    /// Runs until the calendar drains (or the configured end of time).
+    /// Runs until every calendar drains (or the configured end of time).
     pub fn run(&mut self) {
         let horizon = self.driver.cfg.end_of_time.unwrap_or(SimTime::MAX);
         self.run_until(horizon);
     }
 
-    /// Runs all events up to and including instant `t`.
+    /// Runs all events up to and including instant `t`. Resumable: the
+    /// shard calendars persist across calls (pending buffers are always
+    /// flushed before a window closes the run), so interleaving
+    /// `run_until` with interventions behaves exactly like the
+    /// single-threaded engine.
     pub fn run_until(&mut self, t: SimTime) {
         if self.fallback {
             self.driver.run_until(t);
@@ -255,6 +332,8 @@ impl ShardedSimulation {
             exec_count,
             last_block_time,
             pkt_map,
+            windows,
+            cut_count,
             profiler,
             ..
         } = self;
@@ -262,6 +341,13 @@ impl ShardedSimulation {
         let lookahead = partition.lookahead_ns();
         let prof = profiler.enabled();
         let run_t0 = prof.then(Instant::now);
+        // Earliest pending-event time per shard. Exact at entry (pending
+        // buffers are always empty between windows — grants are delivered
+        // eagerly after every merge), kept current from window reports and
+        // cross-shard deliveries. A stale-early bound only costs an empty
+        // window; the protocol never lets a bound go stale-late.
+        let mut next_t: Vec<Option<SimTime>> =
+            replicas.iter().map(|r| r.events.peek_time()).collect();
 
         std::thread::scope(|scope| {
             let mut to_workers = Vec::with_capacity(n);
@@ -274,22 +360,26 @@ impl ShardedSimulation {
                 scope.spawn(move || {
                     while let Ok(msg) = rx_cmd.recv() {
                         match msg {
-                            ToWorker::Window { batch, end } => {
+                            ToWorker::Window { bt, bseq } => {
                                 let t0 = prof.then(Instant::now);
-                                let journal = rep.run_window(batch, end);
+                                let report = rep.run_window(bt, bseq);
                                 let replay_ns =
                                     t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
-                                let _ = tx_res.send(FromWorker::Journal {
-                                    blocks: journal,
-                                    replay_ns,
-                                });
+                                let _ = tx_res.send(FromWorker::Report { report, replay_ns });
+                            }
+                            ToWorker::Apply { grants, incoming } => {
+                                rep.apply_boundary(&grants, incoming)
                             }
                             ToWorker::Global(g) => rep.apply_global(g),
                             ToWorker::TakeMigrated { vm } => {
-                                let _ = tx_res
-                                    .send(FromWorker::Flows(rep.extract_migrated_flows(vm)));
+                                let flows = rep.extract_migrated_flows(vm);
+                                let moved = rep.extract_migrated_events(vm);
+                                let _ = tx_res.send(FromWorker::Migrated { flows, moved });
                             }
-                            ToWorker::PutMigrated(bundles) => rep.inject_migrated_flows(bundles),
+                            ToWorker::PutMigrated { flows, moved } => {
+                                rep.inject_migrated_flows(flows);
+                                rep.apply_boundary(&[], moved);
+                            }
                             ToWorker::Snapshot { widx } => {
                                 let _ =
                                     tx_res.send(FromWorker::Snapshot(rep.shard_snapshot(widx)));
@@ -300,109 +390,82 @@ impl ShardedSimulation {
                 });
             }
 
-            while let Some(w0) = driver.events.peek_time() {
+            loop {
+                // Window boundary: one lookahead past the earliest pending
+                // event anywhere, clipped so events at exactly `horizon`
+                // still run — and closed early at the next global event's
+                // exact (time, seq) key, which preserves the interleaving
+                // of same-instant shard events around the global.
+                let adv_t0 = prof.then(Instant::now);
+                let gkey = driver.events.peek_key();
+                let shard_min = next_t.iter().filter_map(|&t| t).min();
+                let w0 = match (gkey.map(|(gt, _)| gt), shard_min) {
+                    (None, None) => break,
+                    (Some(g), None) => g,
+                    (None, Some(s)) => s,
+                    (Some(g), Some(s)) => g.min(s),
+                };
                 if w0 > horizon {
                     break;
                 }
-                // Window upper bound: one lookahead past the first event,
-                // clipped so events at exactly `horizon` still run.
                 let w_cap = SimTime::from_nanos(
                     w0.as_nanos()
                         .saturating_add(lookahead)
                         .min(horizon.as_nanos().saturating_add(1)),
                 );
-                let mut batches: Vec<Vec<(SimTime, u64, WireEvent)>> = vec![Vec::new(); n];
-                let mut pending_global: Option<(SimTime, Event)> = None;
-                let mut window_end = w_cap;
-                // Oracle advance: popping the global calendar and resolving
-                // ownership. Dematerialization is timed apart so the cost
-                // of the event→wire conversion is visible on its own — but
-                // only 1 event in 32 is actually clocked and the rest
-                // extrapolated: clock reads can cost hundreds of ns on
-                // hosts without a vDSO fast path, and two per popped event
-                // was measurably slowing profiled sweeps. The sampling
-                // decision keys off the deterministic `popped` counter, so
-                // what gets timed never depends on prior timings.
-                let batch_t0 = prof.then(Instant::now);
-                let mut demat_sampled_ns = 0u64;
-                let mut demat_sampled = 0u64;
-                let mut popped = 0u64;
-                while let Some(nt) = driver.events.peek_time() {
-                    if nt >= w_cap {
-                        break;
-                    }
-                    let se = driver.events.pop().expect("peeked event");
-                    match driver.owner_of_event(&se.payload, shard_map) {
-                        Some(s) => {
-                            popped += 1;
-                            let wire = if prof && popped & 31 == 1 {
-                                let d0 = Instant::now();
-                                let w = driver.dematerialize(se.payload);
-                                demat_sampled_ns += d0.elapsed().as_nanos() as u64;
-                                demat_sampled += 1;
-                                w
-                            } else {
-                                driver.dematerialize(se.payload)
-                            };
-                            batches[s as usize].push((se.time, se.seq, wire));
-                        }
-                        None => {
-                            // A global event closes the window at its own
-                            // instant: follow-ups at or past it return to
-                            // the driver, preserving the exact interleaving
-                            // around the global event.
-                            window_end = se.time;
-                            pending_global = Some((se.time, se.payload));
-                            break;
-                        }
-                    }
-                }
-                if let Some(t0) = batch_t0 {
-                    let total = t0.elapsed().as_nanos() as u64;
-                    let demat_ns = if demat_sampled > 0 {
-                        ((demat_sampled_ns as u128 * popped as u128 / demat_sampled as u128)
-                            as u64)
-                            .min(total)
-                    } else {
-                        0
-                    };
-                    profiler.phase_add_span(
-                        Phase::OracleAdvance,
-                        popped,
-                        total.saturating_sub(demat_ns),
-                    );
-                    profiler.phase_add_span(Phase::Dematerialize, popped, demat_ns);
-                }
-
+                let (bt, bseq, global_due) = match gkey {
+                    Some((gt, gseq)) if gt < w_cap => (gt, gseq, true),
+                    _ => (w_cap, 0, false),
+                };
                 let mut busy = vec![false; n];
-                for (s, batch) in batches.into_iter().enumerate() {
-                    if batch.is_empty() {
-                        continue;
+                for (s, tx) in to_workers.iter().enumerate() {
+                    // Shard events at exactly `bt` precede the boundary
+                    // only when it is a global event's key (bseq > 0): the
+                    // global was scheduled earlier, so same-instant shard
+                    // children sort after it only if they are children of
+                    // this window — which the drain handles itself.
+                    if next_t[s].is_some_and(|nt| nt < bt || (nt == bt && bseq > 0)) {
+                        busy[s] = true;
+                        tx.send(ToWorker::Window { bt, bseq }).expect("worker alive");
                     }
-                    busy[s] = true;
-                    to_workers[s]
-                        .send(ToWorker::Window {
-                            batch,
-                            end: window_end,
-                        })
-                        .expect("worker alive");
+                }
+                if let Some(t0) = adv_t0 {
+                    profiler.phase_add(Phase::WindowAdvance, t0.elapsed().as_nanos() as u64);
                 }
                 let any_busy = busy.iter().any(|&b| b);
-                let barrier_t0 = prof.then(Instant::now);
+
+                let barrier_t0 = (prof && any_busy).then(Instant::now);
                 let mut journals: Vec<Vec<ExecBlock>> = Vec::with_capacity(n);
                 let mut replay_by_shard = vec![0u64; n];
+                let mut parked = vec![false; n];
+                let mut shard_cal = 0u64;
+                let mut shard_arena = 0u64;
                 for (s, rx) in from_workers.iter().enumerate() {
                     if !busy[s] {
                         journals.push(Vec::new());
                         continue;
                     }
                     match rx.recv().expect("worker alive") {
-                        FromWorker::Journal { blocks, replay_ns } => {
+                        FromWorker::Report { report, replay_ns } => {
                             replay_by_shard[s] = replay_ns;
-                            journals.push(blocks);
+                            *exec_count += report.executed;
+                            if let Some(lt) = report.last_time {
+                                *last_block_time = (*last_block_time).max(lt);
+                            }
+                            next_t[s] = match (report.cal_next, report.pending_min) {
+                                (Some(a), Some(b)) => Some(a.min(b)),
+                                (a, b) => a.or(b),
+                            };
+                            parked[s] = report.pending_min.is_some();
+                            shard_cal += report.cal_len;
+                            shard_arena += report.arena_live;
+                            journals.push(report.blocks);
                         }
                         _ => unreachable!("no snapshot or transfer pending"),
                     }
+                }
+                if any_busy {
+                    *windows += 1;
                 }
                 if let (Some(t0), true) = (barrier_t0, any_busy) {
                     // The driver's blocked-at-barrier span splits into the
@@ -428,38 +491,52 @@ impl ShardedSimulation {
                         );
                     }
                     profiler.windows += 1;
-                    // Deterministic once-per-window occupancy samples.
+                    // Deterministic once-per-window occupancy samples,
+                    // composed across the fleet: the driver calendar holds
+                    // only globals, the shard calendars hold the workload.
                     let (ready, wheel, overflow) = driver.events.occupancy_breakdown();
-                    profiler.record(HistKind::CalendarLen, (ready + wheel + overflow) as u64);
+                    profiler.record(
+                        HistKind::CalendarLen,
+                        (ready + wheel + overflow) as u64 + shard_cal,
+                    );
                     profiler.record(HistKind::CalendarOverflow, overflow as u64);
-                    profiler.record(HistKind::ArenaLive, driver.arena_live() as u64);
+                    profiler.record(
+                        HistKind::ArenaLive,
+                        driver.arena_live() as u64 + shard_arena,
+                    );
                 }
 
+                // Merge: replay the observables in global (time, seq)
+                // order, grant every scheduling the global sequence number
+                // the single-threaded engine would have assigned, and
+                // resolve cut events to theirs.
                 let merge_t0 = prof.then(Instant::now);
-                merge_journals(journals, |_shard, block| {
+                let mut granted = vec![0u64; n];
+                let mut outgoing: Vec<Vec<MovedEvent>> =
+                    (0..n).map(|_| Vec::new()).collect();
+                let mut cut_routed = 0u64;
+                let grants = merge_journals(&journals, |shard, block: &ExecBlock| {
                     if prof {
                         profiler.journal_blocks += 1;
                         profiler.journal_ops += block.ops.len() as u64;
                         profiler.record(HistKind::JournalBlockOps, block.ops.len() as u64);
                     }
-                    *exec_count += 1;
-                    *last_block_time = block.time;
-                    let mut assigned = Vec::new();
+                    let base = driver.events.reserve_seqs(block.scheds as u64);
+                    // `granted[shard]` counts this shard's schedulings in
+                    // earlier blocks of this window, i.e. the window-wide
+                    // ordinal of this block's first scheduling.
+                    let k = granted[shard];
+                    granted[shard] += block.scheds as u64;
+                    for cut in &block.cuts {
+                        cut_routed += 1;
+                        outgoing[cut.to as usize].push(MovedEvent {
+                            at: cut.at,
+                            seq: base + (cut.ord as u64 - k),
+                            ev: cut.ev.clone(),
+                        });
+                    }
                     for op in &block.ops {
                         match op {
-                            JournalOp::Sched { wire: None, .. } => {
-                                // Executed inside the shard's window; burn
-                                // the sequence number the oracle would have
-                                // assigned it.
-                                assigned.push(driver.events.reserve_seq());
-                            }
-                            JournalOp::Sched {
-                                at,
-                                wire: Some(wire),
-                            } => {
-                                let ev = driver.materialize(wire.clone());
-                                assigned.push(driver.events.schedule_at(*at, ev));
-                            }
                             JournalOp::PktAlloc(prov) => {
                                 let id = driver.next_pkt_id;
                                 driver.next_pkt_id += 1;
@@ -494,23 +571,49 @@ impl ShardedSimulation {
                             }
                         }
                     }
-                    assigned
+                    (base..base + block.scheds as u64).collect()
                 });
                 if let Some(t0) = merge_t0 {
                     profiler.phase_add(Phase::JournalMerge, t0.elapsed().as_nanos() as u64);
                 }
 
-                let global_t0 = (prof && pending_global.is_some()).then(Instant::now);
-                if let Some((tg, gev)) = pending_global {
+                // Cut exchange: deliver the grants for parked events and
+                // the routed cut events before anything else reaches the
+                // workers, so every calendar is consistent at the boundary.
+                let cut_t0 = prof.then(Instant::now);
+                *cut_count += cut_routed;
+                for (s, g) in grants.into_iter().enumerate() {
+                    let incoming = std::mem::take(&mut outgoing[s]);
+                    if !parked[s] && incoming.is_empty() {
+                        continue;
+                    }
+                    if let Some(m) = incoming.iter().map(|mv| mv.at).min() {
+                        next_t[s] = Some(next_t[s].map_or(m, |nt| nt.min(m)));
+                    }
+                    to_workers[s]
+                        .send(ToWorker::Apply {
+                            grants: g,
+                            incoming,
+                        })
+                        .expect("worker alive");
+                }
+                if let Some(t0) = cut_t0 {
+                    profiler.phase_add(Phase::CutExchange, t0.elapsed().as_nanos() as u64);
+                }
+
+                let global_t0 = (prof && global_due).then(Instant::now);
+                if global_due {
+                    let se = driver.events.pop().expect("global event due");
+                    debug_assert_eq!((se.time, se.seq), (bt, bseq));
                     if prof {
                         profiler.global_events += 1;
                     }
                     *exec_count += 1;
-                    *last_block_time = tg;
-                    match gev {
+                    *last_block_time = (*last_block_time).max(se.time);
+                    match se.payload {
                         Event::TelemetrySample => {
                             let widx =
-                                (tg.as_nanos() / driver.metrics.window_len_ns()) as usize;
+                                (se.time.as_nanos() / driver.metrics.window_len_ns()) as usize;
                             for tx in &to_workers {
                                 tx.send(ToWorker::Snapshot { widx }).expect("worker alive");
                             }
@@ -527,6 +630,7 @@ impl ShardedSimulation {
                                         s.gateway_cum += p.gateway_cum;
                                         s.win_data_sent += p.win_data_sent;
                                         s.win_gateway += p.win_gateway;
+                                        s.pending += p.pending;
                                     }
                                     _ => unreachable!("no window or transfer pending"),
                                 }
@@ -541,9 +645,9 @@ impl ShardedSimulation {
                             } else {
                                 1.0 - s.gateway_cum as f64 / s.data_sent_cum as f64
                             };
-                            let pending_events = driver.events.len() as u64;
+                            let pending_events = driver.events.len() as u64 + s.pending;
                             driver.tracer_mut().samples.push(Sample {
-                                t_ns: tg.as_nanos(),
+                                t_ns: se.time.as_nanos(),
                                 events_executed: *exec_count,
                                 pending_events,
                                 queue_pkts_total: s.q_total,
@@ -555,7 +659,7 @@ impl ShardedSimulation {
                                 hit_rate_cum,
                                 gateway_pkts_cum: s.gateway_cum,
                             });
-                            if !driver.events.is_empty() {
+                            if pending_events > 0 {
                                 let period = SimDuration::from_nanos(
                                     driver.tracer().config().sample_every_ns,
                                 );
@@ -594,21 +698,31 @@ impl ShardedSimulation {
                             }
                             if old_shard != new_shard {
                                 // Move the affected flows' transport state
-                                // to the new owner. Per-channel FIFO means
-                                // both shards apply the migration before
-                                // the transfer messages arrive.
+                                // and pending calendar events to the new
+                                // owner. Per-channel FIFO means both shards
+                                // apply the migration (and any outstanding
+                                // boundary grants) before the transfer.
                                 to_workers[old_shard as usize]
                                     .send(ToWorker::TakeMigrated { vm })
                                     .expect("worker alive");
-                                let bundles = match from_workers[old_shard as usize]
+                                let (flows, moved) = match from_workers[old_shard as usize]
                                     .recv()
                                     .expect("worker alive")
                                 {
-                                    FromWorker::Flows(b) => b,
+                                    FromWorker::Migrated { flows, moved } => (flows, moved),
                                     _ => unreachable!("flow transfer pending"),
                                 };
+                                // The old shard's next-event bound may now
+                                // be stale-early (its earliest event may
+                                // have moved away) — harmless: an empty
+                                // window refreshes it.
+                                if let Some(mn) = moved.iter().map(|mv| mv.at).min() {
+                                    let ns = new_shard as usize;
+                                    next_t[ns] =
+                                        Some(next_t[ns].map_or(mn, |nt| nt.min(mn)));
+                                }
                                 to_workers[new_shard as usize]
-                                    .send(ToWorker::PutMigrated(bundles))
+                                    .send(ToWorker::PutMigrated { flows, moved })
                                     .expect("worker alive");
                             }
                         }
@@ -657,13 +771,13 @@ impl ShardedSimulation {
     }
 
     /// Current virtual time: the later of the driver clock and the last
-    /// replayed event (locally executed children never pop on the driver).
+    /// shard-executed event (shard-local events never pop on the driver).
     pub fn now(&self) -> SimTime {
         self.driver.now().max(self.last_block_time)
     }
 
-    /// Events executed, equal to the single-threaded count: one per
-    /// replayed journal block plus one per driver-executed global event.
+    /// Events executed, equal to the single-threaded count: every event a
+    /// shard window drained plus every driver-executed global event.
     pub fn events_executed(&self) -> u64 {
         if self.fallback {
             self.driver.events_executed()
@@ -672,11 +786,10 @@ impl ShardedSimulation {
         }
     }
 
-    /// The driver calendar's pending-event high-water mark. Shard-local
-    /// window queues are excluded: every event that was ever "pending"
-    /// globally passes through the driver calendar.
+    /// Pending-event high-water mark, summed over the driver calendar
+    /// (globals only) and every shard calendar (the workload).
     pub fn peak_queue(&self) -> usize {
-        self.driver.peak_queue()
+        self.driver.peak_queue() + self.replicas.iter().map(|r| r.peak_queue()).sum::<usize>()
     }
 
     /// In-flight packet high-water mark, summed over the driver's parking

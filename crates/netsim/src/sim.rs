@@ -8,7 +8,7 @@ use sv2p_packet::{
     FlowId, InnerHeader, OuterHeader, Packet, PacketId, PacketKind, Pip, SwitchTag, TcpFlags,
     TunnelOptions, Vip,
 };
-use sv2p_simcore::{EventQueue, FxHashMap, FxHashSet, SimDuration, SimRng, SimTime};
+use sv2p_simcore::{EventQueue, FxHashMap, FxHashSet, ShardState, SimDuration, SimRng, SimTime};
 use sv2p_telemetry::profile::{HistKind, Phase, Profiler};
 use sv2p_telemetry::{EventKind, LayerName, Sample, TraceEvent, Tracer};
 use sv2p_topology::{
@@ -29,7 +29,8 @@ use crate::faults::{FaultEvent, FaultPlan};
 use crate::flows::{FlowKind, FlowSpec, FlowState};
 use crate::link::{EnqueueOutcome, LinkState};
 use crate::wire::{
-    ExecBlock, FlowXfer, GlobalEvent, JournalOp, MetricOp, ShardSnapshot, WireEvent, WorkerCtx,
+    CutEvent, ExecBlock, FlowXfer, GlobalEvent, JournalOp, MetricOp, MovedEvent, ShardSnapshot,
+    WindowReport, WireEvent, WorkerCtx,
 };
 
 /// Simulator events. Packet-carrying events hold an arena handle, so an
@@ -389,7 +390,14 @@ impl Simulation {
         for &m in &plan.migrations {
             self.add_migration(m);
         }
-        for &mark in &plan.marks {
+        self.add_churn_marks(plan.marks.iter().copied());
+    }
+
+    /// Schedules churn-timeline marks. Split out of [`Self::apply_churn_plan`]
+    /// so the sharded engine can register marks on the driver calendar while
+    /// routing the plan's flows to their owner shards.
+    pub(crate) fn add_churn_marks(&mut self, marks: impl IntoIterator<Item = ChurnMark>) {
+        for mark in marks {
             let idx = self.churn_marks.len();
             self.events.schedule_at(mark.at(), Event::ChurnMark(idx));
             self.churn_marks.push(mark);
@@ -1627,17 +1635,24 @@ impl Simulation {
     // Sharded execution (worker side)
     //
     // A `ShardedSimulation` runs one `Simulation` replica per shard plus a
-    // driver replica whose calendar is the global source of `(time, seq)`
-    // order. The hooks below make one handler body serve both modes: on
-    // the oracle path they apply side effects directly; in worker mode
-    // they journal everything order-sensitive for the driver to replay.
+    // thin driver replica whose calendar holds only global events and
+    // whose sequence counter is the global `(time, seq)` authority. Each
+    // worker owns the persistent calendar of its partition and executes
+    // its events directly, window by window. The hooks below make one
+    // handler body serve both modes: on the single-threaded path they
+    // apply side effects directly; in worker mode they keep scheduling
+    // local and journal only the order-sensitive observables for the
+    // driver to replay.
     // ------------------------------------------------------------------
 
-    /// Mode-aware scheduling at an absolute time. Workers keep follow-up
-    /// events they own that land inside the current window; everything
-    /// else returns to the driver by value. Either way the scheduling is
-    /// journaled so the driver's sequence counter stays in lockstep with
-    /// the single-threaded calendar.
+    /// Mode-aware scheduling at an absolute time. A worker keeps every
+    /// follow-up event it owns: inside the window it goes straight onto
+    /// the shard calendar under a provisional key; at or past the boundary
+    /// it parks (arena handles intact) until the merge grants its real
+    /// global seq. Only packets crossing the pod cut leave the shard, by
+    /// value. Every scheduling burns one window ordinal so the driver's
+    /// sequence counter stays in lockstep with the single-threaded
+    /// calendar.
     fn sched_at(&mut self, at: SimTime, ev: Event) {
         if self.worker.is_none() {
             self.events.schedule_at(at, ev);
@@ -1652,17 +1667,26 @@ impl Simulation {
             self.owner_of_event(&ev, &w.shard_map)
                 .expect("shard handlers never schedule global events")
         };
-        if owner == shard && at < window_end {
+        if owner == shard {
             let w = self.worker.as_mut().expect("worker mode");
-            w.state.sched_local(&mut self.events, at, ev);
-            w.cur_ops.push(JournalOp::Sched { at, wire: None });
+            w.cur_scheds += 1;
+            if at < window_end {
+                w.state.sched_local(&mut self.events, at, ev);
+            } else {
+                let ord = w.state.sched_deferred();
+                w.pending.push((ord, at, ev));
+            }
         } else {
             let wire = self.dematerialize(ev);
             let w = self.worker.as_mut().expect("worker mode");
-            w.state.sched_returned();
-            w.cur_ops.push(JournalOp::Sched {
+            w.cur_scheds += 1;
+            w.cut_events += 1;
+            let ord = w.state.sched_deferred();
+            w.cur_cuts.push(CutEvent {
+                to: owner,
+                ord,
                 at,
-                wire: Some(wire),
+                ev: wire,
             });
         }
     }
@@ -1823,9 +1847,10 @@ impl Simulation {
     }
 
     /// Turns this replica into shard `shard`'s worker. The construction
-    /// calendar is discarded (the driver holds an identical copy of every
-    /// pre-scheduled event; none carries a packet) and replaced with an
-    /// empty window-local queue.
+    /// calendar is discarded (only the driver pre-schedules global events;
+    /// workload events are inserted per-owner at registration) and replaced
+    /// with an empty *persistent* shard calendar that lives for the whole
+    /// run — windows drain it up to each boundary, they never rebuild it.
     pub(crate) fn attach_worker(&mut self, shard: u16, shard_map: Vec<u16>) {
         debug_assert!(self.worker.is_none(), "already a worker");
         self.events = EventQueue::with_capacity(1 << 16);
@@ -1923,39 +1948,101 @@ impl Simulation {
         }
     }
 
-    /// Executes one window: seeds the driver's batch (in driver order),
-    /// drains the local calendar — the batch plus every owned follow-up
-    /// that lands before `end` — and returns the execution journal.
-    pub(crate) fn run_window(
-        &mut self,
-        batch: Vec<(SimTime, u64, WireEvent)>,
-        end: SimTime,
-    ) -> Vec<ExecBlock> {
-        {
-            let w = self.worker.as_mut().expect("run_window on the oracle");
-            w.window_end = end;
-            w.state.open_window(&self.events);
-        }
-        for (at, seq, wire) in batch {
-            let ev = self.materialize(wire);
+    /// Flushes the window's parked events under their merge-granted global
+    /// seqs (`grants` is indexed by window ordinal) and inserts incoming
+    /// cross-shard events (cut packets, or a migrated VM's moved calendar
+    /// events), all keyed so global `(time, seq)` order is preserved. Must
+    /// run before the next window drains — and before any migration
+    /// extraction at this boundary, so the pending buffer is empty
+    /// whenever flow events move between shards.
+    pub(crate) fn apply_boundary(&mut self, grants: &[u64], incoming: Vec<MovedEvent>) {
+        let parked = {
             let w = self.worker.as_mut().expect("worker mode");
-            w.state.seed(&mut self.events, at, seq, ev);
+            std::mem::take(&mut w.pending)
+        };
+        for (ord, at, ev) in parked {
+            self.events.schedule_at_seq(at, grants[ord as usize], ev);
         }
-        let mut journal = Vec::new();
-        while let Some(se) = self.events.pop() {
-            let seq_ref = {
-                let w = self.worker.as_mut().expect("worker mode");
-                w.state.resolve_popped(se.seq)
-            };
+        for m in incoming {
+            let ev = self.materialize(m.ev);
+            self.events.schedule_at_seq(m.at, m.seq, ev);
+        }
+    }
+
+    /// Extracts the still-pending calendar events of every flow whose
+    /// source VM `vm` just migrated off a node this shard owns. Their
+    /// global `(time, seq)` keys travel with them, so the new owner's
+    /// calendar continues exactly where this one stopped. Flow-addressed
+    /// events carry no packet bodies, so the arena is untouched.
+    pub(crate) fn extract_migrated_events(&mut self, vm: usize) -> Vec<MovedEvent> {
+        let flows = &self.flows;
+        let moved = self.events.extract_if(|ev| match ev {
+            Event::FlowStart(i)
+            | Event::UdpSend { flow: i, .. }
+            | Event::RtoTimer { flow: i, .. } => flows[*i].spec.src_vm == vm,
+            _ => false,
+        });
+        moved
+            .into_iter()
+            .map(|e| {
+                let ev = self.dematerialize(e.payload);
+                MovedEvent {
+                    at: e.time,
+                    seq: e.seq,
+                    ev,
+                }
+            })
+            .collect()
+    }
+
+    /// Executes one window: drains the shard calendar up to the boundary
+    /// key `(bt, bseq)` — every pending event strictly before it, plus any
+    /// causal children that land inside the window — and returns the
+    /// journal. Events that neither scheduled nor touched an observable
+    /// leave no block (their execution is visible only in the report's
+    /// scalar counters); the merge never needs them because only blocks
+    /// with schedulings anchor child ordinals.
+    pub(crate) fn run_window(&mut self, bt: SimTime, bseq: u64) -> WindowReport {
+        {
+            let w = self.worker.as_mut().expect("run_window on the driver");
+            debug_assert!(w.pending.is_empty(), "boundary not applied");
+            w.window_end = bt;
+            w.state.open_window();
+        }
+        let mut blocks = Vec::new();
+        let mut executed = 0u64;
+        let mut last_time = None;
+        while let Some(se) = self.events.pop_before(bt, bseq) {
+            let seq_ref = ShardState::resolve(se.seq);
             let time = se.time;
             self.dispatch(se.payload);
-            let ops = {
-                let w = self.worker.as_mut().expect("worker mode");
-                std::mem::take(&mut w.cur_ops)
-            };
-            journal.push(ExecBlock { time, seq_ref, ops });
+            executed += 1;
+            last_time = Some(time);
+            let w = self.worker.as_mut().expect("worker mode");
+            let scheds = std::mem::take(&mut w.cur_scheds);
+            let cuts = std::mem::take(&mut w.cur_cuts);
+            let ops = std::mem::take(&mut w.cur_ops);
+            if scheds > 0 || !cuts.is_empty() || !ops.is_empty() {
+                blocks.push(ExecBlock {
+                    time,
+                    seq_ref,
+                    scheds,
+                    cuts,
+                    ops,
+                });
+            }
         }
-        journal
+        let w = self.worker.as_ref().expect("worker mode");
+        let pending_min = w.pending.iter().map(|&(_, at, _)| at).min();
+        WindowReport {
+            blocks,
+            executed,
+            last_time,
+            cal_next: self.events.peek_time(),
+            pending_min,
+            cal_len: (self.events.len() + w.pending.len()) as u64,
+            arena_live: self.arena_live() as u64,
+        }
     }
 
     /// Applies a driver-executed global event to this replica's mirrored
@@ -1999,6 +2086,8 @@ impl Simulation {
             .windows
             .get(widx)
             .map_or((0, 0), |w| (w.data_sent, w.gateway));
+        let pending = self.events.len() as u64
+            + self.worker.as_ref().map_or(0, |w| w.pending.len() as u64);
         ShardSnapshot {
             q_total,
             q_max,
@@ -2009,6 +2098,7 @@ impl Simulation {
             gateway_cum: self.metrics.gateway_packets,
             win_data_sent,
             win_gateway,
+            pending,
         }
     }
 

@@ -1,16 +1,21 @@
 //! Wire forms and journals for the sharded engine.
 //!
 //! A [`crate::sim::Simulation`] event holds packet bodies as arena handles,
-//! which are meaningless outside the owning simulation. When the sharded
-//! driver hands an event to a shard (or a shard returns a future event to
-//! the driver), the packet travels by value as a [`WireEvent`].
+//! which are meaningless outside the owning simulation. When a packet event
+//! crosses the pod cut (or a migration moves a VM's pending flow events to
+//! another shard), the packet travels by value as a [`WireEvent`].
 //!
-//! While executing a window, a shard records everything order-sensitive it
-//! would have done to the global state — schedulings, metric updates,
-//! trace events, packet-id allocations — as [`JournalOp`]s grouped into
-//! per-event [`ExecBlock`]s. The driver replays the blocks of all shards
-//! in global `(time, seq)` order, which makes the master metrics, tracer
-//! ring and calendar byte-identical to a single-threaded run.
+//! While executing a window, a shard keeps every follow-up event it
+//! schedules: pod-local events land straight on its own calendar and
+//! events past the window boundary park in a pending buffer, arena handles
+//! intact. What it *journals* per executed event is only the lean
+//! [`ExecBlock`]: how many schedulings the event performed (so the driver
+//! can grant the matching run of global sequence numbers), any cut-link
+//! events bound for other shards, and the order-sensitive observables
+//! (metric updates, trace events, packet-id allocations). The driver
+//! replays blocks across shards in global `(time, seq)` order, which makes
+//! the master metrics and tracer ring byte-identical to a single-threaded
+//! run — without re-executing or re-materializing anything.
 
 use sv2p_packet::Packet;
 use sv2p_simcore::{SeqRef, ShardState, SimTime};
@@ -18,9 +23,14 @@ use sv2p_telemetry::TraceEvent;
 use sv2p_topology::{LinkId, NodeId};
 use sv2p_transport::{TcpReceiver, TcpSender};
 
-/// A simulator event with packet bodies inlined, safe to move between the
-/// driver and shard threads. Global events (migrations, faults, telemetry
-/// samples) never take this form: the driver executes them itself.
+use crate::sim::Event;
+
+/// A simulator event with packet bodies inlined, safe to move between
+/// threads. Only [`WireEvent::LinkArrival`] can cross the cut mid-run;
+/// the flow-addressed forms move between shards when a migration
+/// re-homes a VM's pending calendar events. Global events (migrations,
+/// faults, telemetry samples) never take this form: the driver executes
+/// them itself.
 #[derive(Debug, Clone)]
 pub(crate) enum WireEvent {
     FlowStart(usize),
@@ -55,7 +65,7 @@ pub(crate) enum GlobalEvent {
 /// counter plus completion flag) evolves on the destination VM's host.
 /// Since a migration is a global event, both shards are quiescent at the
 /// exact instant the transfer happens, so moving the state preserves
-/// bit-identical behaviour with the single-threaded oracle.
+/// bit-identical behaviour with the single-threaded engine.
 #[derive(Debug)]
 pub(crate) enum FlowXfer {
     /// Sender-side TCP machine, extracted from the source VM's old shard.
@@ -76,6 +86,15 @@ pub(crate) enum FlowXfer {
     },
 }
 
+/// A pending calendar event of a migrating flow, extracted with its global
+/// `(time, seq)` key intact so the new owner re-inserts it unchanged.
+#[derive(Debug)]
+pub(crate) struct MovedEvent {
+    pub at: SimTime,
+    pub seq: u64,
+    pub ev: WireEvent,
+}
+
 /// An order-sensitive metric update, deferred to the driver's master
 /// [`sv2p_metrics::Metrics`]. Only the four flow-lifecycle operations are
 /// order-sensitive (they push to per-flow latency/FCT accumulators whose
@@ -89,17 +108,9 @@ pub(crate) enum MetricOp {
     Delivery { sent_ns: u64, hops: u16 },
 }
 
-/// One journaled side effect, in handler execution order.
+/// One journaled observable, in handler execution order.
 #[derive(Debug, Clone)]
 pub(crate) enum JournalOp {
-    /// The handler scheduled a follow-up event at `at`. `wire` is `None`
-    /// when the shard executed it locally within the window (the driver
-    /// only burns a sequence number to stay in step); otherwise the event
-    /// returns to the driver's calendar.
-    Sched {
-        at: SimTime,
-        wire: Option<WireEvent>,
-    },
     /// The handler allocated a packet id (journaled only while tracing, to
     /// map the shard's provisional id to the global id stream).
     PktAlloc(u64),
@@ -107,12 +118,32 @@ pub(crate) enum JournalOp {
     Trace(TraceEvent),
 }
 
-/// Everything one event execution did, tagged with when and as-whom it
-/// ran so the driver can merge blocks across shards.
+/// A follow-up event bound for another shard: a packet crossing the pod
+/// cut. `ord` is the scheduling's window-wide ordinal, which the driver
+/// resolves to a real global sequence number when the parent block
+/// replays; the event reaches shard `to` before the next window opens.
+/// `to` is resolved at emission time — ownership cannot drift before
+/// delivery because placement only changes at global (boundary) events.
+#[derive(Debug)]
+pub(crate) struct CutEvent {
+    pub to: u16,
+    pub ord: u32,
+    pub at: SimTime,
+    pub ev: WireEvent,
+}
+
+/// Everything order-sensitive one event execution did, tagged with when
+/// and as-whom it ran so the driver can merge blocks across shards.
+/// `scheds` counts *every* scheduling the handler performed (local,
+/// parked, or cut) — the driver grants that many consecutive global seqs.
+/// Events with no schedulings and no observables leave no block at all;
+/// their execution is reported only through the window's scalar counters.
 #[derive(Debug)]
 pub(crate) struct ExecBlock {
     pub time: SimTime,
     pub seq_ref: SeqRef,
+    pub scheds: u32,
+    pub cuts: Vec<CutEvent>,
     pub ops: Vec<JournalOp>,
 }
 
@@ -126,24 +157,31 @@ impl sv2p_simcore::JournalBlock for ExecBlock {
 }
 
 /// Per-shard worker state attached to a `Simulation` replica: which nodes
-/// it owns, the current window bound, sequence bookkeeping, and the
-/// journal under construction.
+/// it owns, the current window boundary, ordinal bookkeeping, the pending
+/// (past-boundary) buffer and the journal under construction.
 #[derive(Debug)]
 pub(crate) struct WorkerCtx {
     /// This replica's shard id.
     pub shard: u16,
     /// Node id → owning shard, from the pod partition.
     pub shard_map: Vec<u16>,
-    /// Exclusive upper bound of the current window: follow-up events at or
-    /// beyond it return to the driver instead of executing locally.
+    /// Boundary time of the current window: follow-up events at or beyond
+    /// it park in `pending` until the merge grants their real seqs.
     pub window_end: SimTime,
-    /// Local-seq → global-identity bookkeeping.
+    /// Per-window child-ordinal bookkeeping.
     pub state: ShardState,
-    /// Journal ops of the event currently dispatching.
+    /// Past-boundary events of the current window, arena handles intact:
+    /// `(window ordinal, due time, event)`.
+    pub pending: Vec<(u32, SimTime, Event)>,
+    /// Journal of the event currently dispatching.
+    pub cur_scheds: u32,
+    pub cur_cuts: Vec<CutEvent>,
     pub cur_ops: Vec<JournalOp>,
     /// Next provisional packet-id counter (namespaced by shard in the top
     /// bits; remapped to the global id stream during replay when tracing).
     pub prov_next: u64,
+    /// Cut-link events this shard emitted over the whole run.
+    pub cut_events: u64,
 }
 
 impl WorkerCtx {
@@ -153,8 +191,12 @@ impl WorkerCtx {
             shard_map,
             window_end: SimTime::ZERO,
             state: ShardState::new(),
+            pending: Vec::new(),
+            cur_scheds: 0,
+            cur_cuts: Vec::new(),
             cur_ops: Vec::new(),
             prov_next: 0,
+            cut_events: 0,
         }
     }
 
@@ -166,6 +208,29 @@ impl WorkerCtx {
         self.prov_next += 1;
         id
     }
+}
+
+/// What one window execution produced, beyond the journal blocks: the
+/// scalars the driver folds without replaying anything. `executed` counts
+/// *every* popped event (including block-less ones); `cal_next` and
+/// `pending_min` bound the shard's next event so the driver can size the
+/// following window.
+#[derive(Debug, Default)]
+pub(crate) struct WindowReport {
+    pub blocks: Vec<ExecBlock>,
+    pub executed: u64,
+    /// Time of the last executed event, if any.
+    pub last_time: Option<SimTime>,
+    /// Earliest key still on the shard calendar after the drain.
+    pub cal_next: Option<SimTime>,
+    /// Earliest due time in the parked (past-boundary) buffer.
+    pub pending_min: Option<SimTime>,
+    /// Events still pending on this shard (calendar + parked buffer) at
+    /// window close — profiler occupancy samples.
+    pub cal_len: u64,
+    /// Live packets in this shard's arena at window close — profiler
+    /// occupancy samples.
+    pub arena_live: u64,
 }
 
 /// A shard's contribution to one telemetry sample: queue depths and cache
@@ -182,4 +247,6 @@ pub(crate) struct ShardSnapshot {
     pub gateway_cum: u64,
     pub win_data_sent: u64,
     pub win_gateway: u64,
+    /// Events pending on this shard's calendar (plus parked buffer).
+    pub pending: u64,
 }

@@ -254,6 +254,48 @@ impl<E> EventQueue<E> {
         seq
     }
 
+    /// Consumes `n` consecutive sequence numbers and returns the first.
+    /// The sharded driver grants these blocks to shards whose events
+    /// scheduled children during a window, reproducing the single-threaded
+    /// calendar's per-event consecutive seq assignment.
+    pub fn reserve_seqs(&mut self, n: u64) -> u64 {
+        let base = self.next_seq;
+        self.next_seq += n;
+        base
+    }
+
+    /// Schedules `payload` at `at` under an externally-assigned sequence
+    /// number, leaving this queue's own seq counter untouched. Shard-local
+    /// calendars are fed exclusively through this: real seqs come from the
+    /// driver's global counter, provisional seqs carry a high tag bit so
+    /// they order after every real seq at the same instant (a child
+    /// scheduled mid-window always has a larger global seq than anything
+    /// scheduled before the window opened).
+    pub fn schedule_at_seq(&mut self, at: SimTime, seq: u64, payload: E) {
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at:?} < now {:?}",
+            self.now
+        );
+        let at = at.max(self.now);
+        let ev = ScheduledEvent {
+            time: at,
+            seq,
+            payload,
+        };
+        let slot = Self::slot_of(at);
+        debug_assert!(slot >= self.cursor, "slot behind the cursor");
+        if slot == self.cursor {
+            self.ready.push(ev);
+        } else if slot - self.cursor < NSLOTS {
+            self.put_in_wheel(slot, ev);
+        } else {
+            self.overflow.push(ev);
+        }
+        self.pending += 1;
+        self.peak_len = self.peak_len.max(self.pending);
+    }
+
     #[inline]
     fn put_in_wheel(&mut self, slot: u64, ev: ScheduledEvent<E>) {
         let ring = (slot & SLOT_MASK) as usize;
@@ -277,17 +319,59 @@ impl<E> EventQueue<E> {
         Some(ev)
     }
 
+    /// Pops the next event only if its `(time, seq)` key is strictly below
+    /// the boundary `(bt, bseq)`; otherwise leaves the calendar untouched
+    /// and returns `None`. This is the conservative-PDES window pop: a
+    /// shard drains everything before the boundary, then parks. The cursor
+    /// only advances into slots at or before the boundary's slot, so
+    /// boundary-time inserts arriving between windows never land behind it.
+    pub fn pop_before(&mut self, bt: SimTime, bseq: u64) -> Option<ScheduledEvent<E>> {
+        if self.ready.is_empty() {
+            if self.pending == 0 {
+                return None;
+            }
+            let target = self.next_slot().expect("pending > 0 but no occupied slot");
+            if target > Self::slot_of(bt) {
+                return None;
+            }
+            self.advance_to(target);
+        }
+        let top = self.ready.peek().expect("ready refilled or non-empty");
+        if (top.time, top.seq) < (bt, bseq) {
+            let ev = self.ready.pop().expect("peeked");
+            self.pending -= 1;
+            self.now = ev.time;
+            self.popped += 1;
+            Some(ev)
+        } else {
+            None
+        }
+    }
+
+    /// The absolute slot of the earliest non-ready event (wheel or
+    /// overflow). Precondition for `Some`: `pending > ready.len()` or the
+    /// queue holds at least one non-ready event.
+    fn next_slot(&self) -> Option<u64> {
+        let next_wheel = self.next_occupied_after(self.cursor);
+        let next_over = self.overflow.peek().map(|e| Self::slot_of(e.time));
+        match (next_wheel, next_over) {
+            (Some(w), Some(o)) => Some(w.min(o)),
+            (Some(w), None) => Some(w),
+            (None, Some(o)) => Some(o),
+            (None, None) => None,
+        }
+    }
+
     /// Jumps the cursor to the next slot holding events and refills the
     /// ready heap from it. Precondition: ready empty, `pending > 0`.
     fn advance(&mut self) {
-        let next_wheel = self.next_occupied_after(self.cursor);
-        let next_over = self.overflow.peek().map(|e| Self::slot_of(e.time));
-        let target = match (next_wheel, next_over) {
-            (Some(w), Some(o)) => w.min(o),
-            (Some(w), None) => w,
-            (None, Some(o)) => o,
-            (None, None) => unreachable!("pending > 0 but no occupied slot"),
-        };
+        let target = self.next_slot().expect("pending > 0 but no occupied slot");
+        self.advance_to(target);
+    }
+
+    /// Moves the cursor to `target` and dumps that slot (plus any overflow
+    /// events coming within a rotation) into the ready heap.
+    fn advance_to(&mut self, target: u64) {
         self.cursor = target;
         // Overflow events now within one rotation drop into the wheel (or
         // straight into ready, for the slot being opened).
@@ -360,30 +444,84 @@ impl<E> EventQueue<E> {
 
     /// The timestamp of the next pending event without popping it.
     pub fn peek_time(&self) -> Option<SimTime> {
+        self.peek_key().map(|(t, _)| t)
+    }
+
+    /// The `(time, seq)` key of the next pending event without popping it.
+    /// The sharded driver peeks its global calendar through this to decide
+    /// whether a window's boundary is a global event or pure lookahead.
+    pub fn peek_key(&self) -> Option<(SimTime, u64)> {
         if let Some(e) = self.ready.peek() {
-            return Some(e.time);
+            return Some((e.time, e.seq));
         }
         if self.pending == 0 {
             return None;
         }
-        let over = self.overflow.peek().map(|e| e.time);
+        let over = self.overflow.peek().map(|e| (e.time, e.seq));
         match self.next_occupied_after(self.cursor) {
-            Some(w) if over.is_none_or(|t| Self::slot_of(t) >= w) => {
+            Some(w) if over.is_none_or(|(t, _)| Self::slot_of(t) >= w) => {
                 // Earliest event is in wheel slot `w` (an overflow event in
-                // the same slot may still be sooner — compare times).
+                // the same slot may still be sooner — compare keys).
                 let ring = (w & SLOT_MASK) as usize;
                 let bucket_min = self.slots[ring]
                     .iter()
-                    .map(|e| e.time)
+                    .map(|e| (e.time, e.seq))
                     .min()
                     .expect("occupied bit set on an empty bucket");
                 match over {
-                    Some(t) if Self::slot_of(t) == w => Some(bucket_min.min(t)),
+                    Some(k) if Self::slot_of(k.0) == w => Some(bucket_min.min(k)),
                     _ => Some(bucket_min),
                 }
             }
             _ => over,
         }
+    }
+
+    /// Removes and returns every pending event whose payload matches
+    /// `pred`, sorted by `(time, seq)`; non-matching events stay exactly
+    /// where they were. O(pending + wheel slots) — used only at migration
+    /// boundaries, where a VM's not-yet-due flow events move to the flow's
+    /// new owner shard with their global keys intact.
+    pub fn extract_if(&mut self, mut pred: impl FnMut(&E) -> bool) -> Vec<ScheduledEvent<E>> {
+        let mut out = Vec::new();
+        let mut keep = BinaryHeap::with_capacity(self.ready.len());
+        for ev in std::mem::take(&mut self.ready) {
+            if pred(&ev.payload) {
+                out.push(ev);
+            } else {
+                keep.push(ev);
+            }
+        }
+        self.ready = keep;
+        for ring in 0..NSLOTS as usize {
+            if !self.bit_is_set(ring) {
+                continue;
+            }
+            let bucket = &mut self.slots[ring];
+            let mut i = 0;
+            while i < bucket.len() {
+                if pred(&bucket[i].payload) {
+                    out.push(bucket.swap_remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+            if bucket.is_empty() {
+                self.clear_bit(ring);
+            }
+        }
+        let mut keep = BinaryHeap::with_capacity(self.overflow.len());
+        for ev in std::mem::take(&mut self.overflow) {
+            if pred(&ev.payload) {
+                out.push(ev);
+            } else {
+                keep.push(ev);
+            }
+        }
+        self.overflow = keep;
+        self.pending -= out.len();
+        out.sort_by_key(|a| (a.time, a.seq));
+        out
     }
 }
 
@@ -575,6 +713,126 @@ mod tests {
         assert_eq!(order, expect);
     }
 
+    #[test]
+    fn reserve_seqs_grants_consecutive_blocks() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert_eq!(q.reserve_seqs(3), 0);
+        assert_eq!(q.reserve_seq(), 3);
+        assert_eq!(q.reserve_seqs(2), 4);
+        assert_eq!(q.schedule_at(SimTime::from_nanos(1), ()), 6);
+    }
+
+    #[test]
+    fn explicit_seqs_control_tie_order() {
+        // Inserts carry externally-assigned seqs; FIFO ties follow the seq,
+        // not insertion order, and the queue's own counter is untouched.
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(64);
+        q.schedule_at_seq(t, 7, "late");
+        q.schedule_at_seq(t, 2, "early");
+        q.schedule_at_seq(SimTime::from_millis(40), 1, "far"); // overflow path
+        assert_eq!(q.pop().unwrap().payload, "early");
+        assert_eq!(q.pop().unwrap().payload, "late");
+        assert_eq!(q.pop().unwrap().payload, "far");
+        assert_eq!(q.schedule_at(SimTime::from_millis(41), "auto"), 0);
+    }
+
+    #[test]
+    fn provisional_tag_orders_after_real_seqs() {
+        const PROV: u64 = 1 << 63;
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(100);
+        q.schedule_at_seq(t, PROV, "child0");
+        q.schedule_at_seq(t, 40, "real");
+        q.schedule_at_seq(t, PROV | 1, "child1");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec!["real", "child0", "child1"]);
+    }
+
+    #[test]
+    fn pop_before_respects_time_and_seq_boundary() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_nanos(10), "a"); // seq 0
+        q.schedule_at(SimTime::from_nanos(20), "b"); // seq 1
+        q.schedule_at(SimTime::from_nanos(20), "c"); // seq 2
+        q.schedule_at(SimTime::from_nanos(30), "d"); // seq 3
+        // Boundary at (20, seq 2): "a" and "b" drain, "c" parks.
+        assert_eq!(q.pop_before(SimTime::from_nanos(20), 2).unwrap().payload, "a");
+        assert_eq!(q.pop_before(SimTime::from_nanos(20), 2).unwrap().payload, "b");
+        assert!(q.pop_before(SimTime::from_nanos(20), 2).is_none());
+        // Next window picks "c" and "d" up where they were left.
+        assert_eq!(q.pop_before(SimTime::from_nanos(100), 0).unwrap().payload, "c");
+        assert_eq!(q.pop_before(SimTime::from_nanos(100), 0).unwrap().payload, "d");
+        assert!(q.pop_before(SimTime::from_nanos(100), 0).is_none());
+        assert_eq!(q.events_executed(), 4);
+    }
+
+    #[test]
+    fn pop_before_leaves_cursor_safe_for_boundary_inserts() {
+        // The only pending event is far past the boundary: pop_before must
+        // not advance the cursor to it, so a later insert *at* the boundary
+        // still lands on a slot >= cursor.
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_micros(500), "far");
+        let bt = SimTime::from_micros(10);
+        assert!(q.pop_before(bt, 0).is_none());
+        q.schedule_at_seq(bt, 100, "boundary");
+        assert_eq!(q.pop_before(SimTime::from_micros(600), 0).unwrap().payload, "boundary");
+        assert_eq!(q.pop_before(SimTime::from_micros(600), 0).unwrap().payload, "far");
+    }
+
+    #[test]
+    fn pop_before_drains_wheel_and_overflow_up_to_boundary() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_nanos(5), 0u32);
+        q.schedule_at(SimTime::from_micros(300), 1); // wheel
+        q.schedule_at(SimTime::from_millis(20), 2); // overflow
+        let bt = SimTime::from_millis(30);
+        let mut got = Vec::new();
+        while let Some(e) = q.pop_before(bt, 0) {
+            got.push(e.payload);
+        }
+        assert_eq!(got, vec![0, 1, 2]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_key_agrees_with_pop_everywhere() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_nanos(12), ());
+        q.schedule_at(SimTime::from_nanos(12), ());
+        q.schedule_at(SimTime::from_micros(200), ());
+        q.schedule_at(SimTime::from_millis(90), ());
+        while let Some(key) = q.peek_key() {
+            let e = q.pop().unwrap();
+            assert_eq!(key, (e.time, e.seq));
+        }
+        assert_eq!(q.peek_key(), None);
+    }
+
+    #[test]
+    fn extract_if_pulls_matches_from_every_structure() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_nanos(3), 10u32); // ready
+        q.schedule_at(SimTime::from_nanos(7), 21); // ready, odd
+        q.schedule_at(SimTime::from_micros(400), 11); // wheel, odd
+        q.schedule_at(SimTime::from_micros(420), 12); // wheel
+        q.schedule_at(SimTime::from_millis(50), 13); // overflow, odd
+        let odd = q.extract_if(|p| p % 2 == 1);
+        let keys: Vec<_> = odd.iter().map(|e| e.payload).collect();
+        assert_eq!(keys, vec![21, 11, 13]); // sorted by (time, seq)
+        assert_eq!(q.len(), 2);
+        let rest: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(rest, vec![10, 12]);
+        // Re-inserting under the original keys restores global order.
+        let mut q2 = EventQueue::new();
+        for e in odd {
+            q2.schedule_at_seq(e.time, e.seq, e.payload);
+        }
+        let back: Vec<_> = std::iter::from_fn(|| q2.pop().map(|e| e.payload)).collect();
+        assert_eq!(back, vec![21, 11, 13]);
+    }
+
     /// Replays one op tape against both calendars and compares every
     /// observable: peek, pop sequence (time, seq, payload), now.
     fn check_equivalence(ops: &[(u16, u8)]) {
@@ -635,6 +893,32 @@ mod tests {
             ops in proptest::collection::vec((any::<u16>(), any::<u8>()), 0..300)
         ) {
             check_equivalence(&ops);
+        }
+
+        #[test]
+        fn windowed_pop_before_is_plain_pop(
+            times in proptest::collection::vec(0u64..4_000_000u64, 1..120),
+            window in 1u64..700_000,
+        ) {
+            // Draining through successive pop_before boundaries must yield
+            // the exact pop order of an unwindowed queue.
+            let mut plain = EventQueue::new();
+            let mut windowed = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                plain.schedule_at(SimTime::from_nanos(t), i);
+                windowed.schedule_at(SimTime::from_nanos(t), i);
+            }
+            let expect: Vec<_> =
+                std::iter::from_fn(|| plain.pop().map(|e| (e.time, e.seq, e.payload))).collect();
+            let mut got = Vec::new();
+            let mut bt = 0u64;
+            while !windowed.is_empty() {
+                bt += window;
+                while let Some(e) = windowed.pop_before(SimTime::from_nanos(bt), 0) {
+                    got.push((e.time, e.seq, e.payload));
+                }
+            }
+            prop_assert_eq!(got, expect);
         }
     }
 }

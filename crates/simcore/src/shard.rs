@@ -1,54 +1,61 @@
-//! Generic per-shard bookkeeping for windowed parallel simulation.
+//! Generic per-shard bookkeeping for conservative windowed parallel
+//! simulation.
 //!
-//! The sharded engine splits a run into lookahead windows. In each window a
-//! coordinating driver pops the events of the window from its global
-//! calendar (the single source of truth for `(time, seq)` order) and hands
-//! each shard its slice. A shard executes its slice — plus any causal
-//! children that land inside the window — on its private [`EventQueue`],
-//! and returns an execution journal. The driver then merges the journals
-//! of all shards back into global `(time, seq)` order.
+//! The sharded engine splits a run into lookahead windows. Each shard owns
+//! a *persistent* private [`EventQueue`] holding every pending event of its
+//! partition; within a window it drains that calendar up to the window
+//! boundary with [`EventQueue::pop_before`] and returns an execution
+//! journal. The driver's only calendar holds global events (faults,
+//! migrations, telemetry samples); its sequence counter is the global
+//! `(time, seq)` authority.
 //!
-//! Two pieces here make that merge exact:
+//! Sequence numbers make the merge exact:
 //!
-//! * [`ShardState`] tracks, for every locally queued event, *which global
-//!   event it is*: either an original driver event ([`SeqRef::Orig`], with
-//!   its global sequence number) or the n-th scheduling the shard
-//!   performed this window ([`SeqRef::Child`]). Local FIFO order at equal
-//!   times then mirrors global order, because batch events are seeded in
-//!   driver order and children are created in execution order.
-//! * [`merge_journals`] performs the k-way merge by `(time, resolved
-//!   seq)`, resolving child ordinals through a caller that assigns global
-//!   sequence numbers as parent records replay. A child's parent always
-//!   replays first (same shard, executed earlier), so resolution never
-//!   blocks.
+//! * Events scheduled *before* a window opened already carry their real
+//!   global sequence number (granted at an earlier merge, or assigned by
+//!   the driver at registration) — a shard inserts them with
+//!   [`EventQueue::schedule_at_seq`].
+//! * Events scheduled *during* a window (causal children) don't know their
+//!   global seq yet. [`ShardState::sched_local`] queues them under a
+//!   provisional key `PROV_BIT | ordinal`. The tag bit makes a provisional
+//!   key compare greater than every real seq at the same instant — which
+//!   is exactly right, because a child scheduled mid-window always receives
+//!   a larger global seq than anything scheduled before the window opened.
+//!   Among themselves, children order by ordinal = local scheduling order,
+//!   which is their global scheduling order restricted to the shard
+//!   (cross-shard events only arrive in *later* windows, thanks to the
+//!   lookahead).
+//! * [`merge_journals`] replays the blocks of all shards in global
+//!   `(time, resolved seq)` order, resolving child ordinals through the
+//!   per-shard grant vectors it accumulates, and returns those vectors so
+//!   the driver can hand every shard the real seqs for the children it
+//!   parked past the boundary or shipped across the cut.
 //!
-//! `ShardState` deliberately does not own the queue: the simulator's event
-//! loop owns its calendar, and the bookkeeping here is layered next to it
-//! (the same queue serves as the oracle calendar in single-shard runs).
+//! No provisional key ever survives a window: children are only queued
+//! locally when they land strictly before the boundary, and the window
+//! drains everything before the boundary.
 
 use crate::event::EventQueue;
 use crate::time::SimTime;
-use crate::FxHashMap;
 
-/// What a locally queued event corresponds to globally.
+/// Tag bit marking a provisional (window-local child) sequence key.
+pub const PROV_BIT: u64 = 1 << 63;
+
+/// What a journal block's executed event corresponds to globally.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SeqRef {
-    /// An event the driver popped from the global calendar; the payload is
-    /// its global sequence number.
+    /// An event that already carried its real global sequence number.
     Orig(u64),
     /// The n-th scheduling this shard performed in the current window
-    /// (counting every scheduling, local or returned, in execution
-    /// order). The driver resolves the ordinal to a global sequence
-    /// number when the parent's journal record replays.
+    /// (counting every scheduling — local, deferred, or cross-shard — in
+    /// execution order). The merge resolves the ordinal to a global
+    /// sequence number when the parent's journal record replays.
     Child(u32),
 }
 
-/// Ties every event in a shard's window-local calendar back to the global
-/// `(time, seq)` order.
+/// Per-window child-ordinal accounting for one shard.
 #[derive(Debug, Default)]
 pub struct ShardState {
-    /// Local seq → global identity of every event currently queued.
-    seq_map: FxHashMap<u64, SeqRef>,
     /// Schedulings performed this window (the child ordinal counter).
     sched_count: u32,
 }
@@ -60,28 +67,17 @@ impl ShardState {
     }
 
     /// Opens a new window: resets the per-window child ordinal counter.
-    /// The local queue must be empty (every window drains it).
-    pub fn open_window<E>(&mut self, queue: &EventQueue<E>) {
-        debug_assert!(queue.is_empty(), "window opened with events queued");
-        debug_assert!(self.seq_map.is_empty(), "stale seq mappings");
+    pub fn open_window(&mut self) {
         self.sched_count = 0;
     }
 
-    /// Seeds one driver batch entry: schedules `payload` at `at` on the
-    /// local queue and records that it stands for global event `orig_seq`.
-    pub fn seed<E>(
-        &mut self,
-        queue: &mut EventQueue<E>,
-        at: SimTime,
-        orig_seq: u64,
-        payload: E,
-    ) {
-        let s = queue.schedule_at(at, payload);
-        self.seq_map.insert(s, SeqRef::Orig(orig_seq));
+    /// Number of schedulings recorded so far this window.
+    pub fn sched_count(&self) -> u32 {
+        self.sched_count
     }
 
-    /// Records a local child scheduling: schedules `payload` at `at` and
-    /// returns the child ordinal for the journal record.
+    /// Records a local child scheduling: queues `payload` at `at` under a
+    /// provisional key and returns the child ordinal.
     pub fn sched_local<E>(
         &mut self,
         queue: &mut EventQueue<E>,
@@ -90,26 +86,26 @@ impl ShardState {
     ) -> u32 {
         let ord = self.sched_count;
         self.sched_count += 1;
-        let s = queue.schedule_at(at, payload);
-        self.seq_map.insert(s, SeqRef::Child(ord));
+        queue.schedule_at_seq(at, PROV_BIT | ord as u64, payload);
         ord
     }
 
-    /// Records a scheduling that returns to the driver (cross-shard or
-    /// beyond the window): only an ordinal is consumed; nothing is queued
-    /// locally.
-    pub fn sched_returned(&mut self) -> u32 {
+    /// Records a scheduling whose event does not enter the local calendar
+    /// yet (parked past the boundary, or bound for another shard): only an
+    /// ordinal is consumed.
+    pub fn sched_deferred(&mut self) -> u32 {
         let ord = self.sched_count;
         self.sched_count += 1;
         ord
     }
 
-    /// Resolves a popped local sequence number to its global identity.
-    /// Must be called exactly once per popped event.
-    pub fn resolve_popped(&mut self, local_seq: u64) -> SeqRef {
-        self.seq_map
-            .remove(&local_seq)
-            .expect("popped an event with no global identity")
+    /// Resolves a popped sequence key to its global identity.
+    pub fn resolve(seq: u64) -> SeqRef {
+        if seq & PROV_BIT != 0 {
+            SeqRef::Child((seq & !PROV_BIT) as u32)
+        } else {
+            SeqRef::Orig(seq)
+        }
     }
 }
 
@@ -132,10 +128,15 @@ pub trait JournalBlock {
 /// reference those children by ordinal can be positioned. Within a shard,
 /// `(time, resolved seq)` is non-decreasing (local execution follows the
 /// same comparator), which is what makes a streaming merge possible.
+///
+/// Returns the per-shard grant vectors (global seq of child ordinal `n` at
+/// index `n`): the driver sends shard `i` its `child_seqs[i]` so the shard
+/// can insert its parked past-boundary events under real seqs (provisional
+/// keys never survive a window, so the calendar itself needs no re-keying).
 pub fn merge_journals<B: JournalBlock>(
-    journals: Vec<Vec<B>>,
+    journals: &[Vec<B>],
     mut replay: impl FnMut(usize, &B) -> Vec<u64>,
-) {
+) -> Vec<Vec<u64>> {
     let mut cursors = vec![0usize; journals.len()];
     // Global seqs of each shard's window children, indexed by ordinal.
     let mut child_seqs: Vec<Vec<u64>> = vec![Vec::new(); journals.len()];
@@ -160,6 +161,7 @@ pub fn merge_journals<B: JournalBlock>(
         let assigned = replay(shard, block);
         child_seqs[shard].extend(assigned);
     }
+    child_seqs
 }
 
 #[cfg(test)]
@@ -208,35 +210,38 @@ mod tests {
             b(7, SeqRef::Orig(50), vec![], 2),
         ];
         let mut order = Vec::new();
-        merge_journals(vec![j0, j1], |_, blk| {
+        let grants = merge_journals(&[j0, j1], |_, blk| {
             order.push(blk.label);
             blk.scheds.clone()
         });
         assert_eq!(order, vec![0, 1, 2, 3]);
+        assert_eq!(grants, vec![vec![100, 101], vec![]]);
     }
 
     #[test]
-    fn shard_state_round_trips_identities() {
+    fn provisional_keys_round_trip_and_order_after_real_seqs() {
         let mut q: EventQueue<u32> = EventQueue::with_capacity(8);
         let mut s = ShardState::new();
-        s.open_window(&q);
-        s.seed(&mut q, SimTime::from_nanos(3), 42, 1);
-        s.seed(&mut q, SimTime::from_nanos(3), 43, 2);
-        let ord_ret = s.sched_returned();
-        assert_eq!(ord_ret, 0);
-        let ord_loc = s.sched_local(&mut q, SimTime::from_nanos(4), 3);
+        s.open_window();
+        // Pre-window events carry real global seqs.
+        q.schedule_at_seq(SimTime::from_nanos(3), 42, 1);
+        q.schedule_at_seq(SimTime::from_nanos(4), 40, 2);
+        let ord_def = s.sched_deferred();
+        assert_eq!(ord_def, 0);
+        // A mid-window child at the same instant as a real event pops after
+        // it, regardless of insertion order.
+        let ord_loc = s.sched_local(&mut q, SimTime::from_nanos(3), 3);
         assert_eq!(ord_loc, 1);
-        // Pop order: t=3 seeds in driver order, then the local child.
         let e1 = q.pop().unwrap();
         assert_eq!(e1.payload, 1);
-        assert_eq!(s.resolve_popped(e1.seq), SeqRef::Orig(42));
+        assert_eq!(ShardState::resolve(e1.seq), SeqRef::Orig(42));
         let e2 = q.pop().unwrap();
-        assert_eq!(e2.payload, 2);
-        assert_eq!(s.resolve_popped(e2.seq), SeqRef::Orig(43));
+        assert_eq!(e2.payload, 3);
+        assert_eq!(ShardState::resolve(e2.seq), SeqRef::Child(1));
         let e3 = q.pop().unwrap();
-        assert_eq!(e3.payload, 3);
-        assert_eq!(s.resolve_popped(e3.seq), SeqRef::Child(1));
-        s.open_window(&q);
-        assert_eq!(s.sched_returned(), 0, "ordinals reset per window");
+        assert_eq!(e3.payload, 2);
+        assert_eq!(ShardState::resolve(e3.seq), SeqRef::Orig(40));
+        s.open_window();
+        assert_eq!(s.sched_deferred(), 0, "ordinals reset per window");
     }
 }

@@ -107,7 +107,13 @@ fn check(doc: &ProfileDoc) -> Vec<String> {
     if frac_sum > 1.05 {
         bad.push(format!("phase fracs sum to {frac_sum:.3} > 1.05"));
     }
-    for k in ["oracle_frac", "barrier_frac", "merge_frac", "global_frac"] {
+    for k in [
+        "window_advance_frac",
+        "cut_exchange_frac",
+        "barrier_frac",
+        "merge_frac",
+        "global_frac",
+    ] {
         let f = get_f64(&doc.summary, k);
         if !(0.0..=1.0).contains(&f) {
             bad.push(format!("summary {k} {f} outside [0,1]"));
@@ -210,7 +216,8 @@ fn render(doc: &ProfileDoc, top: usize, out: &mut impl Write) -> std::io::Result
     let s = &doc.summary;
     if get_str(m, "engine") == "sharded" {
         let pairs = [
-            ("oracle replay", get_f64(s, "oracle_frac")),
+            ("window advance", get_f64(s, "window_advance_frac")),
+            ("cut exchange", get_f64(s, "cut_exchange_frac")),
             ("barrier wait", get_f64(s, "barrier_frac")),
             ("journal merge", get_f64(s, "merge_frac")),
             ("global events", get_f64(s, "global_frac")),
@@ -223,13 +230,14 @@ fn render(doc: &ProfileDoc, top: usize, out: &mut impl Write) -> std::io::Result
             .unwrap_or(("none", 0.0));
         writeln!(
             out,
-            "\nsharding overhead: {:.1}% of wall-clock (oracle {:.1}%, barrier {:.1}%, \
-             merge {:.1}%, global {:.1}%); dominant: {} ({:.1}%)",
+            "\nsharding overhead: {:.1}% of wall-clock (advance {:.1}%, cut-xchg {:.1}%, \
+             barrier {:.1}%, merge {:.1}%, global {:.1}%); dominant: {} ({:.1}%)",
             overhead * 100.0,
             pairs[0].1 * 100.0,
             pairs[1].1 * 100.0,
             pairs[2].1 * 100.0,
             pairs[3].1 * 100.0,
+            pairs[4].1 * 100.0,
             dominant.0,
             dominant.1 * 100.0,
         )?;

@@ -1,13 +1,12 @@
 //! Engine self-profiling: phase accounting, log-linear histograms, and the
 //! `*.profile.json` report.
 //!
-//! The simulator honestly reports 0.3–0.45x "speedup" at `--shards 4` on a
-//! one-core host, and the PDES rebuild (ROADMAP open item 1) cannot be
-//! attacked until the wall-clock is attributed: oracle replay, worker
-//! barriers, journal merge, and global-event execution are invisible to
-//! virtual-time telemetry. This module is the engine-side half of that
-//! attribution; the emission points live in `sv2p-netsim` (both engines)
-//! and the `--profile DIR` plumbing in `sv2p-bench`.
+//! Parallel-engine overheads — window-boundary bookkeeping, cut-link
+//! exchange, worker barriers, journal merge, and global-event execution —
+//! are invisible to virtual-time telemetry; this module attributes the
+//! wall-clock so coordination cost is a tracked regression surface. The
+//! emission points live in `sv2p-netsim` (both engines) and the
+//! `--profile DIR` plumbing in `sv2p-bench`.
 //!
 //! # Determinism segregation rule
 //!
@@ -168,8 +167,9 @@ impl Histogram {
 /// The first block is the single-threaded `Simulation` loop — `Pop` plus
 /// one class per event handler, so "telemetry cost" is visible as the
 /// `TelemetrySample` class and per-packet work is split by event kind.
-/// The second block is the sharded driver: the serial oracle replay, the
-/// parallel section, and the synchronization overheads around it.
+/// The second block is the sharded driver: window-boundary computation,
+/// the parallel section, and the synchronization overheads around it
+/// (cut-link exchange, barrier wait, journal merge, global events).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Phase {
     /// Calendar pop (single-threaded loop).
@@ -198,11 +198,14 @@ pub enum Phase {
     ChurnMark,
     /// `TelemetrySample` handler dispatch (the sampler's own cost).
     TelemetrySample,
-    /// Sharded driver: popping the oracle calendar and resolving event
-    /// ownership while building a window's per-shard batches.
-    OracleAdvance,
-    /// Sharded driver: converting popped oracle events into wire events.
-    Dematerialize,
+    /// Sharded driver: computing each window's `(time, seq)` boundary from
+    /// the shards' reported next-event bounds and the partition lookahead,
+    /// and dispatching the window commands.
+    WindowAdvance,
+    /// Sharded driver: resolving cut-link events to their granted global
+    /// seqs and delivering them (plus parked-event grants) to the target
+    /// shards — the coordination cost of the conservative exchange.
+    CutExchange,
     /// Sharded driver: mean per-shard busy time inside the parallel
     /// section — the useful work the window bought.
     WorkerReplay,
@@ -233,8 +236,8 @@ impl Phase {
         Phase::Fault,
         Phase::ChurnMark,
         Phase::TelemetrySample,
-        Phase::OracleAdvance,
-        Phase::Dematerialize,
+        Phase::WindowAdvance,
+        Phase::CutExchange,
         Phase::WorkerReplay,
         Phase::BarrierWait,
         Phase::JournalMerge,
@@ -257,8 +260,8 @@ impl Phase {
             Phase::Fault => "fault",
             Phase::ChurnMark => "churn_mark",
             Phase::TelemetrySample => "telemetry_sample",
-            Phase::OracleAdvance => "oracle_advance",
-            Phase::Dematerialize => "dematerialize",
+            Phase::WindowAdvance => "window_advance",
+            Phase::CutExchange => "cut_exchange",
             Phase::WorkerReplay => "worker_replay",
             Phase::BarrierWait => "barrier_wait",
             Phase::JournalMerge => "journal_merge",
@@ -332,7 +335,7 @@ pub struct ShardAcc {
     /// Wall-clock this shard sat idle at window barriers (slowest shard's
     /// replay minus this shard's, summed over windows).
     pub barrier_wait_ns: u64,
-    /// Journal blocks (= oracle events) this shard executed. Deterministic.
+    /// Journal blocks this shard contributed to merges. Deterministic.
     pub blocks: u64,
     /// Windows in which this shard had work. Deterministic.
     pub windows: u64,
@@ -598,10 +601,8 @@ impl Profiler {
             .u64("global_events", self.global_events)
             .u64("journal_blocks", self.journal_blocks)
             .u64("journal_ops", self.journal_ops)
-            .f64(
-                "oracle_frac",
-                self.frac(Phase::OracleAdvance) + self.frac(Phase::Dematerialize),
-            )
+            .f64("window_advance_frac", self.frac(Phase::WindowAdvance))
+            .f64("cut_exchange_frac", self.frac(Phase::CutExchange))
             .f64("barrier_frac", self.frac(Phase::BarrierWait))
             .f64("merge_frac", self.frac(Phase::JournalMerge))
             .f64("global_frac", self.frac(Phase::GlobalExec))
@@ -845,8 +846,8 @@ mod tests {
 
     fn sample_profiler() -> Profiler {
         let mut p = Profiler::new(true);
-        p.phase_add_span(Phase::OracleAdvance, 10, 4_000);
-        p.phase_add_span(Phase::Dematerialize, 10, 1_000);
+        p.phase_add_span(Phase::WindowAdvance, 10, 4_000);
+        p.phase_add_span(Phase::CutExchange, 10, 1_000);
         p.phase_add(Phase::WorkerReplay, 2_000);
         p.phase_add(Phase::BarrierWait, 2_500);
         p.phase_add(Phase::JournalMerge, 500);
@@ -889,7 +890,7 @@ mod tests {
             .expect("cv");
         assert!(cv > 0.4 && cv < 0.6, "cv={cv}"); // (3000,1000): cv = 0.5
         let proj = deterministic_projection(&text).expect("projects");
-        assert!(proj.contains("phase oracle_advance calls=10"));
+        assert!(proj.contains("phase window_advance calls=10"));
         assert!(proj.contains("hist journal_block_ops count=1 sum=3"));
         assert!(proj.contains("hist window_ns count=1\n"), "timing hist keeps count only");
         assert!(!proj.contains("_ns="), "no wall-clock leaks: {proj}");

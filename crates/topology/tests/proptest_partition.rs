@@ -1,0 +1,124 @@
+//! Property tests: [`PodPartition`] over randomized FatTree shapes and
+//! shard counts. The conservative sharded engine leans on two guarantees
+//! proved here against brute force — the cut-link set is *exactly* the
+//! inter-shard edge set (a missed cut link would let a packet cross
+//! shards without the exchange protocol seeing it), and the lookahead is
+//! a true lower bound on every cut delay (an overestimate would let a
+//! window outrun causality).
+
+use proptest::prelude::*;
+use sv2p_topology::{FatTreeConfig, LinkSpec, PodPartition};
+
+fn arb_config() -> impl Strategy<Value = FatTreeConfig> {
+    (1u16..6, 1u16..5, 1u16..4, 1u16..4, 1u16..4).prop_map(
+        |(pods, racks, servers, spines, core_group)| {
+            let gateway_pods: Vec<u16> = (0..pods).step_by(2).collect();
+            let n = gateway_pods.len();
+            FatTreeConfig {
+                pods,
+                racks_per_pod: racks,
+                servers_per_rack: servers,
+                spines_per_pod: spines,
+                cores: spines * core_group,
+                gateway_pods,
+                gateways_per_pod: vec![1; n],
+                host_link: LinkSpec::HOST_100G,
+                fabric_link: LinkSpec::FABRIC_400G,
+            }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cut_set_equals_brute_force_edge_enumeration(
+        cfg in arb_config(),
+        shards in 0u16..10,
+    ) {
+        let topo = cfg.build();
+        let p = PodPartition::new(&topo, shards);
+        // Brute force: walk every link, classify by endpoint shards.
+        let expected: Vec<_> = topo
+            .links
+            .iter()
+            .filter(|l| p.shard_of(l.from) != p.shard_of(l.to))
+            .map(|l| l.id)
+            .collect();
+        prop_assert_eq!(
+            p.cut_links(),
+            expected.as_slice(),
+            "cut set must be the exact inter-shard edge set, ascending"
+        );
+        // Ascending by id (the engine relies on deterministic order).
+        for w in p.cut_links().windows(2) {
+            prop_assert!(w[0] < w[1], "cut links out of order: {:?}", w);
+        }
+    }
+
+    #[test]
+    fn lookahead_is_a_true_lower_bound_on_cut_delays(
+        cfg in arb_config(),
+        shards in 0u16..10,
+    ) {
+        let topo = cfg.build();
+        let p = PodPartition::new(&topo, shards);
+        if p.cut_links().is_empty() {
+            // No cut: single shard, infinite lookahead.
+            prop_assert_eq!(p.shards(), 1);
+            prop_assert_eq!(p.lookahead_ns(), u64::MAX);
+        } else {
+            for &l in p.cut_links() {
+                prop_assert!(
+                    topo.link(l).delay_ns >= p.lookahead_ns(),
+                    "cut link {:?} undercuts the lookahead",
+                    l
+                );
+            }
+            // ...and the bound is tight: some cut link attains it.
+            prop_assert!(
+                p.cut_links()
+                    .iter()
+                    .any(|&l| topo.link(l).delay_ns == p.lookahead_ns()),
+                "lookahead not attained by any cut link"
+            );
+        }
+    }
+
+    #[test]
+    fn partition_is_total_and_clamped(
+        cfg in arb_config(),
+        shards in 0u16..10,
+    ) {
+        let topo = cfg.build();
+        let p = PodPartition::new(&topo, shards);
+        let pods = topo
+            .nodes
+            .iter()
+            .filter_map(|n| n.kind.pod())
+            .max()
+            .map(|p| p + 1)
+            .unwrap_or(0);
+        prop_assert!(p.shards() >= 1);
+        prop_assert!(p.shards() <= pods + 1, "more shards than pods + core");
+        prop_assert!(p.shards() <= shards.max(1), "more shards than requested");
+        // Total: every node belongs to exactly one in-range shard, and no
+        // shard is empty (sizes sum back to the node count).
+        prop_assert_eq!(p.shard_map().len(), topo.nodes.len());
+        for n in &topo.nodes {
+            prop_assert!(p.shard_of(n.id) < p.shards());
+        }
+        let sizes = p.shard_sizes();
+        prop_assert_eq!(sizes.iter().sum::<usize>(), topo.nodes.len());
+        prop_assert!(sizes.iter().all(|&s| s > 0), "empty shard in {:?}", sizes);
+        // Pod atomicity: a pod never straddles shards.
+        let mut pod_shard = std::collections::HashMap::new();
+        for n in &topo.nodes {
+            if let Some(pod) = n.kind.pod() {
+                let s = pod_shard.entry(pod).or_insert_with(|| p.shard_of(n.id));
+                prop_assert_eq!(*s, p.shard_of(n.id), "pod {} split", pod);
+            }
+        }
+    }
+}

@@ -166,12 +166,6 @@ impl MappingDb {
         }
     }
 
-    /// Installs or overwrites a mapping (control-plane write).
-    #[deprecated(note = "use `apply(MappingOp::Install { vip, pip })`")]
-    pub fn insert(&mut self, vip: Vip, pip: Pip) {
-        self.apply(MappingOp::Install { vip, pip });
-    }
-
     /// Resolves a VIP (gateway read). `None` means the VIP does not exist —
     /// a tenant misconfiguration the gateway drops.
     pub fn lookup(&self, vip: Vip) -> Option<Pip> {
@@ -181,35 +175,6 @@ impl MappingDb {
     /// True if `vip` is currently mapped.
     pub fn contains(&self, vip: Vip) -> bool {
         self.map.contains_key(&vip)
-    }
-
-    /// Moves `vip` to a new physical location (VM migration). Returns the
-    /// previous location.
-    ///
-    /// Panics if the VIP was never placed: migrating an unknown VM is a
-    /// harness bug, not a runtime condition.
-    #[deprecated(note = "use `apply(MappingOp::Migrate { vip, to_pip, at_ns: None })`")]
-    pub fn migrate(&mut self, vip: Vip, new_pip: Pip) -> Pip {
-        self.apply(MappingOp::Migrate {
-            vip,
-            to_pip: new_pip,
-            at_ns: None,
-        })
-        .old
-        .expect("migrate delta carries the old location")
-    }
-
-    /// [`Self::migrate`], additionally recording *when* (virtual ns) the
-    /// move happened so stale-cache hits can be aged against it.
-    #[deprecated(note = "use `apply(MappingOp::Migrate { vip, to_pip, at_ns: Some(ns) })`")]
-    pub fn migrate_at(&mut self, vip: Vip, new_pip: Pip, at_ns: u64) -> Pip {
-        self.apply(MappingOp::Migrate {
-            vip,
-            to_pip: new_pip,
-            at_ns: Some(at_ns),
-        })
-        .old
-        .expect("migrate delta carries the old location")
     }
 
     /// When `vip` last migrated (virtual ns), if it ever did via a
@@ -372,13 +337,25 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_delegate_to_apply() {
+    fn apply_sequences_install_and_timestamped_migrations() {
         let mut db = MappingDb::new();
-        db.insert(Vip(1), Pip(10));
+        db.apply(MappingOp::Install {
+            vip: Vip(1),
+            pip: Pip(10),
+        });
         assert_eq!(db.lookup(Vip(1)), Some(Pip(10)));
-        assert_eq!(db.migrate(Vip(1), Pip(20)), Pip(10));
-        assert_eq!(db.migrate_at(Vip(1), Pip(30), 7_000), Pip(20));
+        let d = db.apply(MappingOp::Migrate {
+            vip: Vip(1),
+            to_pip: Pip(20),
+            at_ns: None,
+        });
+        assert_eq!(d.old, Some(Pip(10)));
+        let d = db.apply(MappingOp::Migrate {
+            vip: Vip(1),
+            to_pip: Pip(30),
+            at_ns: Some(7_000),
+        });
+        assert_eq!(d.old, Some(Pip(20)));
         assert_eq!(db.last_migration_ns(Vip(1)), Some(7_000));
         assert_eq!(db.epoch(), 3);
     }

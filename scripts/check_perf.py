@@ -9,37 +9,46 @@ schema, internal counter consistency (the client's tallies must equal the
 server's own counters — a codec or accounting bug shows up here), steady
 table size, and a lookups/sec floor (default 500000).
 
-Both files are `sv2p-perfbench/v2` or `/v3` baselines (see EXPERIMENTS.md
-for the schema; v3 adds the profiler columns). For every (workload,
-strategy, shards) cell present in both, the fresh run must reach at least
-MIN_RATIO (default 0.5) of the committed events/sec; otherwise the script
-prints the offending cells and exits 1. Committed cells absent from the
-fresh run are skipped (a `--shards 1` CI leg measures only the
-single-threaded rows of a baseline that also carries sharded rows), but at
-least one cell must be comparable.
+Both files are `sv2p-perfbench/v2`, `/v3` or `/v4` baselines (see
+EXPERIMENTS.md for the schema; v3 added the profiler columns, v4 retires
+`oracle_frac` for the conservative-PDES engine and adds `cut_exchange_frac`
+/ `window_count` / `cut_events`, with `peak_rss_bytes` measured per cell).
+For every (workload, strategy, shards) cell present in both, the fresh run
+must reach at least MIN_RATIO (default 0.5) of the committed events/sec;
+otherwise the script prints the offending cells and exits 1. Committed
+cells absent from the fresh run are skipped (a `--shards 1` CI leg measures
+only the single-threaded rows of a baseline that also carries sharded
+rows), but at least one cell must be comparable.
 
 The 0.5 floor is deliberately loose: CI runners are noisy and shared, so
 the gate only catches order-of-magnitude regressions (an accidental debug
 build, a hot-path data structure going quadratic), not few-percent drift.
 
-For v3 fresh baselines the script additionally sanity-checks the engine
-self-profiler columns: every cell must carry oracle_frac / barrier_frac /
-merge_frac / imbalance_cv / peak_rss_bytes, each fraction must lie in
-[0, 1], and the sharding-overhead fractions must sum to at most 1.05 (a
-little slack for clock skew between the outer run timer and the phase
-timers). A host with fewer cores than the widest sharded cell gets a
-WARNING — speedup numbers from an oversubscribed host measure scheduling,
-not the engine — but does not fail the gate.
+For v3/v4 fresh baselines the script additionally sanity-checks the engine
+self-profiler columns: every cell must carry the schema's fraction columns
+plus imbalance_cv / peak_rss_bytes, each fraction must lie in [0, 1], and
+the sharding-overhead fractions must sum to at most 1.05 (a little slack
+for clock skew between the outer run timer and the phase timers). v4
+baselines face two further gates: `peak_rss_bytes` must not be the same
+duplicated watermark across 3+ cells (the bug the per-cell watermark reset
+fixed — a monotone process-lifetime VmHWM masquerading as a per-cell
+measurement), and every sharded cell must reach speedup >= 1.0 over its
+single-threaded baseline row whenever the host has at least as many cores
+as the cell has shards. A host with fewer cores than the widest sharded
+cell gets a WARNING instead — speedup numbers from an oversubscribed host
+measure OS scheduling, not the engine — and the speedup gate is skipped.
 """
 
 import json
 import sys
 
-SCHEMAS = ("sv2p-perfbench/v2", "sv2p-perfbench/v3")
-FRAC_KEYS = ("oracle_frac", "barrier_frac", "merge_frac", "imbalance_cv")
+SCHEMAS = ("sv2p-perfbench/v2", "sv2p-perfbench/v3", "sv2p-perfbench/v4")
 # imbalance_cv is a coefficient of variation, not a fraction of the run:
 # it is >= 0 but not bounded by 1 and never enters the phase-sum check.
-SUM_KEYS = ("oracle_frac", "barrier_frac", "merge_frac")
+V3_FRAC_KEYS = ("oracle_frac", "barrier_frac", "merge_frac", "imbalance_cv")
+V3_SUM_KEYS = ("oracle_frac", "barrier_frac", "merge_frac")
+V4_FRAC_KEYS = ("barrier_frac", "merge_frac", "cut_exchange_frac", "imbalance_cv")
+V4_SUM_KEYS = ("barrier_frac", "merge_frac", "cut_exchange_frac")
 FRAC_SUM_CEILING = 1.05
 
 
@@ -56,18 +65,23 @@ def cells(doc):
 
 
 def check_profile_columns(doc, path):
-    """v3 sanity assertions on the fresh baseline's profiler columns."""
+    """v3/v4 sanity assertions on the fresh baseline's profiler columns."""
+    v4 = doc.get("schema") == "sv2p-perfbench/v4"
+    frac_keys = V4_FRAC_KEYS if v4 else V3_FRAC_KEYS
+    sum_keys = V4_SUM_KEYS if v4 else V3_SUM_KEYS
+    count_keys = ("window_count", "cut_events") if v4 else ()
     failures = []
     for key, c in sorted(cells(doc).items()):
-        missing = [k for k in FRAC_KEYS + ("peak_rss_bytes",) if k not in c]
+        required = frac_keys + count_keys + ("peak_rss_bytes",)
+        missing = [k for k in required if k not in c]
         if missing:
             failures.append(f"{key}: missing profiler column(s) {missing}")
             continue
-        for k in FRAC_KEYS:
+        for k in frac_keys:
             lo, hi = (0.0, 1.0) if k != "imbalance_cv" else (0.0, float("inf"))
             if not (lo <= c[k] <= hi):
                 failures.append(f"{key}: {k}={c[k]} outside [{lo}, {hi}]")
-        total = sum(c[k] for k in SUM_KEYS)
+        total = sum(c[k] for k in sum_keys)
         if total > FRAC_SUM_CEILING:
             failures.append(
                 f"{key}: phase fractions sum to {total:.3f} "
@@ -80,6 +94,64 @@ def check_profile_columns(doc, path):
         sys.exit(1)
     n = len(doc["cells"])
     print(f"profiler columns ok: {n} cell(s) carry sane phase fractions")
+
+
+def check_rss_watermarks(doc, path):
+    """v4: peak_rss_bytes must be per-cell, not a duplicated process-lifetime
+    watermark. Three or more cells sharing one exact nonzero value is the
+    signature of an unreset monotone VmHWM (distinct cells allocate distinct
+    working sets; an exact byte-for-byte tie across 3+ is not plausible)."""
+    counts = {}
+    for c in doc["cells"]:
+        rss = c.get("peak_rss_bytes", 0)
+        if rss:
+            counts[rss] = counts.get(rss, 0) + 1
+    dups = {rss: n for rss, n in counts.items() if n >= 3}
+    if dups:
+        print(f"\nrss-watermark check failed for {path}:", file=sys.stderr)
+        for rss, n in sorted(dups.items()):
+            print(
+                f"  peak_rss_bytes={rss} duplicated across {n} cells — "
+                "watermark not reset between cells",
+                file=sys.stderr,
+            )
+        sys.exit(1)
+    print(f"rss watermarks ok: {len(doc['cells'])} cell(s), no duplicated VmHWM")
+
+
+def check_speedups(doc, path):
+    """v4: on a host with enough cores, the conservative-PDES engine must
+    beat its own single-threaded baseline (speedup >= 1.0). Oversubscribed
+    hosts (cores < shards) are skipped with a WARNING — there the number
+    measures OS scheduling, not the engine."""
+    host_cores = doc.get("host_cores", 0)
+    failures = []
+    checked = skipped = 0
+    for key, c in sorted(cells(doc).items()):
+        shards = key[2]
+        if shards <= 1:
+            continue
+        if not host_cores or host_cores < shards:
+            skipped += 1
+            continue
+        checked += 1
+        if c["speedup"] < 1.0:
+            failures.append(
+                f"{key}: speedup {c['speedup']:.2f}x < 1.0x over the "
+                f"single-threaded row on a {host_cores}-core host"
+            )
+    if skipped:
+        print(
+            f"WARNING: speedup gate skipped for {skipped} sharded cell(s): "
+            f"host has {host_cores} core(s), fewer than the cell's shards"
+        )
+    if failures:
+        print(f"\nspeedup check failed for {path}:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        sys.exit(1)
+    if checked:
+        print(f"speedups ok: {checked} sharded cell(s) at >= 1.0x")
 
 
 CTL_SCHEMA = "sv2p-ctlbench/v1"
@@ -172,8 +244,11 @@ def main():
             "not be refreshed from this machine.\n"
         )
 
-    if fresh_doc.get("schema") == "sv2p-perfbench/v3":
+    if fresh_doc.get("schema") in ("sv2p-perfbench/v3", "sv2p-perfbench/v4"):
         check_profile_columns(fresh_doc, sys.argv[2])
+        if fresh_doc.get("schema") == "sv2p-perfbench/v4":
+            check_rss_watermarks(fresh_doc, sys.argv[2])
+            check_speedups(fresh_doc, sys.argv[2])
         print()
 
     compared = 0
