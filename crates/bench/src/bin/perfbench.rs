@@ -23,9 +23,10 @@
 
 use sv2p_bench::cli;
 use sv2p_bench::harness::{ExperimentSpec, StrategyKind};
+use sv2p_bench::Scale;
 use sv2p_telemetry::json::JsonObj;
 use sv2p_telemetry::Phase;
-use sv2p_traces::{alibaba, hadoop};
+use sv2p_traces::{alibaba, hadoop, FlowSource};
 
 struct Cell {
     workload: &'static str,
@@ -56,6 +57,15 @@ struct Cell {
     /// each cell (`cli::reset_peak_rss`), so cells don't inherit an earlier
     /// cell's high-water mark.
     peak_rss_bytes: u64,
+    /// VMs placed in this cell's topology.
+    placed_vms: u64,
+    /// Peak RSS divided by placed VMs: the memory-scaling figure of merit
+    /// the million-VM tier is gated on (schema v5).
+    bytes_per_vm: f64,
+    /// Resident bytes of the compact V2P state (mapping table + placement
+    /// columns) — the structures the compaction work targets, separated
+    /// from whole-process RSS so regressions are attributable.
+    mapping_bytes: u64,
 }
 
 fn run_cell(
@@ -74,6 +84,9 @@ fn run_cell(
     let events = sim.events_executed();
     let eps = events as f64 / wall.max(1e-9);
     let shards = sim.shards() as u64;
+    let placed_vms = sim.placement().len() as u64;
+    let mapping_bytes =
+        (sim.db().resident_bytes() + sim.placement().resident_bytes()) as u64;
     let speedup = baseline_eps.map_or(1.0, |base| eps / base.max(1e-9));
     let prof = sim.profiler();
     let (barrier_frac, merge_frac, cut_exchange_frac, imbalance_cv) = if prof.enabled() {
@@ -104,6 +117,12 @@ fn run_cell(
         cut_exchange_frac * 100.0,
         imbalance_cv,
     );
+    let peak_rss = cli::peak_rss_bytes();
+    let bytes_per_vm = peak_rss as f64 / placed_vms.max(1) as f64;
+    println!(
+        "  {:<12}   memory: rss {:>11} B  {:>8.1} B/VM  v2p-state {:>10} B  ({} VMs)",
+        "", peak_rss, bytes_per_vm, mapping_bytes, placed_vms,
+    );
     Cell {
         workload,
         topology: topology.to_string(),
@@ -122,7 +141,10 @@ fn run_cell(
         imbalance_cv,
         window_count: sim.window_count(),
         cut_events: sim.cut_events(),
-        peak_rss_bytes: cli::peak_rss_bytes(),
+        peak_rss_bytes: peak_rss,
+        placed_vms,
+        bytes_per_vm,
+        mapping_bytes,
     }
 }
 
@@ -153,6 +175,19 @@ fn run_shard_rows(
         }
         cells.push(cell);
     }
+}
+
+/// `MemAvailable` from /proc/meminfo, `None` where unsupported (the huge
+/// tier is then attempted unconditionally).
+fn mem_available_bytes() -> Option<u64> {
+    let meminfo = std::fs::read_to_string("/proc/meminfo").ok()?;
+    for line in meminfo.lines() {
+        if let Some(rest) = line.strip_prefix("MemAvailable:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
 }
 
 fn main() {
@@ -220,11 +255,39 @@ fn main() {
         run_shard_rows(&mut cells, &spec, "ft16-alibaba", "ft16-400k", &shard_counts);
     }
 
+    // FT32 million-VM tier (--huge): one streamed SwitchV2P run on the
+    // 32-ary fat-tree, single-threaded (replicating 1M-VM state per shard
+    // would multiply exactly the memory this cell exists to measure). The
+    // workload never materializes — the engine pulls flows from the
+    // source — so the cell's RSS is dominated by per-VM state, which is
+    // the regression surface `bytes_per_vm` gates.
+    if scale == Scale::Huge {
+        const HUGE_NEEDED_BYTES: u64 = 4 << 30;
+        match mem_available_bytes() {
+            Some(avail) if avail < HUGE_NEEDED_BYTES => {
+                eprintln!(
+                    "WARNING: skipping ft32-1m cell: {avail} bytes available < {HUGE_NEEDED_BYTES} needed"
+                );
+            }
+            _ => {
+                let spec = ExperimentSpec::builder(scale.ft32(), StrategyKind::SwitchV2P)
+                    .vms_per_server(32)
+                    .flow_source(FlowSource::hadoop(&scale.huge_hadoop()))
+                    .cache_entries(scale.analysis_cache_entries(""))
+                    .seed(args.seed())
+                    .shards(1)
+                    .label("ft32-hadoop.SwitchV2P")
+                    .build();
+                run_shard_rows(&mut cells, &spec, "ft32-hadoop", "ft32-1m", &[1]);
+            }
+        }
+    }
+
     // Compose the baseline file by hand: a header object plus one flat
     // JSON object per cell (the vendored serde is a stub; JsonObj is the
     // workspace-wide serializer).
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"sv2p-perfbench/v4\",\n");
+    out.push_str("{\n  \"schema\": \"sv2p-perfbench/v5\",\n");
     out.push_str(&format!("  \"scale\": \"{}\",\n", cli::scale_str()));
     out.push_str(&format!("  \"seed\": {},\n", args.seed()));
     out.push_str(&format!("  \"host_cores\": {},\n", cli::host_cores()));
@@ -248,7 +311,10 @@ fn main() {
             .f64("imbalance_cv", c.imbalance_cv)
             .u64("window_count", c.window_count)
             .u64("cut_events", c.cut_events)
-            .u64("peak_rss_bytes", c.peak_rss_bytes);
+            .u64("peak_rss_bytes", c.peak_rss_bytes)
+            .u64("placed_vms", c.placed_vms)
+            .f64("bytes_per_vm", c.bytes_per_vm)
+            .u64("mapping_bytes", c.mapping_bytes);
         out.push_str("    ");
         out.push_str(&obj.finish());
         out.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });

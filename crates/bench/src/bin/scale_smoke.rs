@@ -1,0 +1,80 @@
+//! CI guard for the million-VM tier: a trimmed FT32-1M slice that must
+//! (a) complete under a hard peak-RSS ceiling, and (b) produce
+//! byte-identical results on the single-threaded and 4-shard engines.
+//!
+//! The full 32-pod fat-tree and the full 1 048 576-VM placement are built
+//! — memory scaling is exactly what this smoke test guards — but the
+//! streamed workload is cut to a few thousand flows so the run finishes
+//! in CI time. A regression that reintroduces O(VMs) HashMap state or
+//! materializes the trace blows through the ceiling and fails the job.
+//!
+//! ```sh
+//! cargo run --release -p sv2p-bench --bin sv2p-scale-smoke
+//! ```
+
+use sv2p_bench::cli;
+use sv2p_bench::harness::{run_spec, ExperimentSpec, StrategyKind};
+use sv2p_bench::Scale;
+use sv2p_traces::{FlowSource, HadoopConfig};
+
+/// Hard per-run peak-RSS ceiling. The compact-state engine holds the
+/// 1M-VM FT32 slice well under 1 GB even at 4 shards (driver + replica
+/// fleet); 2 GiB leaves headroom for allocator noise without letting a
+/// per-VM HashMap regression (~50 KB/VM ≈ 50 GB) anywhere near passing.
+const RSS_CEILING_BYTES: u64 = 2 << 30;
+
+/// Trimmed flow count (the huge perfbench cell runs the full 20 000).
+const SMOKE_FLOWS: usize = 2_000;
+
+fn run(shards: u16, seed: u64) -> (String, u64) {
+    cli::reset_peak_rss();
+    let cfg = HadoopConfig {
+        flows: SMOKE_FLOWS,
+        ..Scale::Huge.huge_hadoop()
+    };
+    let spec = ExperimentSpec::builder(Scale::Huge.ft32(), StrategyKind::SwitchV2P)
+        .vms_per_server(32)
+        .flow_source(FlowSource::hadoop(&cfg))
+        .cache_entries(Scale::Huge.analysis_cache_entries(""))
+        .seed(seed)
+        .shards(shards)
+        .label(format!("scale-smoke-x{shards}"))
+        .build();
+    let summary = run_spec(&spec);
+    (format!("{summary:?}"), cli::peak_rss_bytes())
+}
+
+fn main() {
+    let args = cli::init("scale_smoke");
+    println!(
+        "FT32-1M scale smoke: {} VMs placed, {} streamed flows, seed {}",
+        1_048_576, SMOKE_FLOWS, args.seed(),
+    );
+
+    let mut failed = false;
+    let (digest1, rss1) = run(1, args.seed());
+    println!("  shards 1: peak RSS {rss1} bytes ({:.1} B/VM)", rss1 as f64 / 1_048_576.0);
+    let (digest4, rss4) = run(4, args.seed());
+    println!("  shards 4: peak RSS {rss4} bytes ({:.1} B/VM)", rss4 as f64 / 1_048_576.0);
+
+    for (label, rss) in [("shards 1", rss1), ("shards 4", rss4)] {
+        if rss > RSS_CEILING_BYTES {
+            eprintln!("FAIL: {label} peak RSS {rss} exceeds ceiling {RSS_CEILING_BYTES}");
+            failed = true;
+        }
+    }
+    if digest1 == digest4 {
+        println!("  shards 1 vs 4: summaries byte-identical");
+    } else {
+        eprintln!("FAIL: sharded run diverged from single-threaded run");
+        eprintln!("  shards 1: {digest1}");
+        eprintln!("  shards 4: {digest4}");
+        failed = true;
+    }
+
+    cli::finish();
+    if failed {
+        std::process::exit(1);
+    }
+    println!("scale smoke OK");
+}

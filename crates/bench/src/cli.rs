@@ -10,6 +10,8 @@
 //! Common flags (accepted anywhere on the command line):
 //!
 //! * `--full` — paper-scale parameters (default: quick);
+//! * `--huge` — the million-VM FT32 tier (perfbench memory cell; figure
+//!   bins fall back to quick-sized traffic);
 //! * `--seed N` — RNG seed override (default: 1);
 //! * `--shards N` — run every simulation on the pod-sharded multi-core
 //!   engine with N shards (default: 1, the single-threaded engine; results
@@ -110,7 +112,11 @@ impl BenchArgs {
         let mut it = argv.peekable();
         while let Some(arg) = it.next() {
             match arg.as_str() {
-                "--full" => out.scale = Scale::Full,
+                // --huge wins regardless of flag order, so a forwarded
+                // "--full --huge" sweep stays at the million-VM tier.
+                "--full" if out.scale != Scale::Huge => out.scale = Scale::Full,
+                "--full" => {}
+                "--huge" => out.scale = Scale::Huge,
                 "--seed" => {
                     let v = it.next().unwrap_or_else(|| die("--seed needs a value"));
                     out.seed =
@@ -235,11 +241,12 @@ pub fn telemetry_cfg() -> sv2p_telemetry::TelemetryConfig {
     }
 }
 
-/// "quick" or "full", for manifest rows.
+/// "quick", "full" or "huge", for manifest rows.
 pub fn scale_str() -> &'static str {
     match args().scale {
         Scale::Quick => "quick",
         Scale::Full => "full",
+        Scale::Huge => "huge",
     }
 }
 
@@ -450,10 +457,7 @@ pub fn analytic_manifest(config: &str, wall_clock_s: f64) -> RunManifest {
         strategy: "-".into(),
         topology: "-".into(),
         config: config.into(),
-        scale: match args().scale {
-            Scale::Quick => "quick".into(),
-            Scale::Full => "full".into(),
-        },
+        scale: scale_str().into(),
         seed: args().seed(),
         cache_entries: 0,
         flows: 0,
@@ -499,6 +503,14 @@ mod tests {
         assert_eq!(a.shards(), 4);
         assert_eq!(a.output.telemetry.as_deref(), Some(Path::new("out")));
         assert_eq!(a.output.profile.as_deref(), Some(Path::new("prof")));
+    }
+
+    #[test]
+    fn huge_scale_wins_over_full_in_any_order() {
+        assert_eq!(parse(&["--huge"]).scale, Scale::Huge);
+        assert_eq!(parse(&["--huge", "--full"]).scale, Scale::Huge);
+        assert_eq!(parse(&["--full", "--huge"]).scale, Scale::Huge);
+        assert_eq!(parse(&["--full"]).scale, Scale::Full);
     }
 
     #[test]

@@ -18,15 +18,40 @@ pub enum Scale {
     Quick,
     /// The paper's §5 parameters (hours).
     Full,
+    /// The million-VM FT32 tier (1 048 576 VMs, streamed workload).
+    /// Figure bins treat it as quick-sized traffic; `perfbench` adds the
+    /// dedicated FT32 memory cell.
+    Huge,
 }
 
 impl Scale {
-    /// Parses `--full` from CLI args.
+    /// Parses `--full` / `--huge` from CLI args (`--huge` wins).
     pub fn from_args() -> Scale {
-        if std::env::args().any(|a| a == "--full") {
+        if std::env::args().any(|a| a == "--huge") {
+            Scale::Huge
+        } else if std::env::args().any(|a| a == "--full") {
             Scale::Full
         } else {
             Scale::Quick
+        }
+    }
+
+    /// The FT32-1M topology of the huge tier.
+    pub fn ft32(self) -> FatTreeConfig {
+        FatTreeConfig::ft32_1m()
+    }
+
+    /// The huge tier's streamed Hadoop-style workload: the full
+    /// million-VM pool with a 4096-VM active subset (preserving the
+    /// flows-per-destination reuse ratio) and load matched to the active
+    /// servers. Pair with [`Self::ft32`] at 32 VMs per server.
+    pub fn huge_hadoop(self) -> HadoopConfig {
+        HadoopConfig {
+            vms: 1_048_576,
+            active_vms: Some(4_096),
+            flows: 20_000,
+            hosts: 4_096,
+            ..Default::default()
         }
     }
 
@@ -45,6 +70,7 @@ impl Scale {
                 ..Default::default()
             },
             Scale::Full => HadoopConfig::default(),
+            Scale::Huge => Scale::Quick.hadoop(),
         }
     }
 
@@ -57,6 +83,7 @@ impl Scale {
                 ..Default::default()
             },
             Scale::Full => WebSearchConfig::default(),
+            Scale::Huge => Scale::Quick.websearch(),
         }
     }
 
@@ -72,6 +99,7 @@ impl Scale {
                 ..Default::default()
             },
             Scale::Full => MicroburstsConfig::default(),
+            Scale::Huge => Scale::Quick.microbursts(),
         }
     }
 
@@ -83,6 +111,7 @@ impl Scale {
                 ..Default::default()
             },
             Scale::Full => VideoConfig::default(),
+            Scale::Huge => Scale::Quick.video(),
         }
     }
 
@@ -108,6 +137,7 @@ impl Scale {
                 },
                 32,
             ),
+            Scale::Huge => Scale::Quick.alibaba(),
         }
     }
 
@@ -119,13 +149,12 @@ impl Scale {
     /// The active address count the cache fraction is measured against.
     pub fn active_addresses(self, dataset: &str) -> usize {
         match (self, dataset) {
-            (Scale::Quick, "hadoop") => 512,
-            (Scale::Quick, "websearch") => 512,
-            (Scale::Quick, "microbursts") => 1_024,
-            (Scale::Quick, "alibaba") => 409_600,
+            (Scale::Quick | Scale::Huge, "hadoop") => 512,
+            (Scale::Quick | Scale::Huge, "websearch") => 512,
+            (Scale::Quick | Scale::Huge, "microbursts") => 1_024,
             (_, "alibaba") => 409_600,
             (Scale::Full, _) => 10_240,
-            (Scale::Quick, _) => 10_240,
+            (Scale::Quick | Scale::Huge, _) => 10_240,
         }
     }
 
@@ -141,7 +170,7 @@ impl Scale {
     /// quantity these analyses actually depend on.
     pub fn analysis_cache_entries(self, _dataset: &str) -> usize {
         match self {
-            Scale::Quick => 64 * 80,
+            Scale::Quick | Scale::Huge => 64 * 80,
             Scale::Full => 10_240 / 2,
         }
     }
@@ -149,7 +178,7 @@ impl Scale {
     /// The cache-size axis (fractions of the active address space).
     pub fn cache_fracs(self) -> Vec<f64> {
         match self {
-            Scale::Quick => vec![0.01, 0.1, 0.5, 1.0, 4.0, 15.0],
+            Scale::Quick | Scale::Huge => vec![0.01, 0.1, 0.5, 1.0, 4.0, 15.0],
             Scale::Full => vec![0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 4.0, 100.0, 1500.0],
         }
     }

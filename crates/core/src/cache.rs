@@ -9,14 +9,6 @@
 use sv2p_packet::{Pip, Vip};
 use sv2p_vnet::CacheOp;
 
-/// One cache line.
-#[derive(Debug, Clone, Copy, Default)]
-struct Line {
-    key: Option<Vip>,
-    val: Pip,
-    abit: bool,
-}
-
 /// Admission policy for conflicting inserts (paper Table 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Admission {
@@ -70,13 +62,39 @@ pub fn push_insert_ops(ops: &mut Vec<CacheOp>, outcome: InsertOutcome, accepted:
 }
 
 /// A direct-mapped VIP → PIP cache with per-line access bits.
+///
+/// Lines are stored as packed parallel arrays — raw key and value words
+/// plus one valid bit and one access bit per line — exactly the three
+/// register arrays of the P4 prototype, and 8.25 bytes per line instead of
+/// the 16 a `(Option<Vip>, Pip, bool)` struct padded to. A separate valid
+/// bitmap is required because every `u32` is a legal VIP — there is no
+/// sentinel key to steal.
 #[derive(Debug, Clone)]
 pub struct DirectMappedCache {
-    lines: Vec<Line>,
+    keys: Vec<u32>,
+    vals: Vec<u32>,
+    /// Bit per line: the line holds a valid entry.
+    valid: Vec<u64>,
+    /// Bit per line: the access (A) bit.
+    abit: Vec<u64>,
     /// Lookup attempts (hit-ratio diagnostics).
     pub lookups: u64,
     /// Successful lookups.
     pub hits: u64,
+}
+
+#[inline]
+fn bit_get(bits: &[u64], i: usize) -> bool {
+    bits[i >> 6] & (1u64 << (i & 63)) != 0
+}
+
+#[inline]
+fn bit_put(bits: &mut [u64], i: usize, v: bool) {
+    if v {
+        bits[i >> 6] |= 1u64 << (i & 63);
+    } else {
+        bits[i >> 6] &= !(1u64 << (i & 63));
+    }
 }
 
 impl DirectMappedCache {
@@ -84,7 +102,10 @@ impl DirectMappedCache {
     /// cache (non-caching switches).
     pub fn new(lines: usize) -> Self {
         DirectMappedCache {
-            lines: vec![Line::default(); lines],
+            keys: vec![0; lines],
+            vals: vec![0; lines],
+            valid: vec![0; lines.div_ceil(64)],
+            abit: vec![0; lines.div_ceil(64)],
             lookups: 0,
             hits: 0,
         }
@@ -92,12 +113,12 @@ impl DirectMappedCache {
 
     /// Capacity in lines.
     pub fn capacity(&self) -> usize {
-        self.lines.len()
+        self.keys.len()
     }
 
     /// Number of valid entries.
     pub fn occupancy(&self) -> usize {
-        self.lines.iter().filter(|l| l.key.is_some()).count()
+        self.valid.iter().map(|w| w.count_ones() as usize).sum()
     }
 
     #[inline]
@@ -107,7 +128,7 @@ impl DirectMappedCache {
         h ^= h >> 33;
         h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
         h ^= h >> 29;
-        (h % self.lines.len() as u64) as usize
+        (h % self.keys.len() as u64) as usize
     }
 
     /// Looks up `vip`. On a hit returns `(pip, abit_before_hit)` and sets the
@@ -115,108 +136,102 @@ impl DirectMappedCache {
     /// (paper §3.2: an entry whose line keeps being probed for other keys is
     /// not earning its slot).
     pub fn lookup(&mut self, vip: Vip) -> Option<(Pip, bool)> {
-        if self.lines.is_empty() {
+        if self.keys.is_empty() {
             return None;
         }
         self.lookups += 1;
         let idx = self.index(vip);
-        let line = &mut self.lines[idx];
-        match line.key {
-            Some(k) if k == vip => {
-                let was_set = line.abit;
-                line.abit = true;
-                self.hits += 1;
-                Some((line.val, was_set))
-            }
-            Some(_) => {
-                line.abit = false;
-                None
-            }
-            None => None,
+        if !bit_get(&self.valid, idx) {
+            return None;
+        }
+        if self.keys[idx] == vip.0 {
+            let was_set = bit_get(&self.abit, idx);
+            bit_put(&mut self.abit, idx, true);
+            self.hits += 1;
+            Some((Pip(self.vals[idx]), was_set))
+        } else {
+            bit_put(&mut self.abit, idx, false);
+            None
         }
     }
 
     /// Reads without touching access bits (diagnostics).
     pub fn peek(&self, vip: Vip) -> Option<Pip> {
-        if self.lines.is_empty() {
+        if self.keys.is_empty() {
             return None;
         }
-        let line = &self.lines[self.index(vip)];
-        match line.key {
-            Some(k) if k == vip => Some(line.val),
-            _ => None,
+        let idx = self.index(vip);
+        if bit_get(&self.valid, idx) && self.keys[idx] == vip.0 {
+            Some(Pip(self.vals[idx]))
+        } else {
+            None
         }
     }
 
     /// Attempts to install `vip → pip` under `admission`. New entries start
     /// with a clear access bit ("turned on upon a hit").
     pub fn insert(&mut self, vip: Vip, pip: Pip, admission: Admission) -> InsertOutcome {
-        if self.lines.is_empty() {
+        if self.keys.is_empty() {
             return InsertOutcome::Rejected;
         }
         let idx = self.index(vip);
-        let line = &mut self.lines[idx];
-        match line.key {
-            None => {
-                *line = Line {
-                    key: Some(vip),
-                    val: pip,
-                    abit: false,
-                };
-                InsertOutcome::Inserted
+        let outcome = if !bit_get(&self.valid, idx) {
+            InsertOutcome::Inserted
+        } else if self.keys[idx] == vip.0 {
+            self.vals[idx] = pip.0;
+            return InsertOutcome::Updated;
+        } else {
+            let resident_abit = bit_get(&self.abit, idx);
+            if admission == Admission::AbitClear && resident_abit {
+                return InsertOutcome::Rejected;
             }
-            Some(k) if k == vip => {
-                line.val = pip;
-                InsertOutcome::Updated
+            InsertOutcome::Evicted {
+                vip: Vip(self.keys[idx]),
+                pip: Pip(self.vals[idx]),
+                abit: resident_abit,
             }
-            Some(k) => {
-                if admission == Admission::AbitClear && line.abit {
-                    return InsertOutcome::Rejected;
-                }
-                let evicted = InsertOutcome::Evicted {
-                    vip: k,
-                    pip: line.val,
-                    abit: line.abit,
-                };
-                *line = Line {
-                    key: Some(vip),
-                    val: pip,
-                    abit: false,
-                };
-                evicted
-            }
-        }
+        };
+        self.keys[idx] = vip.0;
+        self.vals[idx] = pip.0;
+        bit_put(&mut self.valid, idx, true);
+        bit_put(&mut self.abit, idx, false);
+        outcome
     }
 
     /// Invalidates `vip`. With `only_if_pip`, the entry is removed only when
     /// it still maps to that (stale) value — a newer mapping survives, per
     /// §3.3. Returns true if an entry was removed.
     pub fn invalidate(&mut self, vip: Vip, only_if_pip: Option<Pip>) -> bool {
-        if self.lines.is_empty() {
+        if self.keys.is_empty() {
             return false;
         }
         let idx = self.index(vip);
-        let line = &mut self.lines[idx];
-        match line.key {
-            Some(k) if k == vip => {
-                if let Some(stale) = only_if_pip {
-                    if line.val != stale {
-                        return false;
-                    }
-                }
-                *line = Line::default();
-                true
-            }
-            _ => false,
+        if !bit_get(&self.valid, idx) || self.keys[idx] != vip.0 {
+            return false;
         }
+        if let Some(stale) = only_if_pip {
+            if self.vals[idx] != stale.0 {
+                return false;
+            }
+        }
+        bit_put(&mut self.valid, idx, false);
+        bit_put(&mut self.abit, idx, false);
+        true
     }
 
-    /// All valid entries.
+    /// All valid entries, in line order.
     pub fn entries(&self) -> Vec<(Vip, Pip)> {
-        self.lines
-            .iter()
-            .filter_map(|l| l.key.map(|k| (k, l.val)))
+        (0..self.keys.len())
+            .filter(|&i| bit_get(&self.valid, i))
+            .map(|i| (Vip(self.keys[i]), Pip(self.vals[i])))
             .collect()
+    }
+
+    /// Resident bytes of the packed line arrays at current capacity.
+    pub fn resident_bytes(&self) -> usize {
+        self.keys.capacity() * 4
+            + self.vals.capacity() * 4
+            + (self.valid.capacity() + self.abit.capacity()) * 8
     }
 }
 

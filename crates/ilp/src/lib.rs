@@ -111,11 +111,20 @@ impl PlacementProblem {
         let mut placement = Placement::empty(self.num_switches);
         // Current realized per-demand cost.
         let mut cur: Vec<f64> = self.demands.iter().map(|d| d.miss_cost).collect();
-        // Candidate pairs and the demands they touch.
+        // Candidate pairs and the demands they touch. Candidates are
+        // scanned in first-appearance order, never HashMap order: the
+        // randomized hasher would break equal-gain ties differently on
+        // every run, making the whole Controller experiment
+        // irreproducible.
         let mut touching: HashMap<(usize, u32), Vec<usize>> = HashMap::new();
+        let mut candidates: Vec<(usize, u32)> = Vec::new();
         for (di, d) in self.demands.iter().enumerate() {
             for &(s, _) in &d.options {
-                touching.entry((s, d.mapping)).or_default().push(di);
+                let dis = touching.entry((s, d.mapping)).or_default();
+                if dis.is_empty() {
+                    candidates.push((s, d.mapping));
+                }
+                dis.push(di);
             }
         }
         let mut slots: Vec<usize> = vec![self.capacity; self.num_switches];
@@ -124,7 +133,8 @@ impl PlacementProblem {
             // Find the best remaining pair. (Plain rescan: candidate counts
             // in our experiments are small enough that lazy heaps don't pay.)
             let mut best: Option<((usize, u32), f64)> = None;
-            for (&(s, m), dis) in &touching {
+            for &(s, m) in &candidates {
+                let dis = &touching[&(s, m)];
                 if slots[s] == 0 || placement.contains(s, m) {
                     continue;
                 }

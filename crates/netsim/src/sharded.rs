@@ -246,18 +246,20 @@ impl ShardedSimulation {
     /// under the global sequence number the single-threaded engine would
     /// have assigned it (the driver's counter stays the authority).
     pub fn add_flows(&mut self, specs: impl IntoIterator<Item = FlowSpec>) {
-        let specs: Vec<FlowSpec> = specs.into_iter().collect();
         if self.fallback {
             self.driver.add_flows(specs);
             return;
         }
-        for rep in &mut self.replicas {
-            rep.register_flows(specs.iter().cloned());
-        }
+        // One spec at a time so a streaming source is never materialized:
+        // replica mirroring, driver registration, and sequence reservation
+        // all happen per flow, in the same global order as before.
         for spec in specs {
             let idx = self.driver.flows.len();
             let start = spec.start;
             let owner = self.owner_shard_of_vm(spec.src_vm);
+            for rep in &mut self.replicas {
+                rep.register_flows([spec.clone()]);
+            }
             self.driver.register_flows([spec]);
             let seq = self.driver.events.reserve_seq();
             self.replicas[owner]

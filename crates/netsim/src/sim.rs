@@ -8,7 +8,7 @@ use sv2p_packet::{
     FlowId, InnerHeader, OuterHeader, Packet, PacketId, PacketKind, Pip, SwitchTag, TcpFlags,
     TunnelOptions, Vip,
 };
-use sv2p_simcore::{EventQueue, FxHashMap, FxHashSet, ShardState, SimDuration, SimRng, SimTime};
+use sv2p_simcore::{EventQueue, FxHashMap, ShardState, SimDuration, SimRng, SimTime};
 use sv2p_telemetry::profile::{HistKind, Phase, Profiler};
 use sv2p_telemetry::{EventKind, LayerName, Sample, TraceEvent, Tracer};
 use sv2p_topology::{
@@ -69,8 +69,6 @@ pub struct Simulation {
     dir: GatewayDirectory,
     /// VM placement (kept in sync with `db` across migrations).
     pub placement: Placement,
-    /// VIPs currently hosted at each server node.
-    hosted: FxHashMap<NodeId, FxHashSet<Vip>>,
     /// Follow-me rules at old hosts: (old node, vip) -> new pip.
     follow_me: FxHashMap<(NodeId, Vip), Pip>,
     agents: Vec<Option<Box<dyn SwitchAgent>>>,
@@ -144,14 +142,6 @@ impl Simulation {
         let placement = Placement::uniform(&topo, vms_per_server);
         let ctl = LocalControlPlane::with_db(placement.seed_db());
         let dir = GatewayDirectory::from_topology(&topo);
-
-        let mut hosted: FxHashMap<NodeId, FxHashSet<Vip>> = FxHashMap::default();
-        for i in 0..placement.len() {
-            hosted
-                .entry(placement.node_of(i))
-                .or_default()
-                .insert(placement.vips[i]);
-        }
 
         // Dense switch tags + metrics registration.
         let mut metrics = Metrics::new();
@@ -252,7 +242,6 @@ impl Simulation {
             ctl,
             dir,
             placement,
-            hosted,
             follow_me: FxHashMap::default(),
             agents,
             agent_rngs,
@@ -1439,10 +1428,13 @@ impl Simulation {
             return;
         }
         let vip = self.arena.get(pkt).inner.dst_vip;
+        // Hosting is derived straight from the placement (the per-node
+        // VIP-set map it replaced was ~O(VMs) of HashSet overhead at
+        // million-VM scale, and `relocate` already keeps placement current).
         let is_hosted = self
-            .hosted
-            .get(&node)
-            .is_some_and(|set| set.contains(&vip));
+            .placement
+            .index_of(vip)
+            .is_some_and(|vm| self.placement.node_of(vm) == node);
         if !is_hosted {
             self.on_misdelivery(node, pkt);
             return;
@@ -1587,10 +1579,6 @@ impl Simulation {
         });
         debug_assert_eq!(delta.old, Some(self.placement.pip_of(vm)));
         self.placement.relocate(vm, m.to_node, m.to_pip);
-        if let Some(set) = self.hosted.get_mut(&old_node) {
-            set.remove(&m.vip);
-        }
-        self.hosted.entry(m.to_node).or_default().insert(m.vip);
         // Andromeda-style follow-me rule at the old host.
         self.follow_me.insert((old_node, m.vip), m.to_pip);
         // Every replica records the migration (sharded mode applies this

@@ -114,6 +114,25 @@ impl FatTreeConfig {
         }
     }
 
+    /// FT32-1M (the million-VM tier past the paper's Table 3): 32 pods ×
+    /// 32 racks × 32 servers = 32 768 servers, which at 32 VMs per server
+    /// holds 1 048 576 VMs. 1024 ToRs + 128 spines + 16 cores, 160
+    /// gateways in every other pod — the same every-other-pod pattern as
+    /// FT16-400K.
+    pub fn ft32_1m() -> Self {
+        FatTreeConfig {
+            pods: 32,
+            racks_per_pod: 32,
+            servers_per_rack: 32,
+            spines_per_pod: 4,
+            cores: 16,
+            gateway_pods: (0..32).step_by(2).collect(),
+            gateways_per_pod: vec![10; 16],
+            host_link: LinkSpec::HOST_100G,
+            fabric_link: LinkSpec::FABRIC_400G,
+        }
+    }
+
     /// §5.3 topology scaling: vary the pod count while holding 128 servers
     /// (more pods → fewer servers per rack). `pods` must divide 32 and keep
     /// at least one server per rack: valid values are 1, 2, 4, 8, 16, 32.
@@ -333,6 +352,22 @@ mod tests {
         assert_eq!(c.core_switches, 16);
         assert_eq!(c.gateways, 250);
         assert_eq!(c.physical_servers, 12800);
+    }
+
+    #[test]
+    fn ft32_1m_characteristics() {
+        let c = FatTreeConfig::ft32_1m().characteristics();
+        assert_eq!(c.pods, 32);
+        assert_eq!(c.racks_per_pod, 32);
+        assert_eq!(c.tor_switches, 1024);
+        assert_eq!(c.spine_switches, 128);
+        assert_eq!(c.core_switches, 16);
+        assert_eq!(c.gateways, 160);
+        // 32 768 servers × 32 VMs/server = 1 048 576 VMs.
+        assert_eq!(c.physical_servers, 32_768);
+        let topo = FatTreeConfig::ft32_1m().build();
+        assert_eq!(topo.servers().count() as u32, c.physical_servers);
+        assert_eq!(topo.gateways().count() as u32, c.gateways);
     }
 
     #[test]

@@ -28,8 +28,8 @@ pub mod dist;
 pub mod spec;
 
 pub use datasets::{
-    alibaba, hadoop, incast, microbursts, video, AlibabaConfig, HadoopConfig, IncastConfig,
-    MicroburstsConfig, TraceStats, VideoConfig, WebSearchConfig, websearch,
+    alibaba, hadoop, incast, microbursts, video, AlibabaConfig, FlowSource, HadoopConfig,
+    IncastConfig, MicroburstsConfig, TraceStats, VideoConfig, WebSearchConfig, websearch,
 };
 pub use dist::{EmpiricalCdf, Zipf};
 pub use spec::{FlowProfile, TraceFlow};

@@ -90,10 +90,39 @@ impl std::fmt::Display for ApplyError {
 
 impl std::error::Error for ApplyError {}
 
+/// Outcome of a slot probe: the VIP's live slot, or where it would go.
+enum Probe {
+    /// The VIP is resident at this slot.
+    Found(usize),
+    /// The VIP is absent; this is the slot an insert should claim (the
+    /// first tombstone on the probe path, else the terminating empty slot).
+    Vacant(usize),
+}
+
 /// The authoritative virtual-to-physical mapping table.
+///
+/// Storage is an open-addressed flat table — parallel `Vip`/`Pip` arrays
+/// with per-slot live/tombstone bitmaps and linear probing — rather than a
+/// per-entry HashMap. At million-VM scale this costs ~12 bytes per mapping
+/// (vs ~50 for the former `FxHashMap<Vip, Pip>`), and the layout is fully
+/// deterministic: the same op sequence yields the same slots, so [`Self::iter`]
+/// order is reproducible across runs. The sparse migration instants stay in
+/// a side `FxHashMap` — only migrated VIPs pay for the timestamp.
 #[derive(Debug, Clone, Default)]
 pub struct MappingDb {
-    map: FxHashMap<Vip, Pip>,
+    /// Slot keys; meaningful only where the `live` bit is set.
+    keys: Vec<Vip>,
+    /// Slot values, parallel to `keys`.
+    vals: Vec<Pip>,
+    /// Bit per slot: holds a live entry.
+    live: Vec<u64>,
+    /// Bit per slot: vacated by an `Invalidate` (probe chains continue
+    /// through tombstones; they are reclaimed on rehash).
+    tombstone: Vec<u64>,
+    /// Live entries.
+    len: usize,
+    /// Live entries + tombstones (table pressure for the grow policy).
+    used: usize,
     /// Bumped on every update; lets tests and metrics distinguish
     /// reads-after-write from stale cache serving.
     epoch: u64,
@@ -103,10 +132,143 @@ pub struct MappingDb {
     last_migration: FxHashMap<Vip, u64>,
 }
 
+#[inline]
+fn avalanche(x: u32) -> u64 {
+    // The same 64-bit finalizer the switch cache model uses.
+    let mut h = x as u64;
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 29;
+    h
+}
+
+#[inline]
+fn bit_get(bits: &[u64], i: usize) -> bool {
+    bits[i >> 6] & (1u64 << (i & 63)) != 0
+}
+
+#[inline]
+fn bit_set(bits: &mut [u64], i: usize) {
+    bits[i >> 6] |= 1u64 << (i & 63);
+}
+
+#[inline]
+fn bit_clear(bits: &mut [u64], i: usize) {
+    bits[i >> 6] &= !(1u64 << (i & 63));
+}
+
 impl MappingDb {
     /// An empty database.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Probes for `vip`. The table must be non-empty.
+    fn probe(&self, vip: Vip) -> Probe {
+        let mask = self.keys.len() - 1;
+        let mut i = (avalanche(vip.0) as usize) & mask;
+        let mut first_tombstone = None;
+        loop {
+            if bit_get(&self.live, i) {
+                if self.keys[i] == vip {
+                    return Probe::Found(i);
+                }
+            } else if bit_get(&self.tombstone, i) {
+                first_tombstone.get_or_insert(i);
+            } else {
+                return Probe::Vacant(first_tombstone.unwrap_or(i));
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Rehashes into a table of `cap` slots (power of two), dropping
+    /// tombstones. Slot order — and thus [`Self::iter`] order — stays a
+    /// pure function of the live key set and the capacity.
+    fn rehash(&mut self, cap: usize) {
+        debug_assert!(cap.is_power_of_two() && cap >= self.len);
+        let old_keys = std::mem::take(&mut self.keys);
+        let old_vals = std::mem::take(&mut self.vals);
+        let old_live = std::mem::take(&mut self.live);
+        self.keys = vec![Vip(0); cap];
+        self.vals = vec![Pip(0); cap];
+        self.live = vec![0u64; cap.div_ceil(64)];
+        self.tombstone = vec![0u64; cap.div_ceil(64)];
+        self.used = self.len;
+        let mask = cap - 1;
+        for (slot, &key) in old_keys.iter().enumerate() {
+            if !bit_get(&old_live, slot) {
+                continue;
+            }
+            let mut i = (avalanche(key.0) as usize) & mask;
+            while bit_get(&self.live, i) {
+                i = (i + 1) & mask;
+            }
+            self.keys[i] = key;
+            self.vals[i] = old_vals[slot];
+            bit_set(&mut self.live, i);
+        }
+    }
+
+    /// Ensures one more entry fits under the 7/8 load-factor ceiling.
+    fn reserve_one(&mut self) {
+        let cap = self.keys.len();
+        if cap == 0 {
+            self.rehash(16);
+        } else if (self.used + 1) * 8 > cap * 7 {
+            // Doubling also reclaims tombstones; a table that is mostly
+            // tombstones rehashes at the same capacity instead of growing.
+            let target = if self.len * 4 > cap { cap * 2 } else { cap };
+            self.rehash(target.max(16));
+        }
+    }
+
+    /// Inserts or overwrites `vip → pip`, returning the previous value.
+    fn table_insert(&mut self, vip: Vip, pip: Pip) -> Option<Pip> {
+        self.reserve_one();
+        match self.probe(vip) {
+            Probe::Found(i) => Some(std::mem::replace(&mut self.vals[i], pip)),
+            Probe::Vacant(i) => {
+                if bit_get(&self.tombstone, i) {
+                    bit_clear(&mut self.tombstone, i);
+                } else {
+                    self.used += 1;
+                }
+                self.keys[i] = vip;
+                self.vals[i] = pip;
+                bit_set(&mut self.live, i);
+                self.len += 1;
+                None
+            }
+        }
+    }
+
+    /// Removes `vip`, returning its value. Leaves a tombstone.
+    fn table_remove(&mut self, vip: Vip) -> Option<Pip> {
+        if self.keys.is_empty() {
+            return None;
+        }
+        match self.probe(vip) {
+            Probe::Found(i) => {
+                bit_clear(&mut self.live, i);
+                bit_set(&mut self.tombstone, i);
+                self.len -= 1;
+                Some(self.vals[i])
+            }
+            Probe::Vacant(_) => None,
+        }
+    }
+
+    /// The live slot index of `vip`, if mapped.
+    #[inline]
+    fn slot_of(&self, vip: Vip) -> Option<usize> {
+        if self.keys.is_empty() {
+            return None;
+        }
+        match self.probe(vip) {
+            Probe::Found(i) => Some(i),
+            Probe::Vacant(_) => None,
+        }
     }
 
     /// Applies one control-plane op; every accepted write advances the
@@ -114,7 +276,7 @@ impl MappingDb {
     pub fn try_apply(&mut self, op: MappingOp) -> Result<MappingDelta, ApplyError> {
         let delta = match op {
             MappingOp::Install { vip, pip } => {
-                let old = self.map.insert(vip, pip);
+                let old = self.table_insert(vip, pip);
                 self.epoch += 1;
                 MappingDelta {
                     vip,
@@ -124,7 +286,7 @@ impl MappingDb {
                 }
             }
             MappingOp::Invalidate { vip } => {
-                let old = self.map.remove(&vip);
+                let old = self.table_remove(vip);
                 self.last_migration.remove(&vip);
                 self.epoch += 1;
                 MappingDelta {
@@ -135,10 +297,10 @@ impl MappingDb {
                 }
             }
             MappingOp::Migrate { vip, to_pip, at_ns } => {
-                let Some(slot) = self.map.get_mut(&vip) else {
+                let Some(slot) = self.slot_of(vip) else {
                     return Err(ApplyError::UnknownVip(vip));
                 };
-                let old = std::mem::replace(slot, to_pip);
+                let old = std::mem::replace(&mut self.vals[slot], to_pip);
                 self.epoch += 1;
                 if let Some(at) = at_ns {
                     self.last_migration.insert(vip, at);
@@ -169,12 +331,12 @@ impl MappingDb {
     /// Resolves a VIP (gateway read). `None` means the VIP does not exist —
     /// a tenant misconfiguration the gateway drops.
     pub fn lookup(&self, vip: Vip) -> Option<Pip> {
-        self.map.get(&vip).copied()
+        self.slot_of(vip).map(|i| self.vals[i])
     }
 
     /// True if `vip` is currently mapped.
     pub fn contains(&self, vip: Vip) -> bool {
-        self.map.contains_key(&vip)
+        self.slot_of(vip).is_some()
     }
 
     /// When `vip` last migrated (virtual ns), if it ever did via a
@@ -185,12 +347,12 @@ impl MappingDb {
 
     /// Number of mappings.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.len
     }
 
     /// True if no mappings exist.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.len == 0
     }
 
     /// The current write epoch.
@@ -198,10 +360,28 @@ impl MappingDb {
         self.epoch
     }
 
-    /// Iterates over all mappings (used by Direct-mode host preprogramming
-    /// and by the Controller baseline).
+    /// Iterates over all mappings in slot order (deterministic for a given
+    /// op sequence; consumers needing a canonical order sort, as the
+    /// control-plane snapshot does).
     pub fn iter(&self) -> impl Iterator<Item = (Vip, Pip)> + '_ {
-        self.map.iter().map(|(&v, &p)| (v, p))
+        self.keys
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| bit_get(&self.live, i))
+            .map(|(i, &k)| (k, self.vals[i]))
+    }
+
+    /// Approximate resident bytes of the mapping state: the flat table
+    /// (keys + values + both bitmaps at current capacity) plus the sparse
+    /// migration-instant side table. Feeds the perfbench `mapping_bytes`
+    /// column so table capacity vs resident memory stays a tracked surface.
+    pub fn resident_bytes(&self) -> usize {
+        let cap = self.keys.len();
+        let table = cap * (std::mem::size_of::<Vip>() + std::mem::size_of::<Pip>())
+            + 2 * (cap.div_ceil(64)) * 8;
+        // FxHashMap entry: key + value + control byte, at ~8/7 load slack.
+        let side = self.last_migration.capacity() * (4 + 8 + 1);
+        table + side
     }
 }
 
@@ -358,6 +538,72 @@ mod tests {
         assert_eq!(d.old, Some(Pip(20)));
         assert_eq!(db.last_migration_ns(Vip(1)), Some(7_000));
         assert_eq!(db.epoch(), 3);
+    }
+
+    #[test]
+    fn grows_past_initial_capacity_and_iter_covers_everything() {
+        let mut db = MappingDb::new();
+        for i in 0..10_000u32 {
+            db.apply(MappingOp::Install {
+                vip: Vip(i),
+                pip: Pip(i + 1),
+            });
+        }
+        assert_eq!(db.len(), 10_000);
+        assert_eq!(db.epoch(), 10_000);
+        for i in (0..10_000u32).step_by(97) {
+            assert_eq!(db.lookup(Vip(i)), Some(Pip(i + 1)));
+        }
+        let mut seen: Vec<(Vip, Pip)> = db.iter().collect();
+        seen.sort();
+        assert_eq!(seen.len(), 10_000);
+        assert_eq!(seen[0], (Vip(0), Pip(1)));
+        assert_eq!(seen[9_999], (Vip(9_999), Pip(10_000)));
+        assert!(db.resident_bytes() >= 10_000 * 8);
+    }
+
+    #[test]
+    fn tombstones_are_reused_without_unbounded_growth() {
+        let mut db = MappingDb::new();
+        // Churn far more ops than the table has slots: installs and
+        // invalidates of a small working set must not grow the table.
+        for round in 0..5_000u32 {
+            let vip = Vip(round % 7);
+            db.apply(MappingOp::Install { vip, pip: Pip(round) });
+            db.apply(MappingOp::Invalidate { vip });
+        }
+        assert!(db.is_empty());
+        assert_eq!(db.epoch(), 10_000);
+        assert!(
+            db.resident_bytes() < 4096,
+            "7-entry working set ballooned to {} bytes",
+            db.resident_bytes()
+        );
+        db.apply(MappingOp::Install {
+            vip: Vip(3),
+            pip: Pip(42),
+        });
+        assert_eq!(db.lookup(Vip(3)), Some(Pip(42)));
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn colliding_keys_survive_interleaved_removal() {
+        // All multiples of 16 in a 16-slot table collide heavily; removing
+        // the middle of a probe chain must not orphan later entries.
+        let mut db = MappingDb::new();
+        let vips: Vec<Vip> = (0..12u32).map(|i| Vip(i * 1_000_003)).collect();
+        for &v in &vips {
+            db.apply(MappingOp::Install { vip: v, pip: Pip(v.0 ^ 1) });
+        }
+        for &v in vips.iter().step_by(2) {
+            db.apply(MappingOp::Invalidate { vip: v });
+        }
+        for (i, &v) in vips.iter().enumerate() {
+            let expect = if i % 2 == 0 { None } else { Some(Pip(v.0 ^ 1)) };
+            assert_eq!(db.lookup(v), expect, "vip {v:?}");
+        }
+        assert_eq!(db.len(), 6);
     }
 
     #[test]

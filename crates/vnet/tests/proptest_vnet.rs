@@ -3,7 +3,61 @@
 
 use proptest::prelude::*;
 use sv2p_topology::FatTreeConfig;
-use sv2p_vnet::{GatewayDirectory, MappingOp, Placement};
+use sv2p_vnet::{ApplyError, GatewayDirectory, MappingDb, MappingDelta, MappingOp, Placement};
+
+/// The pre-compaction `MappingDb`: plain HashMaps, the behavioral oracle
+/// the open-addressed layout must be indistinguishable from (lookups,
+/// deltas, epochs, errors, and migration instants alike).
+#[derive(Default)]
+struct OracleDb {
+    map: std::collections::HashMap<u32, u32>,
+    last_migration: std::collections::HashMap<u32, u64>,
+    epoch: u64,
+}
+
+impl OracleDb {
+    fn try_apply(&mut self, op: MappingOp) -> Result<MappingDelta, ApplyError> {
+        use sv2p_packet::{Pip, Vip};
+        let delta = match op {
+            MappingOp::Install { vip, pip } => {
+                let old = self.map.insert(vip.0, pip.0).map(Pip);
+                self.epoch += 1;
+                MappingDelta { vip, old, new: Some(pip), epoch: self.epoch }
+            }
+            MappingOp::Invalidate { vip } => {
+                let old = self.map.remove(&vip.0).map(Pip);
+                self.last_migration.remove(&vip.0);
+                self.epoch += 1;
+                MappingDelta { vip, old, new: None, epoch: self.epoch }
+            }
+            MappingOp::Migrate { vip, to_pip, at_ns } => {
+                if !self.map.contains_key(&vip.0) {
+                    return Err(ApplyError::UnknownVip(Vip(vip.0)));
+                }
+                let old = self.map.insert(vip.0, to_pip.0).map(Pip);
+                self.epoch += 1;
+                if let Some(at) = at_ns {
+                    self.last_migration.insert(vip.0, at);
+                }
+                MappingDelta { vip, old, new: Some(to_pip), epoch: self.epoch }
+            }
+        };
+        Ok(delta)
+    }
+}
+
+/// Arbitrary op over a small VIP universe so sequences collide, migrate
+/// absent VIPs, and churn the same keys repeatedly.
+fn arb_op() -> impl Strategy<Value = MappingOp> {
+    use sv2p_packet::{Pip, Vip};
+    prop_oneof![
+        (0u32..48, 1u32..1_000).prop_map(|(v, p)| MappingOp::Install { vip: Vip(v), pip: Pip(p) }),
+        (0u32..48).prop_map(|v| MappingOp::Invalidate { vip: Vip(v) }),
+        (0u32..48, 1u32..1_000, proptest::option::of(0u64..1_000_000)).prop_map(
+            |(v, p, at)| MappingOp::Migrate { vip: Vip(v), to_pip: Pip(p), at_ns: at }
+        ),
+    ]
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -49,6 +103,42 @@ proptest! {
             total += placement.vms_on(node).len();
         }
         prop_assert_eq!(total, placement.len());
+    }
+
+    #[test]
+    fn compact_db_is_indistinguishable_from_hashmap_oracle(
+        ops in proptest::collection::vec(arb_op(), 0..400),
+    ) {
+        use sv2p_packet::Vip;
+        let mut compact = MappingDb::new();
+        let mut oracle = OracleDb::default();
+        for op in ops {
+            let a = compact.try_apply(op);
+            let b = oracle.try_apply(op);
+            prop_assert_eq!(a, b, "divergent result for {:?}", op);
+        }
+        // End states agree on every observable: lookups (present and
+        // absent), membership, len, epoch, and migration instants.
+        prop_assert_eq!(compact.len(), oracle.map.len());
+        prop_assert_eq!(compact.epoch(), oracle.epoch);
+        for v in 0u32..48 {
+            prop_assert_eq!(
+                compact.lookup(Vip(v)).map(|p| p.0),
+                oracle.map.get(&v).copied()
+            );
+            prop_assert_eq!(compact.contains(Vip(v)), oracle.map.contains_key(&v));
+            prop_assert_eq!(
+                compact.last_migration_ns(Vip(v)),
+                oracle.last_migration.get(&v).copied()
+            );
+        }
+        // iter() yields exactly the oracle's entry set (order is the
+        // compact table's own, so compare as sorted sets).
+        let mut got: Vec<(u32, u32)> = compact.iter().map(|(v, p)| (v.0, p.0)).collect();
+        got.sort_unstable();
+        let mut want: Vec<(u32, u32)> = oracle.map.iter().map(|(&v, &p)| (v, p)).collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
     }
 
     #[test]

@@ -9,10 +9,12 @@ schema, internal counter consistency (the client's tallies must equal the
 server's own counters — a codec or accounting bug shows up here), steady
 table size, and a lookups/sec floor (default 500000).
 
-Both files are `sv2p-perfbench/v2`, `/v3` or `/v4` baselines (see
+Both files are `sv2p-perfbench/v2` through `/v5` baselines (see
 EXPERIMENTS.md for the schema; v3 added the profiler columns, v4 retires
 `oracle_frac` for the conservative-PDES engine and adds `cut_exchange_frac`
-/ `window_count` / `cut_events`, with `peak_rss_bytes` measured per cell).
+/ `window_count` / `cut_events`, with `peak_rss_bytes` measured per cell;
+v5 adds the memory columns `placed_vms` / `bytes_per_vm` / `mapping_bytes`
+and the million-VM `ft32-1m` tier).
 For every (workload, strategy, shards) cell present in both, the fresh run
 must reach at least MIN_RATIO (default 0.5) of the committed events/sec;
 otherwise the script prints the offending cells and exits 1. Committed
@@ -37,12 +39,26 @@ single-threaded baseline row whenever the host has at least as many cores
 as the cell has shards. A host with fewer cores than the widest sharded
 cell gets a WARNING instead — speedup numbers from an oversubscribed host
 measure OS scheduling, not the engine — and the speedup gate is skipped.
+
+v5 baselines additionally gate memory: every cell must carry sane
+`placed_vms` / `bytes_per_vm` / `mapping_bytes` columns (positive,
+internally consistent with `peak_rss_bytes`), any `ft32-1m` cell must stay
+at or below the hard 2048 bytes-per-VM ceiling from ROADMAP item 2, and —
+when both baselines are v5 — a fresh cell whose `bytes_per_vm` exceeds its
+committed counterpart by more than 25% fails the gate. Committed huge
+cells the fresh host lacked the RAM to run arrive simply as missing fresh
+cells and take the existing skip-WARNING path.
 """
 
 import json
 import sys
 
-SCHEMAS = ("sv2p-perfbench/v2", "sv2p-perfbench/v3", "sv2p-perfbench/v4")
+SCHEMAS = (
+    "sv2p-perfbench/v2",
+    "sv2p-perfbench/v3",
+    "sv2p-perfbench/v4",
+    "sv2p-perfbench/v5",
+)
 # imbalance_cv is a coefficient of variation, not a fraction of the run:
 # it is >= 0 but not bounded by 1 and never enters the phase-sum check.
 V3_FRAC_KEYS = ("oracle_frac", "barrier_frac", "merge_frac", "imbalance_cv")
@@ -50,6 +66,22 @@ V3_SUM_KEYS = ("oracle_frac", "barrier_frac", "merge_frac")
 V4_FRAC_KEYS = ("barrier_frac", "merge_frac", "cut_exchange_frac", "imbalance_cv")
 V4_SUM_KEYS = ("barrier_frac", "merge_frac", "cut_exchange_frac")
 FRAC_SUM_CEILING = 1.05
+# v5 memory gates: the million-VM tier must hold the whole-process peak
+# RSS at or below 2 KB per placed VM (ROADMAP item 2), and no cell may
+# regress its bytes-per-VM footprint by more than 25% against the
+# committed baseline.
+HUGE_TOPOLOGY = "ft32-1m"
+BYTES_PER_VM_CEILING = 2048.0
+BYTES_PER_VM_MAX_GROWTH = 1.25
+V5_MEM_KEYS = ("placed_vms", "bytes_per_vm", "mapping_bytes")
+
+
+def is_v4_plus(doc):
+    return doc.get("schema") in ("sv2p-perfbench/v4", "sv2p-perfbench/v5")
+
+
+def is_v5(doc):
+    return doc.get("schema") == "sv2p-perfbench/v5"
 
 
 def load(path):
@@ -66,7 +98,7 @@ def cells(doc):
 
 def check_profile_columns(doc, path):
     """v3/v4 sanity assertions on the fresh baseline's profiler columns."""
-    v4 = doc.get("schema") == "sv2p-perfbench/v4"
+    v4 = is_v4_plus(doc)
     frac_keys = V4_FRAC_KEYS if v4 else V3_FRAC_KEYS
     sum_keys = V4_SUM_KEYS if v4 else V3_SUM_KEYS
     count_keys = ("window_count", "cut_events") if v4 else ()
@@ -154,6 +186,87 @@ def check_speedups(doc, path):
         print(f"speedups ok: {checked} sharded cell(s) at >= 1.0x")
 
 
+def check_memory_columns(doc, path):
+    """v5: every cell must carry sane memory columns, and any cell on the
+    million-VM topology must hold whole-process peak RSS at or below the
+    hard 2048 bytes-per-VM ceiling. `bytes_per_vm` is recomputed from
+    `peak_rss_bytes / placed_vms` and must agree with the recorded value —
+    a mismatch means the columns were measured at different instants and
+    the regression surface is not trustworthy."""
+    failures = []
+    huge_cells = 0
+    for key, c in sorted(cells(doc).items()):
+        missing = [k for k in V5_MEM_KEYS if k not in c]
+        if missing:
+            failures.append(f"{key}: missing memory column(s) {missing}")
+            continue
+        if c["placed_vms"] <= 0:
+            failures.append(f"{key}: placed_vms={c['placed_vms']} is not positive")
+            continue
+        if c["bytes_per_vm"] <= 0 or c["mapping_bytes"] <= 0:
+            failures.append(
+                f"{key}: bytes_per_vm={c['bytes_per_vm']} "
+                f"mapping_bytes={c['mapping_bytes']} must be positive"
+            )
+            continue
+        derived = c.get("peak_rss_bytes", 0) / c["placed_vms"]
+        if derived and abs(derived - c["bytes_per_vm"]) > max(1.0, 0.01 * derived):
+            failures.append(
+                f"{key}: bytes_per_vm={c['bytes_per_vm']:.1f} disagrees with "
+                f"peak_rss_bytes/placed_vms={derived:.1f}"
+            )
+        if c["mapping_bytes"] > c.get("peak_rss_bytes", float("inf")):
+            failures.append(
+                f"{key}: mapping_bytes={c['mapping_bytes']} exceeds the "
+                f"whole-process peak_rss_bytes={c.get('peak_rss_bytes')}"
+            )
+        if c.get("topology") == HUGE_TOPOLOGY:
+            huge_cells += 1
+            if c["bytes_per_vm"] > BYTES_PER_VM_CEILING:
+                failures.append(
+                    f"{key}: {c['bytes_per_vm']:.1f} bytes/VM on {HUGE_TOPOLOGY} "
+                    f"exceeds the hard {BYTES_PER_VM_CEILING:.0f} B/VM ceiling"
+                )
+    if failures:
+        print(f"\nmemory-column check failed for {path}:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        sys.exit(1)
+    n = len(doc["cells"])
+    huge = (
+        f", {huge_cells} {HUGE_TOPOLOGY} cell(s) under {BYTES_PER_VM_CEILING:.0f} B/VM"
+        if huge_cells
+        else ""
+    )
+    print(f"memory columns ok: {n} cell(s) carry sane bytes-per-VM{huge}")
+
+
+def check_bytes_per_vm_regression(committed, fresh):
+    """v5 vs v5: a fresh cell may not exceed its committed bytes-per-VM by
+    more than BYTES_PER_VM_MAX_GROWTH. Returns a list of failure strings;
+    cells missing from either side are simply not compared (the
+    events/sec loop already reports skips)."""
+    failures = []
+    for key, base in sorted(committed.items()):
+        now = fresh.get(key)
+        if now is None or "bytes_per_vm" not in base or "bytes_per_vm" not in now:
+            continue
+        ratio = now["bytes_per_vm"] / max(base["bytes_per_vm"], 1e-9)
+        status = "ok" if ratio <= BYTES_PER_VM_MAX_GROWTH else "FAIL"
+        print(
+            f"{status:4} {key[0]:<14} {key[1]:<10} x{key[2]:<2} "
+            f"{base['bytes_per_vm']:>10.1f} -> {now['bytes_per_vm']:>10.1f} B/VM "
+            f"({ratio:.2f}x, ceiling {BYTES_PER_VM_MAX_GROWTH:.2f}x)"
+        )
+        if ratio > BYTES_PER_VM_MAX_GROWTH:
+            failures.append(
+                f"{key}: {now['bytes_per_vm']:.1f} B/VM is more than "
+                f"{BYTES_PER_VM_MAX_GROWTH:.2f}x the committed "
+                f"{base['bytes_per_vm']:.1f} B/VM"
+            )
+    return failures
+
+
 CTL_SCHEMA = "sv2p-ctlbench/v1"
 CTL_MIN_LOOKUPS_PER_SEC = 500_000.0
 
@@ -229,7 +342,8 @@ def main():
         return
     if len(sys.argv) not in (3, 4):
         sys.exit(__doc__)
-    committed = cells(load(sys.argv[1]))
+    committed_doc = load(sys.argv[1])
+    committed = cells(committed_doc)
     fresh_doc = load(sys.argv[2])
     fresh = cells(fresh_doc)
     min_ratio = float(sys.argv[3]) if len(sys.argv) == 4 else 0.5
@@ -244,11 +358,13 @@ def main():
             "not be refreshed from this machine.\n"
         )
 
-    if fresh_doc.get("schema") in ("sv2p-perfbench/v3", "sv2p-perfbench/v4"):
+    if fresh_doc.get("schema") != "sv2p-perfbench/v2":
         check_profile_columns(fresh_doc, sys.argv[2])
-        if fresh_doc.get("schema") == "sv2p-perfbench/v4":
+        if is_v4_plus(fresh_doc):
             check_rss_watermarks(fresh_doc, sys.argv[2])
             check_speedups(fresh_doc, sys.argv[2])
+        if is_v5(fresh_doc):
+            check_memory_columns(fresh_doc, sys.argv[2])
         print()
 
     compared = 0
@@ -272,6 +388,10 @@ def main():
                 f"{key}: {now['events_per_sec']:.0f} ev/s is below "
                 f"{min_ratio:.2f}x of committed {base['events_per_sec']:.0f} ev/s"
             )
+
+    if is_v5(committed_doc) and is_v5(fresh_doc):
+        print()
+        failures.extend(check_bytes_per_vm_regression(committed, fresh))
 
     if skipped:
         # An explicit block so baseline drift is visible in CI logs: every
